@@ -1,0 +1,99 @@
+"""Component micro-benchmarks: the substrate pieces, timed in isolation.
+
+These are classic pytest-benchmark measurements (multiple rounds) rather
+than table regenerations: dataset generation throughput, transformer
+embedding throughput, GBM training, and the full adapter transform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapter import EMAdapter, clear_adapter_cache
+from repro.data import load_dataset, split_dataset
+from repro.matching import DeepMatcherHybrid
+from repro.ml import GradientBoostingClassifier, RandomForestClassifier
+from repro.transformers import load_pretrained
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return load_dataset("S-IA", scale=0.08)
+
+
+def test_dataset_generation(benchmark):
+    """Generate a ~1k-pair benchmark dataset from scratch."""
+    counter = iter(range(10_000))
+
+    def generate():
+        return load_dataset("S-DA", scale=0.08, seed=next(counter))
+
+    dataset = benchmark.pedantic(generate, rounds=3, iterations=1)
+    assert len(dataset) > 500
+
+
+def test_embedding_throughput(benchmark, small_dataset):
+    """Embed 200 pair sequences with the ALBERT encoder."""
+    encoder = load_pretrained("albert")
+    texts = [
+        encoder.pair_text(
+            " ".join(p.text_of("left", a) for a in small_dataset.schema.attribute_names),
+            " ".join(p.text_of("right", a) for a in small_dataset.schema.attribute_names),
+        )
+        for p in list(small_dataset)[:200]
+    ]
+    out = benchmark.pedantic(
+        lambda: encoder.embed_sequences(texts), rounds=3, iterations=1
+    )
+    assert out.shape[0] == 200
+
+
+def test_adapter_transform(benchmark, small_dataset):
+    """Full hybrid+albert adapter transform of one dataset (uncached)."""
+    adapter = EMAdapter("hybrid", "albert", cache=False)
+
+    def transform():
+        clear_adapter_cache()
+        return adapter.transform(small_dataset)
+
+    out = benchmark.pedantic(transform, rounds=2, iterations=1)
+    assert out.shape == (len(small_dataset), adapter.embedder.output_dim)
+
+
+def test_gbm_training(benchmark):
+    """Train the default GBM on a 2k x 200 matrix."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(2000, 200))
+    y = (X[:, :3].sum(axis=1) > 0).astype(np.int64)
+
+    def fit():
+        return GradientBoostingClassifier(
+            n_estimators=100, max_depth=4, colsample=0.7, seed=0
+        ).fit(X, y)
+
+    model = benchmark.pedantic(fit, rounds=2, iterations=1)
+    assert model.n_trees_ >= 1
+
+
+def test_forest_training(benchmark):
+    """Train a 40-tree random forest on a 2k x 200 matrix."""
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(2000, 200))
+    y = (X[:, 0] > 0).astype(np.int64)
+
+    def fit():
+        return RandomForestClassifier(
+            n_estimators=40, max_depth=12, seed=0
+        ).fit(X, y)
+
+    benchmark.pedantic(fit, rounds=2, iterations=1)
+
+
+def test_deepmatcher_featurization(benchmark, small_dataset):
+    """DeepMatcher soft-alignment featurization of one dataset."""
+    matcher = DeepMatcherHybrid()
+    out = benchmark.pedantic(
+        lambda: matcher.featurize(small_dataset), rounds=2, iterations=1
+    )
+    assert out.shape[0] == len(small_dataset)

@@ -1,0 +1,31 @@
+"""Benchmark for Table 1 — benchmark statistics (registry + generation)."""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.experiments import run_table1
+
+
+def test_table1_registry(benchmark, output_dir):
+    """Render Table 1 from the registry (the paper's exact numbers)."""
+    text = benchmark(run_table1)
+    save_and_print(output_dir, "table1_registry", text)
+    assert "28707" in text and "18.63" in text
+
+
+def test_table1_generated(benchmark, output_dir, experiment_config):
+    """Generate every dataset at bench scale and measure its statistics."""
+    text = benchmark.pedantic(
+        lambda: run_table1(scale=experiment_config.scale, generate=True),
+        rounds=1,
+        iterations=1,
+    )
+    save_and_print(output_dir, "table1_generated", text)
+    # The generators must realise the registered match rates closely.
+    from repro.experiments.table1 import table1_rows
+
+    nominal = {r["dataset"]: r["match_percent"] for r in table1_rows()}
+    measured = table1_rows(scale=experiment_config.scale, generate=True)
+    for row in measured:
+        assert abs(row["match_percent"] - nominal[row["dataset"]]) < 2.0

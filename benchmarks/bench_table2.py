@@ -1,0 +1,35 @@
+"""Benchmark for Table 2 — raw AutoML systems vs DeepMatcher.
+
+Shape assertions (see DESIGN.md §4): raw AutoML trails DeepMatcher on
+most datasets, the three raw systems land in a similar average band, and
+AutoSklearn reports its full budget as training time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import save_and_print
+
+from repro.experiments import ExperimentRunner, run_table2
+from repro.experiments.table2 import table2_rows
+
+
+def test_table2(benchmark, output_dir, experiment_config):
+    runner = ExperimentRunner(experiment_config)
+    rows = benchmark.pedantic(
+        lambda: table2_rows(runner), rounds=1, iterations=1
+    )
+    text = run_table2(experiment_config)
+    save_and_print(output_dir, "table2", text)
+
+    dm = np.array([r["deepmatcher_f1"] for r in rows])
+    for system in ("autosklearn", "autogluon", "h2o"):
+        raw = np.array([r[f"{system}_f1"] for r in rows])
+        # DeepMatcher beats the raw system on a clear majority of datasets.
+        assert (dm > raw).mean() >= 0.75, system
+        # And by a wide margin on average.
+        assert dm.mean() - raw.mean() > 15.0, system
+
+    # AutoSklearn saturates its 1h budget on every dataset.
+    hours = [r["autosklearn_hours"] for r in rows]
+    assert all(abs(h - 1.0) < 1e-6 for h in hours)

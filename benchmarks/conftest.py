@@ -1,0 +1,40 @@
+"""Benchmark-suite configuration.
+
+The benches regenerate the paper's tables through
+:mod:`repro.experiments`; results land in ``benchmarks/output/`` and are
+also echoed to the terminal. Experiment evaluations are cached under
+``.repro_cache`` (keyed by scale / seed / calibration version), so a
+repeated run re-renders instantly and an interrupted run resumes.
+
+Scale and search effort are environment-controlled: ``REPRO_SCALE``
+(default 0.08) and ``REPRO_MAX_MODELS`` (default 8). Full paper scale is
+``REPRO_SCALE=1.0`` — expect hours.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def experiment_config():
+    from repro.experiments import ExperimentConfig
+
+    return ExperimentConfig()
+
+
+def save_and_print(output_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered table and echo it for the bench log."""
+    path = output_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,81 @@
+"""End-to-end entity resolution: raw tables -> blocking -> matching -> clusters.
+
+The benchmark datasets arrive pre-blocked; production ER starts from two
+raw tables. This example walks the whole pipeline:
+
+1. synthesize two overlapping restaurant tables;
+2. block with token blocking (and report pair completeness / reduction);
+3. label a training slice, train the EM pipeline;
+4. predict over all candidates and resolve clusters with connected
+   components.
+
+Run:  python examples/end_to_end_er.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.blocking import (
+    TokenBlocker,
+    blocking_quality,
+    cluster_matches,
+    make_candidate_dataset,
+)
+from repro.data.generators import RestaurantGenerator
+from repro.data.splits import split_dataset
+from repro.matching import EMPipeline
+
+
+def synthesize_tables(n_shared=120, n_only=60, seed=4):
+    generator = RestaurantGenerator()
+    rng = np.random.default_rng(seed)
+    left, right, truth = [], [], set()
+    for i in range(n_shared):
+        entity = generator.sample_entity(rng)
+        l_row, r_row = generator.render_pair(entity, rng)
+        left.append(l_row)
+        right.append(r_row)
+        truth.add((i, i))
+    for _ in range(n_only):
+        left.append(generator.sample_entity(rng))
+        right.append(generator.sample_entity(rng))
+    return generator.schema, left, right, truth
+
+
+def main() -> None:
+    schema, left, right, truth = synthesize_tables()
+    print(f"Tables: {len(left)} x {len(right)} rows, {len(truth)} true matches")
+
+    # --- Blocking -------------------------------------------------------
+    blocker = TokenBlocker(["name", "addr", "phone"], min_shared=1)
+    candidates = blocker.candidates(left, right)
+    quality = blocking_quality(candidates, truth, len(left), len(right))
+    print(
+        f"Blocking: {len(candidates)} candidates "
+        f"(completeness {quality['pair_completeness']:.2f}, "
+        f"reduction {quality['reduction_ratio']:.2f})"
+    )
+
+    # --- Matching -------------------------------------------------------
+    dataset = make_candidate_dataset(
+        schema, left, right, candidates, truth, name="restaurants"
+    )
+    splits = split_dataset(dataset)
+    pipeline = EMPipeline(automl="h2o", budget_hours=1.0, max_models=6)
+    pipeline.fit(splits.train, splits.valid)
+    print(f"Matcher test F1: {100 * pipeline.score(splits.test):.1f}")
+
+    # --- Clustering -----------------------------------------------------
+    predictions = pipeline.predict(dataset)
+    clusters = cluster_matches(candidates, predictions.tolist(), len(left))
+    print(f"Resolved {len(clusters)} entity clusters; examples:")
+    for cluster in clusters[:3]:
+        for side, idx in sorted(cluster):
+            row = left[idx] if side == "L" else right[idx]
+            print(f"  [{side}{idx}] {row['name']} | {row['addr']} | {row['phone']}")
+        print("  ---")
+
+
+if __name__ == "__main__":
+    main()

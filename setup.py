@@ -1,0 +1,4 @@
+"""Thin setup.py kept for offline editable installs (no wheel package)."""
+from setuptools import setup
+
+setup()

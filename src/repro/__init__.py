@@ -1,0 +1,42 @@
+"""repro — reproduction of "Automated Machine Learning for Entity
+Matching Tasks" (Paganelli et al., EDBT 2021).
+
+The package builds, from scratch on numpy/scipy:
+
+* the 12-dataset Magellan-style EM benchmark (:mod:`repro.data`);
+* simulated pre-trained transformer embedders (:mod:`repro.transformers`);
+* a classical ML zoo and three AutoML systems in the style of
+  AutoSklearn, AutoGluon and H2OAutoML (:mod:`repro.ml`,
+  :mod:`repro.automl`);
+* the paper's contribution, the **EM adapter** (:mod:`repro.adapter`);
+* the DeepMatcher (Hybrid) baseline and the end-to-end
+  :class:`~repro.matching.EMPipeline` (:mod:`repro.matching`);
+* an experiment harness regenerating every table of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.data import load_dataset, split_dataset
+    from repro.matching import EMPipeline
+
+    splits = split_dataset(load_dataset("S-DA", scale=0.1))
+    pipeline = EMPipeline(automl="autosklearn", budget_hours=1.0)
+    pipeline.fit(splits.train, splits.valid)
+    print("test F1:", pipeline.score(splits.test))
+"""
+
+from repro.adapter import EMAdapter
+from repro.data import DATASET_NAMES, load_dataset, split_dataset
+from repro.matching import DeepMatcherHybrid, EMPipeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DATASET_NAMES",
+    "DeepMatcherHybrid",
+    "EMAdapter",
+    "EMPipeline",
+    "__version__",
+    "load_dataset",
+    "split_dataset",
+]

@@ -1,0 +1,99 @@
+"""Data augmentation for class balance (the paper's future-work item 1).
+
+Section 6 of the paper proposes "introducing data augmentation techniques
+for creating more balanced training datasets for the AutoML systems".
+This module implements the two natural EM-preserving augmentations and an
+oversampler that combines them:
+
+* **pair swap** — a match stays a match when left and right entities are
+  exchanged (and so does a non-match);
+* **attribute shuffle** — token order within one attribute value carries
+  little identity information, so shuffling tokens of a random attribute
+  yields a new positive example from an existing one.
+
+``balance_dataset`` oversamples the minority (match) class with augmented
+copies until a target ratio is reached. The ablation benchmark
+``bench_ablations.py`` measures its effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import EMDataset, PairRecord
+
+__all__ = ["swap_pair", "shuffle_attribute", "balance_dataset"]
+
+
+def swap_pair(pair: PairRecord, new_id: int) -> PairRecord:
+    """The same candidate pair with sides exchanged (label-preserving)."""
+    return PairRecord(new_id, dict(pair.right), dict(pair.left), pair.label)
+
+
+def shuffle_attribute(
+    pair: PairRecord,
+    attribute: str,
+    rng: np.random.Generator,
+    new_id: int,
+    side: str = "right",
+) -> PairRecord:
+    """Shuffle the token order of one attribute value on one side."""
+    left = dict(pair.left)
+    right = dict(pair.right)
+    target = left if side == "left" else right
+    value = target.get(attribute)
+    if isinstance(value, str) and value:
+        tokens = value.split()
+        rng.shuffle(tokens)
+        target[attribute] = " ".join(tokens)
+    return PairRecord(new_id, left, right, pair.label)
+
+
+def balance_dataset(
+    dataset: EMDataset,
+    target_match_fraction: float = 0.4,
+    rng: np.random.Generator | None = None,
+) -> EMDataset:
+    """Oversample matches with augmented copies up to a target fraction.
+
+    Only the *training* split should be balanced; evaluation splits must
+    keep the natural imbalance, as the paper's F1 is measured on them.
+    """
+    if not 0.0 < target_match_fraction < 1.0:
+        raise ValueError(
+            f"target_match_fraction must be in (0, 1), got {target_match_fraction}"
+        )
+    rng = rng or np.random.default_rng(0)
+    positives = [p for p in dataset if p.label == 1]
+    n_total = len(dataset)
+    n_pos = len(positives)
+    if n_pos == 0 or n_pos / n_total >= target_match_fraction:
+        return dataset
+
+    # Solve (n_pos + k) / (n_total + k) = target for k.
+    k = int(
+        np.ceil(
+            (target_match_fraction * n_total - n_pos)
+            / (1.0 - target_match_fraction)
+        )
+    )
+    text_attrs = [a.name for a in dataset.schema.text_attributes()]
+    augmented: list[PairRecord] = list(dataset.pairs)
+    next_id = max(p.pair_id for p in dataset) + 1
+    for i in range(k):
+        source = positives[int(rng.integers(0, n_pos))]
+        if rng.random() < 0.5:
+            new_pair = swap_pair(source, next_id)
+        else:
+            attribute = text_attrs[int(rng.integers(0, len(text_attrs)))]
+            side = "left" if rng.random() < 0.5 else "right"
+            new_pair = shuffle_attribute(source, attribute, rng, next_id, side)
+        augmented.append(new_pair)
+        next_id += 1
+
+    return EMDataset(
+        dataset.name + "+balanced",
+        dataset.schema,
+        augmented,
+        dataset.dataset_type,
+    )

@@ -1,0 +1,76 @@
+"""The Combiner stage of the EM adapter.
+
+A combiner reduces the per-sequence embeddings of one record (one per
+tokenizer sequence) to a single feature vector. The paper's standard
+choice is the average (:class:`MeanCombiner`); :class:`ConcatCombiner` is
+the natural alternative for fixed-schema datasets and is exercised by the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import UnknownModelError
+
+__all__ = ["Combiner", "MeanCombiner", "ConcatCombiner", "make_combiner"]
+
+
+class Combiner(abc.ABC):
+    """Reduces a ``(n_sequences, dim)`` stack to one feature vector."""
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def combine(self, embeddings: np.ndarray) -> np.ndarray:
+        """Reduce one record's sequence embeddings to a single vector."""
+
+    def combine_dataset(self, per_sequence: list[np.ndarray]) -> np.ndarray:
+        """Combine a whole dataset at once.
+
+        ``per_sequence`` holds one ``(n_records, dim)`` matrix per
+        tokenizer sequence position; the result is ``(n_records, out_dim)``.
+        """
+        stacked = np.stack(per_sequence, axis=1)  # (records, sequences, dim)
+        return np.vstack(
+            [self.combine(stacked[i]) for i in range(stacked.shape[0])]
+        )
+
+
+class MeanCombiner(Combiner):
+    """Average of the sequence embeddings (the paper's standard)."""
+
+    name = "mean"
+
+    def combine(self, embeddings: np.ndarray) -> np.ndarray:
+        return embeddings.mean(axis=0)
+
+    def combine_dataset(self, per_sequence: list[np.ndarray]) -> np.ndarray:
+        return np.mean(per_sequence, axis=0)
+
+
+class ConcatCombiner(Combiner):
+    """Concatenation of the sequence embeddings (fixed-schema datasets)."""
+
+    name = "concat"
+
+    def combine(self, embeddings: np.ndarray) -> np.ndarray:
+        return embeddings.reshape(-1)
+
+    def combine_dataset(self, per_sequence: list[np.ndarray]) -> np.ndarray:
+        return np.hstack(per_sequence)
+
+
+_REGISTRY = {cls.name: cls for cls in (MeanCombiner, ConcatCombiner)}
+
+
+def make_combiner(name: str) -> Combiner:
+    """Instantiate a combiner by name (``mean`` or ``concat``)."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise UnknownModelError(
+            f"unknown combiner {name!r}; known: {', '.join(_REGISTRY)}"
+        ) from None

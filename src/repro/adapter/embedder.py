@@ -1,0 +1,158 @@
+"""The Embedder stage of the EM adapter.
+
+A :class:`TransformerEmbedder` turns pair sequences into fixed-size
+vectors with a frozen simulated pre-trained encoder
+(:mod:`repro.transformers`). Following the paper's Section 4, the
+embedding of a sequence is built from the hidden layers of the
+transformer; since our checkpoints are random-weight simulations
+(DESIGN.md §2), the readout is the *segment-comparison* form: the two
+entities' token spans are mean-pooled separately per selected layer and
+combined as ``[(p_L+p_R)/2, |p_L−p_R|, p_L⊙p_R, cos, dist]``. The
+comparison itself still happens inside the transformer (cross-segment
+attention aligns near-duplicate tokens); the readout is fixed and
+untrained, standing in for the learned pooler of a real checkpoint.
+
+``layers="first_last"`` (default) reads the embedding layer and the final
+hidden layer; ``layers="last"`` reads only the final one; ``layers=
+"last4"`` mirrors the paper's concatenation-of-last-four variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adapter.tokenizer import PairSequence
+from repro.exceptions import UnknownModelError
+from repro.transformers import PretrainedEncoder, load_pretrained
+
+__all__ = ["TransformerEmbedder"]
+
+_LAYER_MODES = ("first_last", "last", "last4")
+
+
+def _normalize_rows(v: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(v, axis=-1, keepdims=True)
+    return v / np.maximum(norms, 1e-9)
+
+
+class TransformerEmbedder:
+    """Embeds pair sequences with a frozen pre-trained architecture.
+
+    Parameters
+    ----------
+    architecture:
+        One of :data:`repro.transformers.EMBEDDER_NAMES`
+        (``bert``/``dbert``/``albert``/``roberta``/``xlnet``).
+    layers:
+        Which hidden layers feed the readout (see module docstring).
+    batch_size:
+        Sequences per encoder forward pass.
+    """
+
+    def __init__(
+        self,
+        architecture: str = "albert",
+        layers: str = "first_last",
+        batch_size: int = 256,
+    ) -> None:
+        if layers not in _LAYER_MODES:
+            raise UnknownModelError(
+                f"unknown layers mode {layers!r}; known: {_LAYER_MODES}"
+            )
+        self.architecture = architecture
+        self.layers = layers
+        self.batch_size = batch_size
+        self._encoder: PretrainedEncoder = load_pretrained(architecture)
+
+    @property
+    def name(self) -> str:
+        """Stable identifier used in cache keys and table headers."""
+        return f"{self.architecture}/{self.layers}"
+
+    @property
+    def output_dim(self) -> int:
+        """Feature size produced per pair sequence."""
+        per_layer = 3 * self._encoder.dim + 2
+        return per_layer * self._n_layers_read()
+
+    def _n_layers_read(self) -> int:
+        if self.layers == "last":
+            return 1
+        if self.layers == "first_last":
+            return 2
+        return min(4, self._encoder.spec.encoder.n_layers)
+
+    # ------------------------------------------------------------- embed
+
+    def embed_pairs(self, sequences: list[PairSequence]) -> np.ndarray:
+        """Embed ``(left, right)`` value couples, one vector per couple."""
+        encoder = self._encoder
+        texts = [encoder.pair_text(left, right) for left, right in sequences]
+        prepared = [encoder._sequence_matrix(text) for text in texts]
+        out = np.zeros((len(texts), self.output_dim))
+        order = np.argsort([len(m) for m, _s in prepared], kind="stable")
+        for start in range(0, len(order), self.batch_size):
+            batch_ids = order[start : start + self.batch_size]
+            batch = [prepared[i] for i in batch_ids]
+            max_len = max(len(m) for m, _s in batch)
+            padded = np.zeros((len(batch), max_len, encoder.dim))
+            mask = np.zeros((len(batch), max_len), dtype=bool)
+            segments = np.zeros((len(batch), max_len), dtype=np.int64)
+            for row, (matrix, seg) in enumerate(batch):
+                padded[row, : len(matrix)] = matrix
+                mask[row, : len(matrix)] = True
+                segments[row, : len(seg)] = seg
+            out[batch_ids] = self._readout(padded, mask, segments)
+        return out
+
+    def _selected_layers(
+        self, padded: np.ndarray, mask: np.ndarray, segments: np.ndarray
+    ) -> list[np.ndarray]:
+        if self.layers == "first_last":
+            hidden = self._encoder._encoder.encode(padded, mask, segments)
+            return [padded, hidden]
+        all_layers = self._encoder._encoder.encode_all_layers(
+            padded, mask, segments
+        )
+        if self.layers == "last":
+            return [all_layers[-1]]
+        return all_layers[-self._n_layers_read() :]
+
+    def _readout(
+        self, padded: np.ndarray, mask: np.ndarray, segments: np.ndarray
+    ) -> np.ndarray:
+        seg_left = mask & (segments == 0)
+        seg_right = mask & (segments == 1)
+        count_left = np.maximum(seg_left.sum(axis=1, keepdims=True), 1)
+        count_right = np.maximum(seg_right.sum(axis=1, keepdims=True), 1)
+
+        blocks: list[np.ndarray] = []
+        for hidden in self._selected_layers(padded, mask, segments):
+            pooled_left = _normalize_rows(
+                (hidden * seg_left[:, :, None]).sum(axis=1) / count_left
+            )
+            pooled_right = _normalize_rows(
+                (hidden * seg_right[:, :, None]).sum(axis=1) / count_right
+            )
+            cos = np.sum(pooled_left * pooled_right, axis=1, keepdims=True)
+            dist = np.linalg.norm(
+                pooled_left - pooled_right, axis=1, keepdims=True
+            )
+            blocks.append(
+                np.hstack(
+                    [
+                        (pooled_left + pooled_right) / 2.0,
+                        np.abs(pooled_left - pooled_right),
+                        pooled_left * pooled_right,
+                        cos,
+                        dist,
+                    ]
+                )
+            )
+        return np.hstack(blocks)
+
+    def __repr__(self) -> str:
+        return (
+            f"TransformerEmbedder(architecture={self.architecture!r}, "
+            f"layers={self.layers!r})"
+        )

@@ -1,0 +1,165 @@
+"""No-adapter featurizations (the Section 5.1 baseline inputs).
+
+The paper feeds each AutoML system the raw pair table:
+
+* **AutoSklearn** cannot consume categorical/text columns, so the paper
+  computes "the average Word2Vec embedding for each token of non-numeric
+  attributes ... and concatenated" — :class:`Word2VecFeaturizer`.
+* **AutoGluon / H2OAutoML** ingest the table with their own limited
+  native preprocessing (label/frequency encoding of categoricals, basic
+  text statistics, hashed bags of words) — :class:`NativeTabularFeaturizer`
+  models exactly that capability level.
+
+Both deliberately encode each entity *independently*: no component
+compares the left value with the right one. That information bottleneck —
+a tree model has to reverse-engineer "are these two 50-dimensional blocks
+the same string?" from axis-aligned splits — is precisely why raw AutoML
+underperforms on EM (Table 2) and what the EM adapter removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import stable_hash
+from repro.data.schema import AttributeKind, EMDataset
+from repro.exceptions import NotFittedError
+from repro.text.tokenization import BasicTokenizer
+from repro.text.word2vec import Word2Vec
+
+__all__ = ["Word2VecFeaturizer", "NativeTabularFeaturizer"]
+
+
+class Word2VecFeaturizer:
+    """Concatenated per-attribute average Word2Vec embeddings (+ numerics).
+
+    For each side and each non-numeric attribute, the average embedding of
+    its tokens (zeros when empty); numeric attributes pass through as-is
+    (NaN when missing). Matches the paper's AutoSklearn preprocessing.
+    """
+
+    def __init__(self, dim: int = 32, epochs: int = 2, seed: int = 0) -> None:
+        self.dim = dim
+        self.epochs = epochs
+        self.seed = seed
+        self._model: Word2Vec | None = None
+
+    def fit(self, dataset: EMDataset) -> "Word2VecFeaturizer":
+        """Train Word2Vec on the dataset's denormalized entity corpus."""
+        self._model = Word2Vec(
+            dim=self.dim, epochs=self.epochs, min_count=2, seed=self.seed
+        )
+        self._model.fit(dataset.corpus())
+        self._schema = dataset.schema
+        return self
+
+    def transform(self, dataset: EMDataset) -> np.ndarray:
+        """Feature matrix, one row per pair."""
+        if self._model is None:
+            raise NotFittedError("Word2VecFeaturizer must be fitted first")
+        rows = []
+        text_attrs = self._schema.text_attributes()
+        numeric_attrs = self._schema.numeric_attributes()
+        for pair in dataset:
+            parts: list[np.ndarray] = []
+            for side in ("left", "right"):
+                for attr in text_attrs:
+                    parts.append(
+                        self._model.embed_text(pair.text_of(side, attr.name))
+                    )
+                numerics = []
+                for attr in numeric_attrs:
+                    value = pair.value(side, attr.name)
+                    numerics.append(np.nan if value is None else float(value))
+                if numerics:
+                    parts.append(np.asarray(numerics))
+            rows.append(np.concatenate(parts))
+        return np.vstack(rows)
+
+    def fit_transform(self, dataset: EMDataset) -> np.ndarray:
+        return self.fit(dataset).transform(dataset)
+
+    @property
+    def output_dim(self) -> int:
+        """Feature count: 2 sides x (text_attrs x dim + numeric_attrs)."""
+        if self._model is None:
+            raise NotFittedError("Word2VecFeaturizer must be fitted first")
+        n_text = len(self._schema.text_attributes())
+        n_num = len(self._schema.numeric_attributes())
+        return 2 * (n_text * self.dim + n_num)
+
+
+class NativeTabularFeaturizer:
+    """The built-in preprocessing level of AutoGluon / H2O on raw tables.
+
+    Per side and attribute:
+
+    * numeric -> passthrough (NaN for missing);
+    * categorical -> frequency encoding + a stable label hash;
+    * text -> length, token count, digit fraction, plus a small hashed
+      bag-of-words (``text_hash_dim`` buckets).
+
+    No cross-side comparison features, faithfully reproducing what the
+    systems' default featurizers see in the paper's Section 5.1 runs.
+    """
+
+    def __init__(self, text_hash_dim: int = 16) -> None:
+        if text_hash_dim < 1:
+            raise ValueError(f"text_hash_dim must be >= 1, got {text_hash_dim}")
+        self.text_hash_dim = text_hash_dim
+        self._tokenizer = BasicTokenizer()
+
+    def fit(self, dataset: EMDataset) -> "NativeTabularFeaturizer":
+        """Learn per-attribute category frequencies from the dataset."""
+        self._schema = dataset.schema
+        self._frequencies: dict[tuple[str, str], dict[str, float]] = {}
+        n = max(1, len(dataset))
+        for side in ("left", "right"):
+            for attr in dataset.schema.attributes:
+                if attr.kind is not AttributeKind.CATEGORICAL:
+                    continue
+                counts: dict[str, int] = {}
+                for pair in dataset:
+                    value = pair.text_of(side, attr.name)
+                    counts[value] = counts.get(value, 0) + 1
+                self._frequencies[(side, attr.name)] = {
+                    value: count / n for value, count in counts.items()
+                }
+        return self
+
+    def transform(self, dataset: EMDataset) -> np.ndarray:
+        if not hasattr(self, "_schema"):
+            raise NotFittedError("NativeTabularFeaturizer must be fitted first")
+        rows = []
+        for pair in dataset:
+            row: list[float] = []
+            for side in ("left", "right"):
+                for attr in self._schema.attributes:
+                    row.extend(self._attribute_features(pair, side, attr))
+            rows.append(row)
+        return np.asarray(rows, dtype=np.float64)
+
+    def fit_transform(self, dataset: EMDataset) -> np.ndarray:
+        return self.fit(dataset).transform(dataset)
+
+    def _attribute_features(self, pair, side: str, attr) -> list[float]:
+        if attr.kind is AttributeKind.NUMERIC:
+            value = pair.value(side, attr.name)
+            return [np.nan if value is None else float(value)]
+        text = pair.text_of(side, attr.name)
+        if attr.kind is AttributeKind.CATEGORICAL:
+            freq = self._frequencies.get((side, attr.name), {}).get(text, 0.0)
+            label = (stable_hash("cat", attr.name, text) % 1000) / 1000.0
+            return [freq, label]
+        # TEXT: statistics + hashed bag of words.
+        tokens = self._tokenizer.tokenize(text)
+        digits = sum(ch.isdigit() for ch in text)
+        stats = [
+            float(len(text)),
+            float(len(tokens)),
+            digits / max(1, len(text)),
+        ]
+        bag = [0.0] * self.text_hash_dim
+        for token in tokens:
+            bag[stable_hash("bow", attr.name, token) % self.text_hash_dim] += 1.0
+        return stats + bag

@@ -1,0 +1,85 @@
+"""Local-embedding embedder (the paper's future-work item 2).
+
+Section 6 proposes improving the adapter "via 'local embeddings' ...
+generated taking into account the current dataset" instead of generic
+pre-trained ones. This embedder implements that idea: token vectors come
+from a Word2Vec model trained on the dataset's own corpus, and the
+segment-comparison readout of the transformer embedder is reused without
+a contextualization stage (local embeddings are static).
+
+It is drop-in compatible with :class:`~repro.adapter.pipeline.EMAdapter`
+(same ``embed_pairs`` / ``output_dim`` / ``name`` surface), so the
+ablation benchmarks can swap it against the five simulated checkpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adapter.tokenizer import PairSequence
+from repro.data.schema import EMDataset
+from repro.text.tokenization import BasicTokenizer
+from repro.text.word2vec import Word2Vec
+
+__all__ = ["LocalWord2VecEmbedder"]
+
+
+def _normalize_rows(v: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(v, axis=-1, keepdims=True)
+    return v / np.maximum(norms, 1e-9)
+
+
+class LocalWord2VecEmbedder:
+    """Pair embedder over dataset-local Word2Vec vectors."""
+
+    def __init__(self, model: Word2Vec, corpus_name: str = "local") -> None:
+        self._model = model
+        self._corpus_name = corpus_name
+        self._tokenizer = BasicTokenizer()
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: EMDataset, dim: int = 48, epochs: int = 2, seed: int = 0
+    ) -> "LocalWord2VecEmbedder":
+        """Train the local embeddings on a dataset's entity corpus."""
+        model = Word2Vec(dim=dim, epochs=epochs, min_count=2, seed=seed)
+        model.fit(dataset.corpus())
+        return cls(model, corpus_name=dataset.name)
+
+    @property
+    def name(self) -> str:
+        return f"local-w2v[{self._corpus_name}]"
+
+    @property
+    def output_dim(self) -> int:
+        # Same readout block as one transformer layer: mean / |diff| /
+        # product / cosine / distance.
+        return 3 * self._model.dim + 2
+
+    def _pool(self, text: str) -> np.ndarray:
+        tokens = self._tokenizer.tokenize(text)
+        if not tokens:
+            return np.zeros(self._model.dim)
+        vectors = np.stack([self._model.vector(t) for t in tokens])
+        return vectors.mean(axis=0)
+
+    def embed_pairs(self, sequences: list[PairSequence]) -> np.ndarray:
+        """Segment-comparison readout over local embeddings."""
+        out = np.zeros((len(sequences), self.output_dim))
+        for row, (left, right) in enumerate(sequences):
+            pooled_left = _normalize_rows(self._pool(left))
+            pooled_right = _normalize_rows(self._pool(right))
+            cos = float(pooled_left @ pooled_right)
+            dist = float(np.linalg.norm(pooled_left - pooled_right))
+            out[row] = np.concatenate(
+                [
+                    (pooled_left + pooled_right) / 2.0,
+                    np.abs(pooled_left - pooled_right),
+                    pooled_left * pooled_right,
+                    [cos, dist],
+                ]
+            )
+        return out
+
+    def __repr__(self) -> str:
+        return f"LocalWord2VecEmbedder(dim={self._model.dim})"

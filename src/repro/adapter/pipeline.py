@@ -1,0 +1,170 @@
+"""The EM adapter pipeline: Tokenizer -> Embedder -> Combiner.
+
+:class:`EMAdapter` is the component the paper introduces — it transforms
+an EM dataset (records describing *pairs* of entities) into a dense
+numeric matrix an off-the-shelf AutoML system can learn from.
+
+Because the experiment grid re-embeds the same dataset under many
+(tokenizer, embedder) combinations and across several tables, transformed
+matrices are memoized in a process-level cache keyed by dataset identity
+and adapter configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import os
+from pathlib import Path
+
+from repro.adapter.combiner import Combiner, MeanCombiner, make_combiner
+from repro.adapter.embedder import TransformerEmbedder
+from repro.adapter.tokenizer import PairTokenizer, make_tokenizer
+from repro.data.schema import EMDataset
+
+__all__ = ["EMAdapter", "clear_adapter_cache"]
+
+_CACHE: dict[tuple, np.ndarray] = {}
+
+
+def clear_adapter_cache() -> None:
+    """Drop all memoized adapter outputs (mostly for tests)."""
+    _CACHE.clear()
+
+
+def _disk_cache_dir() -> Path | None:
+    """Directory for persisted adapter matrices; shared across processes.
+
+    Enabled whenever the experiment result cache is (same env knob,
+    ``REPRO_CACHE_DIR``); disabled with ``REPRO_CACHE_DIR=off``.
+    """
+    raw = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    if raw.lower() in ("off", "none", ""):
+        return None
+    return Path(raw) / "adapter"
+
+
+class EMAdapter:
+    """Pipelines the three adapter components of the paper's Section 4.
+
+    Parameters
+    ----------
+    tokenizer:
+        A :class:`PairTokenizer` instance or mode name
+        (``"unstructured"`` / ``"attr"`` / ``"hybrid"``).
+    embedder:
+        A :class:`TransformerEmbedder` instance or architecture name
+        (``"bert"`` / ``"dbert"`` / ``"albert"`` / ``"roberta"`` /
+        ``"xlnet"``).
+    combiner:
+        A :class:`Combiner` instance or name (``"mean"`` / ``"concat"``).
+        The paper's standard is the mean.
+    cache:
+        Memoize transformed matrices per (dataset, adapter config).
+    """
+
+    def __init__(
+        self,
+        tokenizer: PairTokenizer | str = "hybrid",
+        embedder: TransformerEmbedder | str = "albert",
+        combiner: Combiner | str = "mean",
+        cache: bool = True,
+    ) -> None:
+        self.tokenizer = (
+            make_tokenizer(tokenizer) if isinstance(tokenizer, str) else tokenizer
+        )
+        self.embedder = (
+            TransformerEmbedder(embedder) if isinstance(embedder, str) else embedder
+        )
+        self.combiner = (
+            make_combiner(combiner) if isinstance(combiner, str) else combiner
+        )
+        self.cache = cache
+
+    @property
+    def name(self) -> str:
+        """Stable identifier, e.g. ``hybrid+albert/first_last+mean``."""
+        return (
+            f"{self.tokenizer.name}+{self.embedder.name}+{self.combiner.name}"
+        )
+
+    def output_dim(self, dataset: EMDataset) -> int:
+        """Feature count produced for ``dataset``."""
+        per_sequence = self.embedder.output_dim
+        if isinstance(self.combiner, MeanCombiner):
+            return per_sequence
+        return per_sequence * self.tokenizer.sequence_count(dataset.schema)
+
+    def transform(self, dataset: EMDataset) -> np.ndarray:
+        """Encode every pair of ``dataset`` into one feature row.
+
+        The adapter is stateless (frozen embedder, closed-form combiner),
+        so there is no ``fit``: train/valid/test splits are transformed
+        independently with identical results.
+        """
+        from repro.config import stable_hash
+
+        # The pair-id fingerprint keeps two different same-length subsets
+        # of one dataset (e.g. active-learning rounds) from colliding.
+        fingerprint = stable_hash(tuple(p.pair_id for p in dataset))
+        key = (
+            dataset.name,
+            len(dataset),
+            dataset.dataset_type,
+            fingerprint,
+            self.name,
+        )
+        if self.cache and key in _CACHE:
+            return _CACHE[key]
+        disk_dir = _disk_cache_dir() if self.cache else None
+        disk_path = None
+        if disk_dir is not None:
+            from repro.config import DATA_VERSION
+
+            file_name = (
+                f"v{DATA_VERSION}_" + "_".join(str(p) for p in key)
+            ).replace("/", "-") + ".npy"
+            disk_path = disk_dir / file_name
+            if disk_path.exists():
+                try:
+                    features = np.load(disk_path)
+                except (OSError, ValueError):
+                    features = None  # Half-written by a concurrent worker.
+                if features is not None:
+                    _CACHE[key] = features
+                    return features
+
+        n_sequences = self.tokenizer.sequence_count(dataset.schema)
+        # Embed position-by-position so each batch holds sequences of
+        # similar length (position i sequences share structure).
+        per_position: list[np.ndarray] = []
+        for position in range(n_sequences):
+            couples = [
+                self.tokenizer.sequences(pair, dataset.schema)[position]
+                for pair in dataset
+            ]
+            per_position.append(self.embedder.embed_pairs(couples))
+        features = self.combiner.combine_dataset(per_position)
+
+        if self.cache:
+            _CACHE[key] = features
+            if disk_path is not None:
+                import tempfile
+
+                disk_path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=disk_path.parent, suffix=".tmp"
+                )
+                os.close(fd)
+                np.save(tmp_name, features)
+                # np.save appends .npy when missing; normalise the name.
+                saved = tmp_name if tmp_name.endswith(".npy") else tmp_name + ".npy"
+                os.replace(saved, disk_path)
+        return features
+
+    def transform_splits(self, splits) -> tuple[np.ndarray, ...]:
+        """Transform a :class:`~repro.data.splits.DatasetSplits` triple."""
+        return tuple(self.transform(part) for part in splits)
+
+    def __repr__(self) -> str:
+        return f"EMAdapter({self.name})"

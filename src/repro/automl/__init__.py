@@ -1,0 +1,61 @@
+"""From-scratch AutoML systems in the style of the paper's three subjects.
+
+* :class:`AutoSklearnLike` — meta-learning warm start + Bayesian
+  optimization (random-forest surrogate, expected improvement) + greedy
+  ensemble selection.
+* :class:`AutoGluonLike` — k-fold bagging of a fixed model portfolio,
+  multi-layer stacking, weighted ensemble on top.
+* :class:`H2OAutoMLLike` — random search over the zoo + super-learner
+  stacking.
+
+All three share the :class:`AutoMLSystem` interface: ``fit(X, y,
+X_valid, y_valid)`` under a (simulated) time budget, then ``predict`` /
+``predict_proba``. The simulated clock (:mod:`repro.automl.resources`)
+replaces wall-clock training hours with a deterministic cost model so the
+paper's 1h/6h budget experiments reproduce in seconds (DESIGN.md §2).
+"""
+
+from repro.automl.autogluon_like import AutoGluonLike
+from repro.automl.autokeras_like import AutoKerasLike
+from repro.automl.autosklearn_like import AutoSklearnLike
+from repro.automl.base import AutoMLSystem, FitReport, LeaderboardEntry
+from repro.automl.h2o_like import H2OAutoMLLike
+from repro.automl.resources import SimulatedClock, TimeBudget
+
+__all__ = [
+    "AutoGluonLike",
+    "AutoKerasLike",
+    "AutoMLSystem",
+    "AutoSklearnLike",
+    "FitReport",
+    "H2OAutoMLLike",
+    "LeaderboardEntry",
+    "SimulatedClock",
+    "TimeBudget",
+    "make_automl",
+    "AUTOML_NAMES",
+]
+
+#: Registry keys for the three systems, in the paper's column order.
+AUTOML_NAMES: tuple[str, ...] = ("autosklearn", "autogluon", "h2o")
+
+
+def make_automl(name: str, **kwargs) -> AutoMLSystem:
+    """Instantiate an AutoML system by registry name."""
+    from repro.exceptions import UnknownModelError
+
+    factories = {
+        "autosklearn": AutoSklearnLike,
+        "autogluon": AutoGluonLike,
+        "h2o": H2OAutoMLLike,
+        # Extension beyond the paper's three subjects (see its related
+        # work): Auto-Keras-style neural architecture search.
+        "autokeras": AutoKerasLike,
+    }
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise UnknownModelError(
+            f"unknown AutoML system {name!r}; known: {', '.join(AUTOML_NAMES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,183 @@
+"""AutoGluon-style system: bagging + multi-layer stacking.
+
+AutoGluon-Tabular (Erickson et al. 2020) does not search hyper-parameters;
+it trains a fixed portfolio of model families with tuned presets, bags
+each via k-fold, stacks a second layer on the out-of-fold predictions
+(with feature passthrough), and tops everything with a weighted ensemble.
+This class reproduces that architecture on our zoo. Two GBM presets stand
+in for LightGBM and CatBoost (both gradient-boosted trees).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.automl.base import AutoMLSystem, LeaderboardEntry
+from repro.automl.resources import SimulatedClock
+from repro.automl.search_space import Configuration
+from repro.exceptions import BudgetExhaustedError
+from repro.ml.base import clone
+from repro.ml.ensemble import caruana_selection
+from repro.ml.metrics import f1_score
+from repro.ml.model_selection import StratifiedKFold
+
+__all__ = ["AutoGluonLike"]
+
+#: The fixed base-layer portfolio, in AutoGluon's training order.
+_PORTFOLIO: tuple[Configuration, ...] = (
+    Configuration("gbm", {  # "LightGBM" preset.
+        "n_estimators": 200, "learning_rate": 0.08, "max_depth": 6,
+        "min_samples_leaf": 5, "subsample": 0.9, "colsample": 0.9,
+    }),
+    Configuration("gbm", {  # "CatBoost" preset: slower + deeper.
+        "n_estimators": 300, "learning_rate": 0.05, "max_depth": 7,
+        "min_samples_leaf": 3, "subsample": 1.0, "colsample": 0.8,
+    }),
+    Configuration("random_forest", {
+        "n_estimators": 80, "max_depth": 18, "min_samples_leaf": 1,
+        "class_weight": "balanced",
+    }),
+    Configuration("extra_trees", {
+        "n_estimators": 80, "max_depth": 18, "min_samples_leaf": 1,
+        "class_weight": "balanced",
+    }),
+    Configuration("knn", {"n_neighbors": 9, "weights": "distance"}),
+    Configuration("logreg", {"C": 1.0, "class_weight": "balanced"}),
+)
+
+
+class AutoGluonLike(AutoMLSystem):
+    """Fixed portfolio, k-fold bagging, stacking, weighted ensemble."""
+
+    name = "autogluon"
+
+    def __init__(
+        self,
+        budget_hours: float = 1.0,
+        seed: int = 0,
+        max_models: int = 40,
+        n_bag_folds: int = 4,
+        use_stacking: bool = True,
+    ) -> None:
+        super().__init__(budget_hours=budget_hours, seed=seed, max_models=max_models)
+        self.n_bag_folds = n_bag_folds
+        self.use_stacking = use_stacking
+
+    # --------------------------------------------------------------- fit
+
+    def _search(self, X, y, X_valid, y_valid, clock: SimulatedClock) -> None:
+        self._bagged: list[_BaggedModel] = []
+        self._stackers: list[_BaggedModel] = []
+
+        base_oof: list[np.ndarray] = []
+        base_valid: list[np.ndarray] = []
+        for config in _PORTFOLIO:
+            bagged = self._fit_bagged(config, X, y, X_valid, y_valid, clock)
+            if bagged is None:
+                break
+            self._bagged.append(bagged)
+            base_oof.append(bagged.oof_proba)
+            base_valid.append(bagged.valid_proba)
+
+        if not self._bagged:
+            return
+        if not self.use_stacking or clock.remaining_hours <= 0:
+            return
+
+        # Layer 2: the same portfolio's boosted members, on OOF features
+        # concatenated with the original features (passthrough).
+        stack_X = np.hstack([np.column_stack(base_oof), X])
+        stack_valid = np.hstack([np.column_stack(base_valid), X_valid])
+        for config in _PORTFOLIO[:2]:
+            try:
+                bagged = self._fit_bagged(
+                    config, stack_X, y, stack_valid, y_valid, clock,
+                    family_label="stack",
+                )
+            except BudgetExhaustedError:
+                break
+            if bagged is None:
+                break
+            self._stackers.append(bagged)
+
+    def _fit_bagged(
+        self,
+        config: Configuration,
+        X: np.ndarray,
+        y: np.ndarray,
+        X_valid: np.ndarray,
+        y_valid: np.ndarray,
+        clock: SimulatedClock,
+        family_label: str | None = None,
+    ) -> "_BaggedModel | None":
+        """k-fold bag one configuration; None when budget stops us."""
+        if len(self._leaderboard) >= self.max_models:
+            return None
+        family = family_label or config.family
+        try:
+            hours = clock.charge_model(
+                family,
+                len(X),
+                X.shape[1],
+                complexity=config.complexity() * self.n_bag_folds,
+                label=f"bagged {config}",
+                force=not self._leaderboard,
+            )
+        except BudgetExhaustedError:
+            return None
+
+        folds = []
+        oof = np.zeros(len(y))
+        splitter = StratifiedKFold(n_splits=self.n_bag_folds, seed=self.seed)
+        for train_idx, test_idx in splitter.split(y):
+            model = config.build(seed=int(self._rng.integers(0, 2**31 - 1)))
+            model.fit(X[train_idx], y[train_idx])
+            oof[test_idx] = model.predict_proba(X[test_idx])[:, 1]
+            folds.append(model)
+        valid_proba = np.mean(
+            [m.predict_proba(X_valid)[:, 1] for m in folds], axis=0
+        )
+        bagged = _BaggedModel(config, folds, oof, valid_proba)
+        score = f1_score(y_valid, (valid_proba >= 0.5).astype(np.int64))
+        self._leaderboard.append(
+            LeaderboardEntry(config, bagged, score, valid_proba, hours)
+        )
+        return bagged
+
+    def _build_final(self, X, y, X_valid, y_valid, clock: SimulatedClock) -> None:
+        members = self._stackers if self._stackers else self._bagged
+        self._final_members = members
+        proba_matrix = np.column_stack([m.valid_proba for m in members])
+        self._weights = caruana_selection(proba_matrix, y_valid, n_rounds=10)
+        self._base_for_stack = self._bagged if self._stackers else []
+
+    def _ensemble_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._base_for_stack:
+            base_cols = [m.predict_proba(X) for m in self._base_for_stack]
+            X_in = np.hstack([np.column_stack(base_cols), X])
+        else:
+            X_in = X
+        total = np.zeros(len(X))
+        for weight, member in zip(self._weights, self._final_members):
+            if weight > 0:
+                total += weight * member.predict_proba(X_in)
+        return total
+
+
+class _BaggedModel:
+    """k fold-trained copies of one configuration, averaged at inference."""
+
+    def __init__(
+        self,
+        config: Configuration,
+        folds: list,
+        oof_proba: np.ndarray,
+        valid_proba: np.ndarray,
+    ) -> None:
+        self.config = config
+        self.folds = folds
+        self.oof_proba = oof_proba
+        self.valid_proba = valid_proba
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return np.mean([m.predict_proba(X)[:, 1] for m in self.folds], axis=0)

@@ -1,0 +1,150 @@
+"""Auto-Keras-style system: neural architecture search over MLPs.
+
+Auto-Keras (Jin et al., KDD 2019) applies Bayesian optimization to neural
+architecture search. The paper lists it among the AutoML systems but does
+not evaluate it; this class completes the family as an extension: a GP-
+guided search over the architecture space of our manual-gradient MLP
+(width, depth via second-layer width, learning rate, dropout), with the
+best architecture retrained and soft-ensembled over the top finalists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.automl.base import AutoMLSystem, LeaderboardEntry
+from repro.automl.bayesian import GaussianProcessSurrogate, expected_improvement
+from repro.automl.resources import SimulatedClock
+from repro.automl.search_space import Configuration
+from repro.exceptions import BudgetExhaustedError
+from repro.ml.metrics import f1_score
+from repro.ml.preprocessing import SimpleImputer, StandardScaler
+from repro.nn.autograd import MLPClassifier
+
+__all__ = ["AutoKerasLike"]
+
+#: Architecture dimensions searched, each encoded to [0, 1] for the GP.
+_HIDDEN_CHOICES = (16, 32, 64, 128, 192)
+_LR_RANGE = (5e-4, 1e-2)
+_DROPOUT_RANGE = (0.0, 0.4)
+_EPOCH_CHOICES = (20, 40, 60)
+
+
+class _MLPPipeline:
+    """Impute + scale + MLP, with the estimator call surface."""
+
+    def __init__(self, params: dict[str, object], seed: int) -> None:
+        self._imputer = SimpleImputer()
+        self._scaler = StandardScaler()
+        self._mlp = MLPClassifier(
+            hidden=int(params["hidden"]),
+            epochs=int(params["epochs"]),
+            lr=float(params["lr"]),
+            dropout=float(params["dropout"]),
+            class_weighted=True,
+            seed=seed,
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "_MLPPipeline":
+        X = self._scaler.fit_transform(self._imputer.fit_transform(X))
+        self._mlp.fit(X, y.astype(np.float64))
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = self._scaler.transform(self._imputer.transform(X))
+        return self._mlp.predict_proba(X)
+
+
+class AutoKerasLike(AutoMLSystem):
+    """Bayesian NAS over MLP architectures (extension, not in Tables 2-5)."""
+
+    name = "autokeras"
+
+    def __init__(
+        self,
+        budget_hours: float | None = 1.0,
+        seed: int = 0,
+        max_models: int = 20,
+        ensemble_top_k: int = 3,
+    ) -> None:
+        super().__init__(budget_hours=budget_hours, seed=seed, max_models=max_models)
+        self.ensemble_top_k = ensemble_top_k
+
+    # ------------------------------------------------------------- search
+
+    def _sample_architecture(self) -> dict[str, object]:
+        rng = self._rng
+        return {
+            "hidden": int(rng.choice(_HIDDEN_CHOICES)),
+            "lr": float(
+                np.exp(rng.uniform(np.log(_LR_RANGE[0]), np.log(_LR_RANGE[1])))
+            ),
+            "dropout": float(rng.uniform(*_DROPOUT_RANGE)),
+            "epochs": int(rng.choice(_EPOCH_CHOICES)),
+        }
+
+    @staticmethod
+    def _encode(params: dict[str, object]) -> np.ndarray:
+        return np.array(
+            [
+                _HIDDEN_CHOICES.index(int(params["hidden"]))
+                / (len(_HIDDEN_CHOICES) - 1),
+                (np.log(float(params["lr"])) - np.log(_LR_RANGE[0]))
+                / (np.log(_LR_RANGE[1]) - np.log(_LR_RANGE[0])),
+                float(params["dropout"]) / _DROPOUT_RANGE[1],
+                _EPOCH_CHOICES.index(int(params["epochs"]))
+                / (len(_EPOCH_CHOICES) - 1),
+            ]
+        )
+
+    def _nas_cost_complexity(self, params: dict[str, object]) -> float:
+        return (
+            int(params["hidden"]) / 64.0 * int(params["epochs"]) / 40.0
+        )
+
+    def _search(self, X, y, X_valid, y_valid, clock: SimulatedClock) -> None:
+        observations: list[tuple[np.ndarray, float]] = []
+        while True:  # Stops via BudgetExhaustedError / max_models.
+            if len(observations) < 4:
+                params = self._sample_architecture()
+            else:
+                surrogate = GaussianProcessSurrogate().fit(
+                    np.vstack([v for v, _s in observations]),
+                    np.array([s for _v, s in observations]),
+                )
+                pool = [self._sample_architecture() for _ in range(32)]
+                encoded = np.vstack([self._encode(p) for p in pool])
+                mean, std = surrogate.predict(encoded)
+                best = max(s for _v, s in observations)
+                ei = expected_improvement(mean, std, best)
+                params = pool[int(np.argmax(ei))]
+
+            if len(self._leaderboard) >= self.max_models:
+                raise BudgetExhaustedError(f"{self.name}: max_models reached")
+            hours = clock.charge_model(
+                "stack",  # NAS training cost ~ a stacker fit per candidate.
+                len(X),
+                X.shape[1],
+                complexity=self._nas_cost_complexity(params),
+                label=f"mlp {params}",
+                force=not self._leaderboard,
+            )
+            model = _MLPPipeline(params, seed=int(self._rng.integers(0, 2**31)))
+            model.fit(X, y)
+            proba = model.predict_proba(X_valid)[:, 1]
+            score = f1_score(y_valid, (proba >= 0.5).astype(np.int64))
+            config = Configuration("mlp", dict(params))
+            self._leaderboard.append(
+                LeaderboardEntry(config, model, score, proba, hours)
+            )
+            observations.append((self._encode(params), score))
+
+    def _build_final(self, X, y, X_valid, y_valid, clock: SimulatedClock) -> None:
+        ranked = sorted(self._leaderboard, key=lambda e: -e.valid_f1)
+        self._finalists = ranked[: self.ensemble_top_k]
+
+    def _ensemble_proba(self, X: np.ndarray) -> np.ndarray:
+        total = np.zeros(len(X))
+        for entry in self._finalists:
+            total += entry.model.predict_proba(X)[:, 1]
+        return total / len(self._finalists)

@@ -1,0 +1,81 @@
+"""AutoSklearn-style system: meta-learning + SMBO + ensemble selection."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.automl.base import AutoMLSystem
+from repro.automl.bayesian import SMBOProposer
+from repro.automl.meta_learning import MetaFeatures, warm_start_portfolio
+from repro.automl.resources import SimulatedClock
+from repro.exceptions import BudgetExhaustedError
+from repro.ml.ensemble import caruana_selection
+
+__all__ = ["AutoSklearnLike"]
+
+
+class AutoSklearnLike(AutoMLSystem):
+    """Meta-learned warm start, Bayesian optimization, Caruana ensemble.
+
+    Mirrors AutoSklearn's three mechanisms (Feurer et al. 2019):
+
+    1. a warm-start portfolio selected by dataset meta-features;
+    2. SMBO over the joint (family, hyper-parameter) space with a GP
+       surrogate per family and expected improvement;
+    3. greedy forward ensemble selection over all evaluated models,
+       weighted by validation F1.
+
+    Like the real system with its default ``time_left_for_this_task``, the
+    search always runs the budget to exhaustion — which is why Table 2
+    reports a flat 1.00 h training time for AutoSklearn.
+    """
+
+    name = "autosklearn"
+
+    def __init__(
+        self,
+        budget_hours: float = 1.0,
+        seed: int = 0,
+        max_models: int = 40,
+        ensemble_rounds: int = 15,
+    ) -> None:
+        super().__init__(budget_hours=budget_hours, seed=seed, max_models=max_models)
+        self.ensemble_rounds = ensemble_rounds
+
+    def _search(self, X, y, X_valid, y_valid, clock: SimulatedClock) -> None:
+        meta = MetaFeatures.of(X, y)
+        proposer = SMBOProposer(self._rng)
+
+        for config in warm_start_portfolio(meta):
+            entry = self._evaluate(config, X, y, X_valid, y_valid, clock)
+            proposer.observe(entry.config, entry.valid_f1)
+
+        while True:  # Until BudgetExhaustedError stops us.
+            config = proposer.propose()
+            entry = self._evaluate(config, X, y, X_valid, y_valid, clock)
+            proposer.observe(entry.config, entry.valid_f1)
+
+    def _build_final(self, X, y, X_valid, y_valid, clock: SimulatedClock) -> None:
+        proba_matrix = np.column_stack(
+            [entry.valid_proba for entry in self._leaderboard]
+        )
+        self._weights = caruana_selection(
+            proba_matrix, y_valid, n_rounds=self.ensemble_rounds
+        )
+        # AutoSklearn burns its entire wall-clock allocation regardless of
+        # convergence; emulate that so reported hours match the paper.
+        # (Meaningless for unbounded budgets.)
+        if not clock.budget.is_unbounded:
+            remaining = clock.remaining_hours
+            if remaining > 0:
+                try:
+                    clock.charge(remaining, "budget-exhausting search")
+                except BudgetExhaustedError:  # pragma: no cover - defensive
+                    pass
+
+    def _ensemble_proba(self, X: np.ndarray) -> np.ndarray:
+        total = np.zeros(len(X))
+        for weight, entry in zip(self._weights, self._leaderboard):
+            if weight > 0:
+                total += weight * entry.model.predict_proba(X)[:, 1]
+        return total

@@ -1,0 +1,112 @@
+"""H2OAutoML-style system: random search + super-learner stacking.
+
+H2O AutoML trains a fixed sequence of default models, then random-search
+grids over the strongest families, and finally two stacked ensembles
+("BestOfFamily" and "All"). It deliberately avoids Bayesian optimization.
+This class reproduces that recipe: defaults first, random search until
+the budget runs low, then a logistic super learner over out-of-fold
+predictions of the best model per family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.automl.base import AutoMLSystem
+from repro.automl.resources import SimulatedClock
+from repro.automl.search_space import (
+    FAMILY_SPACES,
+    default_configuration,
+    sample_configuration,
+)
+from repro.exceptions import BudgetExhaustedError
+from repro.ml.linear import LogisticRegression
+from repro.ml.metrics import f1_score
+from repro.ml.model_selection import StratifiedKFold
+
+__all__ = ["H2OAutoMLLike"]
+
+_DEFAULT_ORDER = ("gbm", "random_forest", "extra_trees", "logreg", "naive_bayes")
+_SEARCH_FAMILIES = ("gbm", "random_forest", "extra_trees", "logreg", "linear_svm")
+
+
+class H2OAutoMLLike(AutoMLSystem):
+    """Defaults, random grids, then a super-learner stacked ensemble."""
+
+    name = "h2o"
+
+    def __init__(
+        self,
+        budget_hours: float = 1.0,
+        seed: int = 0,
+        max_models: int = 40,
+        stack_reserve: float = 0.15,
+    ) -> None:
+        super().__init__(budget_hours=budget_hours, seed=seed, max_models=max_models)
+        self.stack_reserve = stack_reserve
+
+    def _search(self, X, y, X_valid, y_valid, clock: SimulatedClock) -> None:
+        for family in _DEFAULT_ORDER:
+            self._evaluate(
+                default_configuration(family), X, y, X_valid, y_valid, clock
+            )
+        # Random search with a slice of budget reserved for the stacker.
+        import math
+
+        budget = self._budget_value
+        reserve = 0.0 if math.isinf(budget) else budget * self.stack_reserve
+        while clock.remaining_hours > reserve:
+            config = sample_configuration(self._rng, families=_SEARCH_FAMILIES)
+            self._evaluate(config, X, y, X_valid, y_valid, clock)
+
+    def _build_final(self, X, y, X_valid, y_valid, clock: SimulatedClock) -> None:
+        # Best model of each family forms the super learner's base layer.
+        best_per_family: dict[str, int] = {}
+        for idx, entry in enumerate(self._leaderboard):
+            family = entry.config.family
+            if (
+                family not in best_per_family
+                or entry.valid_f1
+                > self._leaderboard[best_per_family[family]].valid_f1
+            ):
+                best_per_family[family] = idx
+        self._base_entries = [self._leaderboard[i] for i in best_per_family.values()]
+
+        if len(self._base_entries) < 2:
+            self._meta = None
+            return
+        try:
+            clock.charge_model(
+                "stack", len(X), len(self._base_entries), label="super learner"
+            )
+        except BudgetExhaustedError:
+            self._meta = None
+            return
+
+        oof_columns = []
+        splitter = StratifiedKFold(n_splits=4, seed=self.seed)
+        for entry in self._base_entries:
+            oof = np.zeros(len(y))
+            for train_idx, test_idx in splitter.split(y):
+                fold_model = entry.config.build(seed=self.seed)
+                fold_model.fit(X[train_idx], y[train_idx])
+                oof[test_idx] = fold_model.predict_proba(X[test_idx])[:, 1]
+            oof_columns.append(oof)
+        meta_X = np.column_stack(oof_columns)
+        self._meta = LogisticRegression(C=10.0)
+        self._meta.fit(meta_X, y)
+        # Keep the stack only if it actually helps on validation.
+        stacked_valid = self._meta.predict_proba(
+            np.column_stack([e.valid_proba for e in self._base_entries])
+        )[:, 1]
+        stacked_f1 = f1_score(y_valid, (stacked_valid >= 0.5).astype(np.int64))
+        best_single = max(e.valid_f1 for e in self._base_entries)
+        if stacked_f1 < best_single:
+            self._meta = None
+
+    def _ensemble_proba(self, X: np.ndarray) -> np.ndarray:
+        if getattr(self, "_meta", None) is None:
+            best = max(self._leaderboard, key=lambda e: e.valid_f1)
+            return best.model.predict_proba(X)[:, 1]
+        columns = [e.model.predict_proba(X)[:, 1] for e in self._base_entries]
+        return self._meta.predict_proba(np.column_stack(columns))[:, 1]

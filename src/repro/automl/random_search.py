@@ -1,0 +1,38 @@
+"""Random-search proposer (the H2O-style counterpart of SMBO).
+
+Kept as its own module so the two search strategies are interchangeable
+in experiments and ablations: both expose ``propose()``/``observe()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.automl.search_space import FAMILY_SPACES, Configuration
+
+__all__ = ["RandomSearchProposer"]
+
+
+class RandomSearchProposer:
+    """Uniform random proposals over (family, hyper-parameters).
+
+    ``observe`` is a no-op — random search ignores history — but the
+    method exists so random search and SMBO can be swapped in ablation
+    benchmarks without touching the loop.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        families: tuple[str, ...] | None = None,
+    ) -> None:
+        self.rng = rng
+        self.families = families if families is not None else tuple(FAMILY_SPACES)
+
+    def observe(self, config: Configuration, score: float) -> None:
+        """History is ignored by design."""
+
+    def propose(self) -> Configuration:
+        """Draw a uniform family, then a configuration from its space."""
+        family = self.families[int(self.rng.integers(0, len(self.families)))]
+        return FAMILY_SPACES[family].sample(self.rng)

@@ -1,0 +1,316 @@
+"""Hyper-parameter search space shared by the AutoML systems.
+
+Each model family declares a :class:`ConfigSpace`: named dimensions that
+are either categorical, integer-uniform, or log-uniform floats. A
+:class:`Configuration` (family + parameter dict) can be materialized into
+a fitted-ready estimator pipeline and priced for the simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SearchSpaceError
+from repro.ml.base import Estimator
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.forest import ExtraTreesClassifier, RandomForestClassifier
+from repro.ml.linear import LinearSVMClassifier, LogisticRegression
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.neighbors import KNeighborsClassifier
+from repro.ml.preprocessing import Pipeline, SimpleImputer, StandardScaler
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "Dimension",
+    "CategoricalDim",
+    "IntDim",
+    "FloatDim",
+    "ConfigSpace",
+    "Configuration",
+    "FAMILY_SPACES",
+    "sample_configuration",
+    "default_configuration",
+]
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """Base class of one hyper-parameter dimension."""
+
+    name: str
+
+    def sample(self, rng: np.random.Generator) -> object:  # pragma: no cover
+        raise NotImplementedError
+
+    def to_unit(self, value: object) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CategoricalDim(Dimension):
+    choices: tuple = ()
+
+    def sample(self, rng: np.random.Generator) -> object:
+        return self.choices[int(rng.integers(0, len(self.choices)))]
+
+    def to_unit(self, value: object) -> float:
+        try:
+            return self.choices.index(value) / max(1, len(self.choices) - 1)
+        except ValueError:
+            raise SearchSpaceError(
+                f"{value!r} not among choices of {self.name}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class IntDim(Dimension):
+    low: int = 0
+    high: int = 1
+    log: bool = False
+
+    def sample(self, rng: np.random.Generator) -> int:
+        if self.log:
+            value = np.exp(rng.uniform(np.log(self.low), np.log(self.high)))
+            return int(round(value))
+        return int(rng.integers(self.low, self.high + 1))
+
+    def to_unit(self, value: object) -> float:
+        v = float(value)  # type: ignore[arg-type]
+        if self.log:
+            return (np.log(v) - np.log(self.low)) / max(
+                1e-12, np.log(self.high) - np.log(self.low)
+            )
+        return (v - self.low) / max(1e-12, self.high - self.low)
+
+
+@dataclass(frozen=True)
+class FloatDim(Dimension):
+    low: float = 0.0
+    high: float = 1.0
+    log: bool = False
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.log:
+            return float(np.exp(rng.uniform(np.log(self.low), np.log(self.high))))
+        return float(rng.uniform(self.low, self.high))
+
+    def to_unit(self, value: object) -> float:
+        v = float(value)  # type: ignore[arg-type]
+        if self.log:
+            return (np.log(v) - np.log(self.low)) / max(
+                1e-12, np.log(self.high) - np.log(self.low)
+            )
+        return (v - self.low) / max(1e-12, self.high - self.low)
+
+
+@dataclass(frozen=True)
+class ConfigSpace:
+    """The searchable dimensions of one model family."""
+
+    family: str
+    dimensions: tuple[Dimension, ...]
+    defaults: dict[str, object] = field(default_factory=dict)
+
+    def sample(self, rng: np.random.Generator) -> "Configuration":
+        params = {dim.name: dim.sample(rng) for dim in self.dimensions}
+        return Configuration(self.family, params)
+
+    def default(self) -> "Configuration":
+        return Configuration(self.family, dict(self.defaults))
+
+    def to_unit_vector(self, config: "Configuration") -> np.ndarray:
+        """Encode a configuration for the surrogate model."""
+        return np.array(
+            [dim.to_unit(config.params[dim.name]) for dim in self.dimensions]
+        )
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One concrete candidate: model family + hyper-parameters."""
+
+    family: str
+    params: dict[str, object]
+
+    def build(self, seed: int = 0) -> Pipeline:
+        """Materialize the candidate as an imputing pipeline."""
+        model = _build_model(self.family, self.params, seed)
+        steps: list[tuple[str, object]] = [("impute", SimpleImputer())]
+        if self.family in ("logreg", "linear_svm", "knn", "naive_bayes"):
+            steps.append(("scale", StandardScaler()))
+        steps.append(("model", model))
+        return Pipeline(steps)
+
+    def complexity(self) -> float:
+        """Relative training cost vs the family default (for the clock)."""
+        if self.family == "gbm":
+            rounds = float(self.params.get("n_estimators", 200))
+            depth = float(self.params.get("max_depth", 5))
+            return (rounds / 200.0) * (depth / 5.0)
+        if self.family in ("random_forest", "extra_trees"):
+            return float(self.params.get("n_estimators", 100)) / 100.0
+        if self.family in ("logreg", "linear_svm"):
+            return float(self.params.get("max_iter", 200)) / 200.0
+        return 1.0
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.family}({inner})"
+
+
+def _build_model(family: str, params: dict[str, object], seed: int) -> Estimator:
+    p = dict(params)
+    if family == "logreg":
+        return LogisticRegression(
+            C=float(p.get("C", 1.0)),
+            class_weight=p.get("class_weight", "balanced"),  # type: ignore[arg-type]
+        )
+    if family == "linear_svm":
+        return LinearSVMClassifier(
+            C=float(p.get("C", 1.0)),
+            class_weight=p.get("class_weight", "balanced"),  # type: ignore[arg-type]
+        )
+    if family == "naive_bayes":
+        return GaussianNaiveBayes(var_smoothing=float(p.get("var_smoothing", 1e-9)))
+    if family == "knn":
+        return KNeighborsClassifier(
+            n_neighbors=int(p.get("n_neighbors", 5)),
+            weights=str(p.get("weights", "uniform")),
+        )
+    if family == "tree":
+        return DecisionTreeClassifier(
+            max_depth=int(p.get("max_depth", 12)),
+            min_samples_leaf=int(p.get("min_samples_leaf", 2)),
+            seed=seed,
+        )
+    if family == "random_forest":
+        return RandomForestClassifier(
+            n_estimators=int(p.get("n_estimators", 60)),
+            max_depth=int(p.get("max_depth", 16)),
+            min_samples_leaf=int(p.get("min_samples_leaf", 1)),
+            class_weight=p.get("class_weight", "balanced"),  # type: ignore[arg-type]
+            seed=seed,
+        )
+    if family == "extra_trees":
+        return ExtraTreesClassifier(
+            n_estimators=int(p.get("n_estimators", 60)),
+            max_depth=int(p.get("max_depth", 16)),
+            min_samples_leaf=int(p.get("min_samples_leaf", 1)),
+            class_weight=p.get("class_weight", "balanced"),  # type: ignore[arg-type]
+            seed=seed,
+        )
+    if family == "gbm":
+        return GradientBoostingClassifier(
+            n_estimators=int(p.get("n_estimators", 200)),
+            learning_rate=float(p.get("learning_rate", 0.1)),
+            max_depth=int(p.get("max_depth", 5)),
+            min_samples_leaf=int(p.get("min_samples_leaf", 5)),
+            subsample=float(p.get("subsample", 1.0)),
+            colsample=float(p.get("colsample", 1.0)),
+            seed=seed,
+        )
+    raise SearchSpaceError(f"unknown model family {family!r}")
+
+
+_CLASS_WEIGHT = CategoricalDim("class_weight", (None, "balanced"))
+
+FAMILY_SPACES: dict[str, ConfigSpace] = {
+    "logreg": ConfigSpace(
+        "logreg",
+        (FloatDim("C", 0.01, 100.0, log=True), _CLASS_WEIGHT),
+        defaults={"C": 1.0, "class_weight": "balanced"},
+    ),
+    "linear_svm": ConfigSpace(
+        "linear_svm",
+        (FloatDim("C", 0.01, 100.0, log=True), _CLASS_WEIGHT),
+        defaults={"C": 1.0, "class_weight": "balanced"},
+    ),
+    "naive_bayes": ConfigSpace(
+        "naive_bayes",
+        (FloatDim("var_smoothing", 1e-10, 1e-6, log=True),),
+        defaults={"var_smoothing": 1e-9},
+    ),
+    "knn": ConfigSpace(
+        "knn",
+        (
+            IntDim("n_neighbors", 3, 51, log=True),
+            CategoricalDim("weights", ("uniform", "distance")),
+        ),
+        defaults={"n_neighbors": 5, "weights": "distance"},
+    ),
+    "tree": ConfigSpace(
+        "tree",
+        (
+            IntDim("max_depth", 4, 24),
+            IntDim("min_samples_leaf", 1, 20, log=True),
+        ),
+        defaults={"max_depth": 12, "min_samples_leaf": 2},
+    ),
+    "random_forest": ConfigSpace(
+        "random_forest",
+        (
+            IntDim("n_estimators", 20, 120, log=True),
+            IntDim("max_depth", 6, 24),
+            IntDim("min_samples_leaf", 1, 10, log=True),
+            _CLASS_WEIGHT,
+        ),
+        defaults={
+            "n_estimators": 60,
+            "max_depth": 16,
+            "min_samples_leaf": 1,
+            "class_weight": "balanced",
+        },
+    ),
+    "extra_trees": ConfigSpace(
+        "extra_trees",
+        (
+            IntDim("n_estimators", 20, 120, log=True),
+            IntDim("max_depth", 6, 24),
+            IntDim("min_samples_leaf", 1, 10, log=True),
+            _CLASS_WEIGHT,
+        ),
+        defaults={
+            "n_estimators": 60,
+            "max_depth": 16,
+            "min_samples_leaf": 1,
+            "class_weight": "balanced",
+        },
+    ),
+    "gbm": ConfigSpace(
+        "gbm",
+        (
+            IntDim("n_estimators", 50, 400, log=True),
+            FloatDim("learning_rate", 0.02, 0.3, log=True),
+            IntDim("max_depth", 3, 8),
+            IntDim("min_samples_leaf", 2, 20, log=True),
+            FloatDim("subsample", 0.6, 1.0),
+            FloatDim("colsample", 0.5, 1.0),
+        ),
+        defaults={
+            "n_estimators": 200,
+            "learning_rate": 0.1,
+            "max_depth": 5,
+            "min_samples_leaf": 5,
+            "subsample": 1.0,
+            "colsample": 1.0,
+        },
+    ),
+}
+
+
+def sample_configuration(
+    rng: np.random.Generator, families: tuple[str, ...] | None = None
+) -> Configuration:
+    """Draw a uniform family, then a configuration from its space."""
+    pool = families if families is not None else tuple(FAMILY_SPACES)
+    family = pool[int(rng.integers(0, len(pool)))]
+    return FAMILY_SPACES[family].sample(rng)
+
+
+def default_configuration(family: str) -> Configuration:
+    """The family's default configuration."""
+    if family not in FAMILY_SPACES:
+        raise SearchSpaceError(f"unknown model family {family!r}")
+    return FAMILY_SPACES[family].default()

@@ -1,0 +1,153 @@
+"""Command-line interface: ``repro-em``.
+
+Subcommands::
+
+    repro-em table <1|2|3|4|5> [--scale S] [--datasets A,B] Render a table
+    repro-em datasets                                       List benchmarks
+    repro-em match --dataset S-DA [--automl autosklearn]    Run one pipeline
+
+Experiment results are cached under ``.repro_cache/`` (see
+``repro.experiments.config``), so repeated invocations are incremental.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.data.benchmark import DATASET_NAMES
+
+__all__ = ["main"]
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="dataset scale in (0, 1]; defaults to REPRO_SCALE or 0.08",
+    )
+    parser.add_argument(
+        "--datasets",
+        type=str,
+        default=None,
+        help="comma-separated dataset subset (default: all twelve)",
+    )
+
+
+def _config(args: argparse.Namespace):
+    from repro.experiments.config import ExperimentConfig
+
+    if args.scale is not None:
+        return ExperimentConfig(scale=args.scale)
+    return ExperimentConfig()
+
+
+def _datasets(args: argparse.Namespace) -> tuple[str, ...]:
+    if args.datasets is None:
+        return DATASET_NAMES
+    requested = tuple(name.strip() for name in args.datasets.split(","))
+    unknown = set(requested) - set(DATASET_NAMES)
+    if unknown:
+        raise SystemExit(f"unknown datasets: {', '.join(sorted(unknown))}")
+    return requested
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        run_table1,
+        run_table2,
+        run_table3,
+        run_table4,
+        run_table5,
+    )
+
+    config = _config(args)
+    datasets = _datasets(args)
+    if args.number == 1:
+        print(run_table1(scale=config.scale, generate=args.generate))
+    elif args.number == 2:
+        print(run_table2(config, datasets))
+    elif args.number == 3:
+        print(run_table3(config, datasets=datasets))
+    elif args.number == 4:
+        print(run_table4(config, datasets=datasets))
+    else:
+        print(run_table5(config, datasets=datasets))
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    from repro.experiments import run_table1
+
+    print(run_table1())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import build_report
+
+    print(build_report(_config(args)))
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    from repro.data import load_dataset, split_dataset
+    from repro.matching import EMPipeline, evaluate_matcher
+
+    config = _config(args)
+    splits = split_dataset(load_dataset(args.dataset, scale=config.scale))
+    pipeline = EMPipeline(
+        automl=args.automl,
+        budget_hours=args.budget,
+        seed=config.seed,
+        max_models=config.max_models,
+    )
+    result = evaluate_matcher(pipeline, splits, system_name=args.automl)
+    print(result)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``repro-em`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-em",
+        description="AutoML-for-Entity-Matching reproduction (EDBT 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
+    p_table.add_argument(
+        "--generate",
+        action="store_true",
+        help="table 1 only: measure generated data instead of the registry",
+    )
+    _add_scale(p_table)
+    p_table.set_defaults(func=_cmd_table)
+
+    p_list = sub.add_parser("datasets", help="list the benchmark datasets")
+    p_list.set_defaults(func=_cmd_datasets)
+
+    p_report = sub.add_parser(
+        "report", help="summarize cached experiment results as markdown"
+    )
+    _add_scale(p_report)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_match = sub.add_parser("match", help="run one EM pipeline end to end")
+    p_match.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    p_match.add_argument(
+        "--automl", default="autosklearn",
+        choices=("autosklearn", "autogluon", "h2o"),
+    )
+    p_match.add_argument("--budget", type=float, default=1.0)
+    _add_scale(p_match)
+    p_match.set_defaults(func=_cmd_match)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

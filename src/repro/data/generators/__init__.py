@@ -1,0 +1,31 @@
+"""Synthetic domain generators for the Magellan-style benchmarks."""
+
+from repro.data.generators.base import (
+    DomainGenerator,
+    PerturbationConfig,
+    Perturber,
+    generate_pairs,
+)
+from repro.data.generators.beer import BeerGenerator
+from repro.data.generators.bibliographic import BibliographicGenerator
+from repro.data.generators.music import MusicGenerator
+from repro.data.generators.products import (
+    RetailProductGenerator,
+    SoftwareProductGenerator,
+)
+from repro.data.generators.restaurants import RestaurantGenerator
+from repro.data.generators.textual import TextualProductGenerator
+
+__all__ = [
+    "BeerGenerator",
+    "BibliographicGenerator",
+    "DomainGenerator",
+    "MusicGenerator",
+    "PerturbationConfig",
+    "Perturber",
+    "RestaurantGenerator",
+    "RetailProductGenerator",
+    "SoftwareProductGenerator",
+    "TextualProductGenerator",
+    "generate_pairs",
+]

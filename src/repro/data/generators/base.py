@@ -1,0 +1,342 @@
+"""Core machinery of the synthetic benchmark generators.
+
+Three pieces live here:
+
+* :class:`Perturber` — string/value corruption used to turn a clean ground
+  truth entity into the two differently-formatted descriptions a match pair
+  consists of (typos, token drops, abbreviations, missing values, numeric
+  jitter). Perturbation intensity is the main difficulty knob that lets
+  each benchmark dataset reproduce the relative hardness ordering of the
+  paper's Table 2.
+* :class:`DomainGenerator` — abstract base of the six per-domain entity
+  generators (bibliographic, product, restaurant, music, beer, textual).
+  A domain knows its schema, how to sample a fresh entity, and how to
+  derive a *sibling*: a semantically different entity that shares surface
+  tokens with another one — the source of hard non-match pairs, standing in
+  for the blocking step that produced the Magellan candidate sets.
+* :func:`generate_pairs` — assembles an :class:`~repro.data.schema.EMDataset`
+  with a requested size and match rate from a domain generator.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.data.schema import AttributeKind, EMDataset, PairRecord, Schema
+from repro.exceptions import DataError
+
+__all__ = ["PerturbationConfig", "Perturber", "DomainGenerator", "generate_pairs"]
+
+_KEYBOARD_NEIGHBORS = {
+    "a": "sqz", "b": "vn", "c": "xv", "d": "sf", "e": "wr", "f": "dg",
+    "g": "fh", "h": "gj", "i": "uo", "j": "hk", "k": "jl", "l": "k",
+    "m": "n", "n": "bm", "o": "ip", "p": "o", "q": "wa", "r": "et",
+    "s": "ad", "t": "ry", "u": "yi", "v": "cb", "w": "qe", "x": "zc",
+    "y": "tu", "z": "ax",
+}
+
+
+@dataclass(frozen=True)
+class PerturbationConfig:
+    """Per-dataset corruption intensities, all probabilities in [0, 1].
+
+    ``typo_rate`` and friends apply per token; ``missing_rate`` applies per
+    attribute value; ``numeric_jitter`` is a relative noise amplitude for
+    numeric attributes.
+    """
+
+    typo_rate: float = 0.02
+    token_drop_rate: float = 0.05
+    token_swap_rate: float = 0.02
+    abbreviation_rate: float = 0.02
+    extra_token_rate: float = 0.02
+    missing_rate: float = 0.03
+    numeric_jitter: float = 0.0
+    numeric_missing_rate: float = 0.05
+
+    def scaled(self, factor: float) -> "PerturbationConfig":
+        """A copy with every rate multiplied by ``factor`` (clamped to 1)."""
+        def clamp(x: float) -> float:
+            return min(1.0, max(0.0, x * factor))
+
+        return replace(
+            self,
+            typo_rate=clamp(self.typo_rate),
+            token_drop_rate=clamp(self.token_drop_rate),
+            token_swap_rate=clamp(self.token_swap_rate),
+            abbreviation_rate=clamp(self.abbreviation_rate),
+            extra_token_rate=clamp(self.extra_token_rate),
+            missing_rate=clamp(self.missing_rate),
+            numeric_jitter=self.numeric_jitter * factor,
+            numeric_missing_rate=clamp(self.numeric_missing_rate),
+        )
+
+
+class Perturber:
+    """Applies a :class:`PerturbationConfig` to entity values."""
+
+    def __init__(self, config: PerturbationConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self.rng = rng
+
+    # ------------------------------------------------------------- strings
+
+    def perturb_text(self, text: str, noise_words: tuple[str, ...] = ()) -> str:
+        """Corrupt one text value token-wise per the config."""
+        cfg = self.config
+        if text and self.rng.random() < cfg.missing_rate:
+            return ""
+        tokens = text.split()
+        if not tokens:
+            return text
+
+        kept: list[str] = []
+        for token in tokens:
+            roll = self.rng.random()
+            if len(tokens) > 1 and roll < cfg.token_drop_rate:
+                continue
+            if roll < cfg.token_drop_rate + cfg.abbreviation_rate and len(token) > 3:
+                kept.append(token[0] + ".")
+                continue
+            if self.rng.random() < cfg.typo_rate:
+                token = self._typo(token)
+            kept.append(token)
+        if not kept:
+            kept = [tokens[0]]
+
+        if len(kept) > 2 and self.rng.random() < cfg.token_swap_rate:
+            i = int(self.rng.integers(0, len(kept) - 1))
+            kept[i], kept[i + 1] = kept[i + 1], kept[i]
+        if noise_words and self.rng.random() < cfg.extra_token_rate:
+            kept.append(str(self.rng.choice(noise_words)))
+        return " ".join(kept)
+
+    def _typo(self, token: str) -> str:
+        if len(token) < 2:
+            return token
+        pos = int(self.rng.integers(0, len(token)))
+        kind = int(self.rng.integers(0, 4))
+        ch = token[pos]
+        if kind == 0:  # substitution with keyboard neighbour
+            options = _KEYBOARD_NEIGHBORS.get(ch.lower(), "")
+            if options:
+                ch = str(self.rng.choice(list(options)))
+            return token[:pos] + ch + token[pos + 1 :]
+        if kind == 1:  # deletion
+            return token[:pos] + token[pos + 1 :]
+        if kind == 2:  # duplication
+            return token[:pos] + ch + token[pos:]
+        # transposition
+        if pos == len(token) - 1:
+            pos -= 1
+        return (
+            token[:pos] + token[pos + 1] + token[pos] + token[pos + 2 :]
+        )
+
+    # ------------------------------------------------------------ numerics
+
+    def perturb_numeric(self, value: float | None) -> float | None:
+        """Jitter or drop one numeric value per the config."""
+        cfg = self.config
+        if value is None:
+            return None
+        if self.rng.random() < cfg.numeric_missing_rate:
+            return None
+        if cfg.numeric_jitter > 0 and self.rng.random() < 0.5:
+            value = value * float(
+                1.0 + self.rng.normal(0.0, cfg.numeric_jitter)
+            )
+            value = round(value, 2)
+        return value
+
+    # ------------------------------------------------------------ entities
+
+    def perturb_entity(
+        self,
+        entity: dict[str, object],
+        schema: Schema,
+        noise_words: tuple[str, ...] = (),
+    ) -> dict[str, object]:
+        """Corrupt every attribute of an entity copy per the config."""
+        result: dict[str, object] = {}
+        for attr in schema.attributes:
+            value = entity[attr.name]
+            if attr.kind is AttributeKind.NUMERIC:
+                result[attr.name] = self.perturb_numeric(
+                    None if value is None else float(value)  # type: ignore[arg-type]
+                )
+            else:
+                result[attr.name] = self.perturb_text(str(value), noise_words)
+        return result
+
+
+class DomainGenerator(abc.ABC):
+    """One synthetic domain: schema + entity sampling + sibling derivation.
+
+    Subclasses configure ``schema`` and the two per-side perturbation
+    configs: ``left_noise`` models the formatting of source table A (clean
+    by convention), ``right_noise`` the formatting of source B (where most
+    corruption lives, as in the real web-extracted Magellan sources).
+    """
+
+    #: Dataset-level schema (shared by both sides of every pair).
+    schema: Schema
+    #: Perturbation applied to the left copy of a matching entity.
+    left_noise: PerturbationConfig = PerturbationConfig().scaled(0.3)
+    #: Perturbation applied to the right copy of a matching entity.
+    right_noise: PerturbationConfig = PerturbationConfig()
+    #: Words occasionally appended as noise tokens.
+    noise_words: tuple[str, ...] = ()
+
+    @abc.abstractmethod
+    def sample_entity(self, rng: np.random.Generator) -> dict[str, object]:
+        """Draw one fresh, clean ground-truth entity."""
+
+    def make_sibling(
+        self, entity: dict[str, object], rng: np.random.Generator
+    ) -> dict[str, object]:
+        """Derive a *different* entity sharing surface tokens with ``entity``.
+
+        The default implementation re-samples a fresh entity and copies a
+        random non-identifying attribute over, which guarantees token
+        overlap; domains override this with sharper semantics (same product
+        line / same artist / same street).
+        """
+        sibling = self.sample_entity(rng)
+        names = [a.name for a in self.schema.attributes]
+        shared = str(rng.choice(names[1:])) if len(names) > 1 else names[0]
+        sibling[shared] = entity[shared]
+        return sibling
+
+    def render_pair(
+        self,
+        entity: dict[str, object],
+        rng: np.random.Generator,
+        match_noise_scale: float = 1.0,
+    ) -> tuple[dict[str, object], dict[str, object]]:
+        """Render the two descriptions of one ground-truth entity."""
+        left = Perturber(self.left_noise, rng).perturb_entity(
+            entity, self.schema, self.noise_words
+        )
+        right_cfg = self.right_noise.scaled(match_noise_scale)
+        right = Perturber(right_cfg, rng).perturb_entity(
+            entity, self.schema, self.noise_words
+        )
+        return left, right
+
+
+def generate_pairs(
+    domain: DomainGenerator,
+    size: int,
+    match_fraction: float,
+    rng: np.random.Generator,
+    hard_negative_fraction: float = 0.5,
+    match_noise_scale: float = 1.0,
+    name: str = "synthetic",
+    dataset_type: str = "Structured",
+) -> EMDataset:
+    """Generate a labelled candidate-pair dataset from a domain.
+
+    Parameters
+    ----------
+    domain:
+        The domain generator supplying entities.
+    size:
+        Total number of candidate pairs.
+    match_fraction:
+        Fraction of pairs labelled 1 (Table 1 '% Match').
+    rng:
+        Source of randomness; pass a seeded generator for determinism.
+    hard_negative_fraction:
+        Among non-matches, the fraction built from sibling entities (token
+        overlap without identity) instead of independent entities. Higher
+        values emulate tighter blocking and make the dataset harder.
+    match_noise_scale:
+        Multiplier on the right-side perturbation of matching pairs; the
+        main per-dataset difficulty knob.
+    name, dataset_type:
+        Metadata forwarded to the :class:`EMDataset`.
+    """
+    if size <= 0:
+        raise DataError(f"size must be positive, got {size}")
+    if not 0.0 < match_fraction < 1.0:
+        raise DataError(f"match_fraction must be in (0, 1), got {match_fraction}")
+
+    n_match = max(1, int(round(size * match_fraction)))
+    n_nonmatch = size - n_match
+    n_hard = int(round(n_nonmatch * hard_negative_fraction))
+    n_easy = n_nonmatch - n_hard
+
+    pairs: list[PairRecord] = []
+    pair_id = 0
+
+    for _ in range(n_match):
+        entity = domain.sample_entity(rng)
+        left, right = domain.render_pair(entity, rng, match_noise_scale)
+        pairs.append(PairRecord(pair_id, left, right, 1))
+        pair_id += 1
+
+    for _ in range(n_hard):
+        entity = domain.sample_entity(rng)
+        sibling = domain.make_sibling(entity, rng)
+        left, _ = domain.render_pair(entity, rng, match_noise_scale)
+        _, right = domain.render_pair(sibling, rng, match_noise_scale)
+        pairs.append(PairRecord(pair_id, left, right, 0))
+        pair_id += 1
+
+    for _ in range(n_easy):
+        entity_a = domain.sample_entity(rng)
+        entity_b = domain.sample_entity(rng)
+        left, _ = domain.render_pair(entity_a, rng, match_noise_scale)
+        _, right = domain.render_pair(entity_b, rng, match_noise_scale)
+        pairs.append(PairRecord(pair_id, left, right, 0))
+        pair_id += 1
+
+    # Shuffle so labels are not ordered, then re-number pair ids.
+    order = rng.permutation(len(pairs))
+    shuffled = [
+        PairRecord(i, pairs[j].left, pairs[j].right, pairs[j].label)
+        for i, j in enumerate(order.tolist())
+    ]
+    return EMDataset(name, domain.schema, shuffled, dataset_type)
+
+
+def sample_words(
+    pool: tuple[str, ...],
+    count: int,
+    rng: np.random.Generator,
+    zipf_exponent: float = 1.1,
+) -> list[str]:
+    """Sample ``count`` distinct-ish words with a Zipfian skew.
+
+    A mild Zipf distribution makes common words collide across entities the
+    way real titles do, which is what makes hard negatives hard.
+    """
+    if count <= 0:
+        return []
+    ranks = np.arange(1, len(pool) + 1, dtype=float)
+    weights = ranks**-zipf_exponent
+    weights /= weights.sum()
+    indices = rng.choice(len(pool), size=count, replace=True, p=weights)
+    # Deduplicate preserving order; top up with uniform draws if needed.
+    seen: list[str] = []
+    for idx in indices:
+        word = pool[int(idx)]
+        if word not in seen:
+            seen.append(word)
+    while len(seen) < min(count, len(pool)):
+        word = pool[int(rng.integers(0, len(pool)))]
+        if word not in seen:
+            seen.append(word)
+    return seen[:count]
+
+
+def format_price(value: float) -> str:
+    """Render a price the way product feeds do (two decimals)."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return ""
+    return f"{value:.2f}"

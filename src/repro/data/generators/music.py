@@ -1,0 +1,120 @@
+"""Music domain generator (iTunes-Amazon style).
+
+Backs S-IA and D-IA — small datasets (539 pairs) of song listings. Hard
+negatives are other tracks of the same album or remixes/live versions of
+the same song, which is exactly what the blocked iTunes-Amazon candidate
+set contains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generators import wordlists
+from repro.data.generators.base import DomainGenerator, PerturbationConfig
+from repro.data.schema import AttributeKind, Schema
+
+__all__ = ["MusicGenerator"]
+
+_VERSION_TAGS = (
+    "remix", "live", "acoustic", "radio edit", "extended mix",
+    "instrumental", "remastered", "deluxe version", "album version",
+    "single version", "feat. special guest", "karaoke version",
+)
+
+
+class MusicGenerator(DomainGenerator):
+    """Synthetic song listings with iTunes/Amazon formatting quirks."""
+
+    schema = Schema.of(
+        "song",
+        ("song_name", AttributeKind.TEXT),
+        ("artist_name", AttributeKind.TEXT),
+        ("album_name", AttributeKind.TEXT),
+        ("genre", AttributeKind.CATEGORICAL),
+        ("time", AttributeKind.TEXT),
+        ("price", AttributeKind.NUMERIC),
+        ("released", AttributeKind.TEXT),
+    )
+    noise_words = wordlists.SONG_WORDS
+    left_noise = PerturbationConfig().scaled(0.2)
+    right_noise = PerturbationConfig(
+        typo_rate=0.02,
+        token_drop_rate=0.05,
+        token_swap_rate=0.02,
+        abbreviation_rate=0.02,
+        extra_token_rate=0.06,
+        missing_rate=0.05,
+        numeric_jitter=0.05,
+        numeric_missing_rate=0.15,
+    )
+
+    def sample_entity(self, rng: np.random.Generator) -> dict[str, object]:
+        n_song = int(rng.integers(1, 5))
+        song = " ".join(
+            str(rng.choice(wordlists.SONG_WORDS)) for _ in range(n_song)
+        )
+        artist = (
+            f"{rng.choice(wordlists.FIRST_NAMES)} "
+            f"{rng.choice(wordlists.LAST_NAMES)}"
+        )
+        n_album = int(rng.integers(1, 4))
+        album = " ".join(
+            str(rng.choice(wordlists.SONG_WORDS)) for _ in range(n_album)
+        )
+        genre = str(rng.choice(wordlists.GENRES))
+        minutes = int(rng.integers(2, 7))
+        seconds = int(rng.integers(0, 60))
+        price = float(rng.choice([0.99, 1.29, 1.99]))
+        year = int(rng.integers(1985, 2021))
+        month = int(rng.integers(1, 13))
+        day = int(rng.integers(1, 29))
+        return {
+            "song_name": song,
+            "artist_name": artist,
+            "album_name": album,
+            "genre": genre,
+            "time": f"{minutes}:{seconds:02d}",
+            "price": price,
+            "released": f"{day:02d}-{month:02d}-{year}",
+        }
+
+    def make_sibling(
+        self, entity: dict[str, object], rng: np.random.Generator
+    ) -> dict[str, object]:
+        """Another track of the same album, or a version of the same song."""
+        sibling = dict(entity)
+        if rng.random() < 0.5:
+            # Different track on the same album.
+            n_song = int(rng.integers(1, 5))
+            sibling["song_name"] = " ".join(
+                str(rng.choice(wordlists.SONG_WORDS)) for _ in range(n_song)
+            )
+            minutes = int(rng.integers(2, 7))
+            seconds = int(rng.integers(0, 60))
+            sibling["time"] = f"{minutes}:{seconds:02d}"
+        else:
+            # Remix / live version of the same song: different recording.
+            tag = str(rng.choice(_VERSION_TAGS))
+            sibling["song_name"] = f"{entity['song_name']} ({tag})"
+            n_album = int(rng.integers(1, 4))
+            sibling["album_name"] = " ".join(
+                str(rng.choice(wordlists.SONG_WORDS)) for _ in range(n_album)
+            )
+            year = int(rng.integers(1985, 2021))
+            sibling["released"] = f"{int(rng.integers(1, 29)):02d}-" \
+                f"{int(rng.integers(1, 13)):02d}-{year}"
+        return sibling
+
+    def render_pair(
+        self,
+        entity: dict[str, object],
+        rng: np.random.Generator,
+        match_noise_scale: float = 1.0,
+    ) -> tuple[dict[str, object], dict[str, object]]:
+        left, right = super().render_pair(entity, rng, match_noise_scale)
+        if rng.random() < 0.3:  # Amazon prefixes '[Explicit]'-style tags.
+            right["song_name"] = f"{right['song_name']} [explicit]"
+        if rng.random() < 0.25:  # Genre granularity differs across stores.
+            right["genre"] = str(rng.choice(wordlists.GENRES))
+        return left, right

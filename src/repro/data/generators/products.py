@@ -1,0 +1,187 @@
+"""Product domain generators (Amazon-Google and Walmart-Amazon style).
+
+These back the hardest structured benchmarks (S-AG, S-WA, D-WA): noisy
+web-extracted product feeds where titles embed brand and model tokens
+inconsistently, the manufacturer column is often missing on one side, and
+prices disagree between stores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generators import wordlists
+from repro.data.generators.base import (
+    DomainGenerator,
+    PerturbationConfig,
+    format_price,
+)
+from repro.data.schema import AttributeKind, Schema
+
+__all__ = ["SoftwareProductGenerator", "RetailProductGenerator"]
+
+
+def _model_number(rng: np.random.Generator) -> str:
+    letters = "abcdefghjklmnpqrstuvwx"
+    prefix = "".join(
+        str(rng.choice(list(letters))) for _ in range(int(rng.integers(1, 4)))
+    )
+    digits = int(rng.integers(10, 9999))
+    suffix = str(rng.choice(["", "s", "x", "pro", "plus", "ii"]))
+    return f"{prefix}{digits}{suffix}"
+
+
+class SoftwareProductGenerator(DomainGenerator):
+    """Amazon-Google style products: ``title``, ``manufacturer``, ``price``.
+
+    The Google side frequently leaves ``manufacturer`` empty and moves the
+    brand into the title, which is what makes S-AG hard for attribute-wise
+    comparison.
+    """
+
+    schema = Schema.of(
+        "software_product",
+        ("title", AttributeKind.TEXT),
+        ("manufacturer", AttributeKind.TEXT),
+        ("price", AttributeKind.NUMERIC),
+    )
+    noise_words = wordlists.PRODUCT_QUALIFIERS
+    left_noise = PerturbationConfig().scaled(0.25)
+    right_noise = PerturbationConfig(
+        typo_rate=0.04,
+        token_drop_rate=0.12,
+        token_swap_rate=0.04,
+        abbreviation_rate=0.03,
+        extra_token_rate=0.12,
+        missing_rate=0.05,
+        numeric_jitter=0.15,
+        numeric_missing_rate=0.25,
+    )
+
+    def sample_entity(self, rng: np.random.Generator) -> dict[str, object]:
+        brand = str(rng.choice(wordlists.PRODUCT_BRANDS))
+        ptype = str(rng.choice(wordlists.PRODUCT_TYPES))
+        n_quals = int(rng.integers(1, 4))
+        quals = " ".join(
+            str(rng.choice(wordlists.PRODUCT_QUALIFIERS)) for _ in range(n_quals)
+        )
+        model = _model_number(rng)
+        title = f"{brand} {quals} {ptype} {model}"
+        price = float(np.round(rng.uniform(9.99, 899.99), 2))
+        return {"title": title, "manufacturer": brand, "price": price}
+
+    def make_sibling(
+        self, entity: dict[str, object], rng: np.random.Generator
+    ) -> dict[str, object]:
+        """Same brand & product family, different model — a hard negative."""
+        words = str(entity["title"]).split()
+        new_model = _model_number(rng)
+        new_words = words[:-1] + [new_model]
+        if rng.random() < 0.5 and len(new_words) > 3:
+            # Tweak one qualifier too (e.g. 'black' vs 'silver').
+            idx = int(rng.integers(1, len(new_words) - 2))
+            new_words[idx] = str(rng.choice(wordlists.PRODUCT_QUALIFIERS))
+        price = float(entity["price"]) * float(rng.uniform(0.7, 1.3))
+        return {
+            "title": " ".join(new_words),
+            "manufacturer": entity["manufacturer"],
+            "price": round(price, 2),
+        }
+
+    def render_pair(
+        self,
+        entity: dict[str, object],
+        rng: np.random.Generator,
+        match_noise_scale: float = 1.0,
+    ) -> tuple[dict[str, object], dict[str, object]]:
+        left, right = super().render_pair(entity, rng, match_noise_scale)
+        if rng.random() < 0.55:  # Google side: manufacturer column empty.
+            right["manufacturer"] = ""
+        return left, right
+
+
+class RetailProductGenerator(DomainGenerator):
+    """Walmart-Amazon style products with the five-attribute schema.
+
+    ``title``, ``category``, ``brand``, ``modelno``, ``price``. The model
+    number is the true identity key; it is frequently missing or embedded
+    only inside the title, which is why S-WA / D-WA sit at the bottom of
+    the paper's F1 tables.
+    """
+
+    schema = Schema.of(
+        "retail_product",
+        ("title", AttributeKind.TEXT),
+        ("category", AttributeKind.CATEGORICAL),
+        ("brand", AttributeKind.TEXT),
+        ("modelno", AttributeKind.TEXT),
+        ("price", AttributeKind.NUMERIC),
+    )
+    noise_words = wordlists.PRODUCT_QUALIFIERS
+    left_noise = PerturbationConfig().scaled(0.25)
+    right_noise = PerturbationConfig(
+        typo_rate=0.04,
+        token_drop_rate=0.12,
+        token_swap_rate=0.05,
+        abbreviation_rate=0.03,
+        extra_token_rate=0.12,
+        missing_rate=0.08,
+        numeric_jitter=0.12,
+        numeric_missing_rate=0.20,
+    )
+
+    def sample_entity(self, rng: np.random.Generator) -> dict[str, object]:
+        brand = str(rng.choice(wordlists.PRODUCT_BRANDS))
+        ptype = str(rng.choice(wordlists.PRODUCT_TYPES))
+        category = str(rng.choice(wordlists.CATEGORIES))
+        model = _model_number(rng)
+        n_quals = int(rng.integers(1, 4))
+        quals = " ".join(
+            str(rng.choice(wordlists.PRODUCT_QUALIFIERS)) for _ in range(n_quals)
+        )
+        title = f"{brand} {ptype} {quals} {model}"
+        price = float(np.round(rng.uniform(4.99, 1499.99), 2))
+        return {
+            "title": title,
+            "category": category,
+            "brand": brand,
+            "modelno": model,
+            "price": price,
+        }
+
+    def make_sibling(
+        self, entity: dict[str, object], rng: np.random.Generator
+    ) -> dict[str, object]:
+        """Same brand and category, neighbouring model number."""
+        new_model = _model_number(rng)
+        words = str(entity["title"]).split()
+        title = " ".join(words[:-1] + [new_model])
+        price = float(entity["price"]) * float(rng.uniform(0.6, 1.4))
+        return {
+            "title": title,
+            "category": entity["category"],
+            "brand": entity["brand"],
+            "modelno": new_model,
+            "price": round(price, 2),
+        }
+
+    def render_pair(
+        self,
+        entity: dict[str, object],
+        rng: np.random.Generator,
+        match_noise_scale: float = 1.0,
+    ) -> tuple[dict[str, object], dict[str, object]]:
+        left, right = super().render_pair(entity, rng, match_noise_scale)
+        if rng.random() < 0.45:  # modelno column empty on one side ...
+            side = right if rng.random() < 0.7 else left
+            side["modelno"] = ""
+        if rng.random() < 0.35:  # ... or categories named differently.
+            right["category"] = str(rng.choice(wordlists.CATEGORIES))
+        return left, right
+
+
+def price_as_text(value: float | None) -> str:
+    """Helper shared with tests: price rendering used in denormalized text."""
+    if value is None:
+        return ""
+    return format_price(float(value))

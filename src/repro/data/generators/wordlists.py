@@ -1,0 +1,230 @@
+"""Word pools used by the synthetic dataset generators.
+
+The pools are intentionally large enough that entity titles collide on
+individual words (creating realistic hard negatives under blocking) but not
+on whole values. They are module-level constants so every generator and
+every test sees the same pools.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES: tuple[str, ...] = (
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "wei",
+    "li", "hiroshi", "yuki", "anna", "peter", "hans", "ingrid", "marco",
+    "giulia", "pierre", "camille", "ivan", "olga", "carlos", "lucia",
+    "ahmed", "fatima", "raj", "priya", "lars", "sofia", "miguel", "elena",
+    "daniel", "laura", "kevin", "emily", "brian", "rachel", "george",
+    "helen", "frank", "diana", "paul", "alice", "mark", "julia", "steven",
+    "nina", "edward", "clara", "henry", "rosa", "walter", "vera", "louis",
+    "irene", "arthur", "claire", "oscar", "martha", "felix", "nora",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "chen", "wang", "zhang", "liu", "yamamoto", "tanaka", "suzuki",
+    "mueller", "schmidt", "schneider", "fischer", "weber", "rossi",
+    "ferrari", "bianchi", "ricci", "dubois", "moreau", "laurent", "petrov",
+    "ivanov", "kumar", "sharma", "patel", "singh", "ali", "hassan",
+    "nguyen", "tran", "kim", "park", "choi", "andersson", "nilsson",
+    "hansen", "olsen", "virtanen", "kowalski", "nowak", "horvath", "novak",
+    "papadopoulos", "costa", "silva", "santos", "pereira", "almeida",
+)
+
+CS_TITLE_WORDS: tuple[str, ...] = (
+    "efficient", "scalable", "distributed", "parallel", "adaptive",
+    "incremental", "approximate", "robust", "optimal", "dynamic", "static",
+    "probabilistic", "declarative", "secure", "interactive", "automated",
+    "query", "queries", "processing", "optimization", "evaluation",
+    "indexing", "mining", "learning", "matching", "integration",
+    "clustering", "classification", "ranking", "retrieval", "estimation",
+    "sampling", "caching", "replication", "partitioning", "compression",
+    "streams", "streaming", "graphs", "graph", "relational", "spatial",
+    "temporal", "semistructured", "xml", "web", "semantic", "schema",
+    "database", "databases", "warehouse", "transactions", "concurrency",
+    "recovery", "views", "joins", "aggregation", "skyline", "keyword",
+    "similarity", "entity", "records", "duplicate", "detection",
+    "resolution", "cleaning", "provenance", "privacy", "anonymization",
+    "crowdsourcing", "workflow", "metadata", "ontology", "knowledge",
+    "discovery", "patterns", "rules", "association", "sequential",
+    "framework", "architecture", "system", "systems", "engine", "language",
+    "algebra", "calculus", "semantics", "algorithms", "structures",
+    "networks", "sensor", "mobile", "cloud", "mapreduce", "federated",
+    "heterogeneous", "multidimensional", "analytical", "online", "offline",
+)
+
+VENUES_FULL: tuple[str, ...] = (
+    "international conference on very large data bases",
+    "acm sigmod international conference on management of data",
+    "ieee international conference on data engineering",
+    "international conference on extending database technology",
+    "acm symposium on principles of database systems",
+    "international conference on database theory",
+    "acm conference on information and knowledge management",
+    "acm sigkdd conference on knowledge discovery and data mining",
+    "ieee transactions on knowledge and data engineering",
+    "acm transactions on database systems",
+    "the vldb journal",
+    "information systems",
+    "data and knowledge engineering",
+    "journal of intelligent information systems",
+    "distributed and parallel databases",
+)
+
+VENUES_ABBREV: tuple[str, ...] = (
+    "vldb", "sigmod", "icde", "edbt", "pods", "icdt", "cikm", "kdd",
+    "tkde", "tods", "vldbj", "inf syst", "dke", "jiis", "dapd",
+)
+
+PRODUCT_BRANDS: tuple[str, ...] = (
+    "sony", "samsung", "panasonic", "canon", "nikon", "hewlett packard",
+    "dell", "lenovo", "asus", "acer", "toshiba", "logitech", "belkin",
+    "netgear", "linksys", "kingston", "sandisk", "seagate",
+    "western digital", "epson", "brother", "xerox", "philips", "sharp", "jvc", "pioneer",
+    "kenwood", "garmin", "tomtom", "microsoft", "apple", "intel", "amd",
+    "nvidia", "corsair", "thermaltake", "antec", "dlink", "tplink",
+    "huawei", "motorola", "nokia", "blackberry", "casio", "olympus",
+    "fujifilm", "kodak", "polaroid", "vtech", "uniden", "plantronics",
+)
+
+PRODUCT_TYPES: tuple[str, ...] = (
+    "laptop", "notebook", "monitor", "printer", "scanner", "keyboard",
+    "mouse", "headset", "speaker", "camera", "camcorder", "television",
+    "projector", "router", "modem", "switch", "hard drive", "flash drive",
+    "memory card", "battery", "charger", "adapter", "cable", "dock",
+    "tablet", "phone", "smartphone", "gps", "radio", "microphone",
+    "webcam", "receiver", "amplifier", "subwoofer", "turntable",
+    "media player", "game console", "controller", "graphics card",
+    "motherboard", "processor", "power supply", "case fan", "ink cartridge",
+    "toner", "paper shredder", "calculator", "label maker",
+)
+
+PRODUCT_QUALIFIERS: tuple[str, ...] = (
+    "wireless", "bluetooth", "portable", "compact", "professional",
+    "digital", "hd", "full hd", "4k", "ultra", "slim", "mini", "pro",
+    "deluxe", "premium", "gaming", "office", "home", "travel", "rugged",
+    "waterproof", "rechargeable", "ergonomic", "backlit", "widescreen",
+    "dual band", "high speed", "noise cancelling", "touch", "smart",
+    "black", "white", "silver", "blue", "red", "refurbished",
+)
+
+CATEGORIES: tuple[str, ...] = (
+    "electronics", "computers", "accessories", "audio", "video",
+    "photography", "networking", "storage", "printers", "peripherals",
+    "components", "software", "office products", "home theater",
+    "car electronics", "portable audio", "telephones", "security",
+)
+
+STREET_NAMES: tuple[str, ...] = (
+    "main st", "oak ave", "maple dr", "cedar ln", "pine st", "elm st",
+    "washington blvd", "lincoln ave", "jefferson st", "madison ave",
+    "park ave", "lake shore dr", "sunset blvd", "broadway", "market st",
+    "church st", "mill rd", "river rd", "highland ave", "prospect st",
+    "spring st", "union ave", "valley rd", "victoria st", "king st",
+    "queen st", "first ave", "second ave", "third ave", "fourth ave",
+    "fifth ave", "canal st", "bay st", "harbor blvd", "ocean dr",
+)
+
+CITIES: tuple[str, ...] = (
+    "new york", "los angeles", "chicago", "houston", "phoenix",
+    "philadelphia", "san antonio", "san diego", "dallas", "san jose",
+    "austin", "san francisco", "seattle", "denver", "boston", "atlanta",
+    "miami", "portland", "las vegas", "detroit", "memphis", "baltimore",
+    "milwaukee", "albuquerque", "tucson", "fresno", "sacramento",
+    "kansas city", "mesa", "omaha", "oakland", "tulsa", "minneapolis",
+    "cleveland", "new orleans",
+)
+
+CUISINES: tuple[str, ...] = (
+    "italian", "french", "chinese", "japanese", "mexican", "thai",
+    "indian", "greek", "spanish", "american", "steakhouse", "seafood",
+    "barbecue", "vegetarian", "mediterranean", "vietnamese", "korean",
+    "cajun", "continental", "delicatessen", "pizzeria", "bistro",
+    "brasserie", "diner", "cafe", "tapas", "sushi", "noodle house",
+)
+
+RESTAURANT_WORDS: tuple[str, ...] = (
+    "golden", "silver", "royal", "grand", "little", "blue", "red",
+    "green", "old", "new", "happy", "lucky", "garden", "palace", "house",
+    "kitchen", "table", "corner", "village", "harbor", "sunset",
+    "mountain", "river", "ocean", "star", "moon", "sun", "dragon",
+    "phoenix", "lotus", "olive", "vine", "oak", "maple", "willow",
+    "anchor", "lighthouse", "windmill", "fountain", "bella", "casa",
+    "villa", "trattoria", "osteria", "chez", "maison", "le", "la", "el",
+)
+
+SONG_WORDS: tuple[str, ...] = (
+    "love", "heart", "night", "day", "dream", "fire", "rain", "sun",
+    "moon", "star", "sky", "road", "home", "time", "life", "soul",
+    "dance", "party", "baby", "girl", "boy", "world", "light", "dark",
+    "shadow", "summer", "winter", "river", "ocean", "mountain", "city",
+    "street", "angel", "devil", "heaven", "paradise", "freedom", "glory",
+    "forever", "never", "always", "tonight", "yesterday", "tomorrow",
+    "beautiful", "crazy", "wild", "broken", "golden", "electric", "magic",
+    "story", "song", "rhythm", "melody", "echo", "whisper", "scream",
+    "runaway", "hurricane", "thunder", "lightning", "diamond", "velvet",
+)
+
+GENRES: tuple[str, ...] = (
+    "pop", "rock", "hip-hop/rap", "country", "r&b/soul", "dance",
+    "electronic", "alternative", "indie pop", "latin", "jazz", "blues",
+    "folk", "reggae", "metal", "punk", "classical", "soundtrack",
+    "singer/songwriter", "christian & gospel", "world", "funk",
+)
+
+BEER_STYLES: tuple[str, ...] = (
+    "american ipa", "imperial ipa", "american pale ale", "english pale ale",
+    "amber ale", "brown ale", "porter", "imperial porter", "stout",
+    "imperial stout", "oatmeal stout", "milk stout", "pilsner", "lager",
+    "vienna lager", "helles", "dunkel", "bock", "doppelbock", "hefeweizen",
+    "witbier", "saison", "farmhouse ale", "belgian dubbel",
+    "belgian tripel", "belgian quadrupel", "barleywine", "scotch ale", "kolsch", "altbier",
+    "fruit beer", "pumpkin ale", "sour ale", "gose", "berliner weisse",
+    "rauchbier", "cream ale", "blonde ale", "red ale", "rye beer",
+)
+
+BREWERY_WORDS: tuple[str, ...] = (
+    "stone", "river", "mountain", "valley", "creek", "ridge", "summit",
+    "harbor", "lighthouse", "anchor", "eagle", "bear", "wolf", "fox",
+    "raven", "falcon", "buffalo", "moose", "elk", "otter", "badger",
+    "iron", "copper", "golden", "silver", "granite", "oak", "cedar",
+    "pine", "birch", "prairie", "canyon", "mesa", "lakeside", "northern",
+    "southern", "eastern", "western", "old town", "founders", "brothers",
+    "union", "republic", "frontier", "pioneer", "heritage", "landmark",
+)
+
+BEER_NAME_WORDS: tuple[str, ...] = (
+    "hop", "hoppy", "hazy", "juicy", "bitter", "smooth", "dark", "golden",
+    "amber", "ruby", "midnight", "sunrise", "sunset", "harvest", "winter",
+    "summer", "spring", "autumn", "solstice", "equinox", "festive",
+    "jubilee", "reserve", "vintage", "barrel", "bourbon", "oaked",
+    "smoked", "toasted", "roasted", "velvet", "silk", "thunder", "storm",
+    "avalanche", "wildfire", "blizzard", "monsoon", "typhoon", "zephyr",
+    "nomad", "wanderer", "voyager", "pilgrim", "prophet", "monk", "abbey",
+)
+
+DESCRIPTION_PHRASES: tuple[str, ...] = (
+    "features a sleek design with premium materials",
+    "delivers outstanding performance for everyday use",
+    "includes all necessary cables and accessories",
+    "backed by a one year limited manufacturer warranty",
+    "compatible with windows and mac operating systems",
+    "engineered for reliability and long lasting durability",
+    "offers crystal clear sound quality and deep bass",
+    "provides fast data transfer speeds and ample storage",
+    "lightweight and portable for use on the go",
+    "easy to set up with plug and play installation",
+    "energy efficient design reduces power consumption",
+    "advanced cooling system prevents overheating",
+    "high resolution display with vivid color reproduction",
+    "responsive controls and intuitive user interface",
+    "ideal for home office or professional environments",
+    "supports the latest wireless connectivity standards",
+    "rugged construction withstands daily wear and tear",
+    "award winning design recognized by industry experts",
+    "bundled software suite enhances productivity",
+    "expandable memory lets you store more of what you love",
+)

@@ -1,0 +1,126 @@
+"""CSV serialization of EM datasets (Magellan pair-table format).
+
+The Magellan benchmark ships each dataset as a CSV whose columns are
+``id, label, left_<attr>..., right_<attr>...``. This module round-trips
+:class:`~repro.data.schema.EMDataset` objects through that format so
+generated benchmarks can be exported for external tools and re-imported.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.data.schema import (
+    Attribute,
+    AttributeKind,
+    EMDataset,
+    PairRecord,
+    Schema,
+)
+from repro.exceptions import DataError
+
+__all__ = ["save_csv", "load_csv"]
+
+_KIND_TAGS = {
+    AttributeKind.TEXT: "text",
+    AttributeKind.NUMERIC: "numeric",
+    AttributeKind.CATEGORICAL: "categorical",
+}
+_TAG_KINDS = {tag: kind for kind, tag in _KIND_TAGS.items()}
+
+
+def save_csv(dataset: EMDataset, path: str | Path) -> Path:
+    """Write ``dataset`` to ``path`` in Magellan pair-table CSV format.
+
+    A header comment row (starting ``#schema``) records the schema name,
+    dataset type, and attribute kinds so :func:`load_csv` can reconstruct
+    the dataset losslessly.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    attrs = dataset.schema.attributes
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        meta = [
+            "#schema",
+            dataset.schema.name,
+            dataset.dataset_type,
+            dataset.name,
+        ] + [f"{a.name}:{_KIND_TAGS[a.kind]}" for a in attrs]
+        writer.writerow(meta)
+        header = (
+            ["id", "label"]
+            + [f"left_{a.name}" for a in attrs]
+            + [f"right_{a.name}" for a in attrs]
+        )
+        writer.writerow(header)
+        for pair in dataset.pairs:
+            row: list[str] = [str(pair.pair_id), str(pair.label)]
+            for side in (pair.left, pair.right):
+                for attr in attrs:
+                    value = side[attr.name]
+                    row.append("" if value is None else str(value))
+            writer.writerow(row)
+    return path
+
+
+def load_csv(path: str | Path) -> EMDataset:
+    """Reconstruct an :class:`EMDataset` written by :func:`save_csv`."""
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            meta = next(reader)
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path}: file truncated") from None
+        if not meta or meta[0] != "#schema":
+            raise DataError(f"{path}: missing #schema header row")
+        schema_name, dataset_type, dataset_name = meta[1], meta[2], meta[3]
+        attrs: list[Attribute] = []
+        for spec in meta[4:]:
+            attr_name, _sep, tag = spec.partition(":")
+            if tag not in _TAG_KINDS:
+                raise DataError(f"{path}: unknown attribute kind tag {tag!r}")
+            attrs.append(Attribute(attr_name, _TAG_KINDS[tag]))
+        schema = Schema(schema_name, tuple(attrs))
+
+        expected_header = (
+            ["id", "label"]
+            + [f"left_{a.name}" for a in attrs]
+            + [f"right_{a.name}" for a in attrs]
+        )
+        if header != expected_header:
+            raise DataError(f"{path}: header does not match schema row")
+
+        pairs: list[PairRecord] = []
+        for row in reader:
+            if not row:
+                continue
+            if len(row) != len(expected_header):
+                raise DataError(
+                    f"{path}: row {row[0]!r} has {len(row)} fields, "
+                    f"expected {len(expected_header)}"
+                )
+            pair_id = int(row[0])
+            label = int(row[1])
+            left: dict[str, object] = {}
+            right: dict[str, object] = {}
+            offset = 2
+            for target in (left, right):
+                for attr in attrs:
+                    raw = row[offset]
+                    offset += 1
+                    target[attr.name] = _parse_value(raw, attr.kind)
+            pairs.append(PairRecord(pair_id, left, right, label))
+
+    return EMDataset(dataset_name, schema, pairs, dataset_type=dataset_type)
+
+
+def _parse_value(raw: str, kind: AttributeKind) -> object:
+    if kind is AttributeKind.NUMERIC:
+        if raw == "":
+            return None
+        return float(raw)
+    return raw

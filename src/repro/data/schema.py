@@ -1,0 +1,229 @@
+"""Schemas and records for Entity Matching datasets.
+
+An EM dataset, as consumed by every system in the paper, is a table whose
+rows each describe a *pair* of entities drawn from two source tables with
+aligned schemas, plus a binary match label. This module defines that data
+model:
+
+* :class:`Attribute` / :class:`Schema` — the aligned schema of one entity.
+* :class:`PairRecord` — one row: ``left`` and ``right`` attribute dicts and
+  a label.
+* :class:`EMDataset` — an ordered collection of pair records with schema,
+  name, and dataset-type metadata, plus convenience accessors used by the
+  adapters and featurizers.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+
+__all__ = ["AttributeKind", "Attribute", "Schema", "PairRecord", "EMDataset"]
+
+
+class AttributeKind(enum.Enum):
+    """Value domain of an attribute; drives featurization decisions."""
+
+    TEXT = "text"
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One column of an entity schema."""
+
+    name: str
+    kind: AttributeKind = AttributeKind.TEXT
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered attribute list shared by both entities of every pair."""
+
+    name: str
+    attributes: tuple[Attribute, ...]
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema {self.name!r}")
+        if not self.attributes:
+            raise SchemaError(f"schema {self.name!r} has no attributes")
+
+    @classmethod
+    def of(cls, name: str, *columns: tuple[str, AttributeKind] | str) -> "Schema":
+        """Build a schema from ``("col", kind)`` tuples or bare text names."""
+        attrs = []
+        for col in columns:
+            if isinstance(col, str):
+                attrs.append(Attribute(col))
+            else:
+                attrs.append(Attribute(col[0], col[1]))
+        return cls(name, tuple(attrs))
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise SchemaError(f"schema {self.name!r} has no attribute {name!r}")
+
+    def text_attributes(self) -> tuple[Attribute, ...]:
+        """Attributes of TEXT or CATEGORICAL kind (string-valued)."""
+        return tuple(
+            a for a in self.attributes if a.kind is not AttributeKind.NUMERIC
+        )
+
+    def numeric_attributes(self) -> tuple[Attribute, ...]:
+        """Attributes of NUMERIC kind."""
+        return tuple(a for a in self.attributes if a.kind is AttributeKind.NUMERIC)
+
+    def validate_entity(self, entity: dict[str, object]) -> None:
+        """Raise :class:`SchemaError` unless ``entity`` matches the schema."""
+        expected = set(self.attribute_names)
+        got = set(entity)
+        if expected != got:
+            missing = expected - got
+            extra = got - expected
+            raise SchemaError(
+                f"entity does not match schema {self.name!r}: "
+                f"missing={sorted(missing)} extra={sorted(extra)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+
+@dataclass(frozen=True)
+class PairRecord:
+    """One EM dataset row: a candidate pair of entity descriptions.
+
+    ``left`` and ``right`` map attribute name to value; string values may be
+    empty (missing), numeric values may be ``None`` (missing). ``label`` is
+    1 for a match, 0 otherwise.
+    """
+
+    pair_id: int
+    left: dict[str, object]
+    right: dict[str, object]
+    label: int
+
+    def __post_init__(self) -> None:
+        if self.label not in (0, 1):
+            raise SchemaError(f"label must be 0 or 1, got {self.label!r}")
+
+    def value(self, side: str, attribute: str) -> object:
+        """Value of ``attribute`` on ``side`` ('left' or 'right')."""
+        if side == "left":
+            return self.left[attribute]
+        if side == "right":
+            return self.right[attribute]
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+
+    def text_of(self, side: str, attribute: str) -> str:
+        """String rendering of a value; missing values become ''."""
+        value = self.value(side, attribute)
+        if value is None:
+            return ""
+        return str(value)
+
+
+class EMDataset:
+    """An ordered, labelled collection of candidate pairs.
+
+    Parameters
+    ----------
+    name:
+        Benchmark identifier, e.g. ``"S-DG"``.
+    schema:
+        The aligned entity schema.
+    pairs:
+        The pair records; validated against the schema on construction.
+    dataset_type:
+        ``"Structured"``, ``"Textual"`` or ``"Dirty"`` (Table 1 typology).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        pairs: Sequence[PairRecord],
+        dataset_type: str = "Structured",
+    ) -> None:
+        if dataset_type not in ("Structured", "Textual", "Dirty"):
+            raise SchemaError(f"unknown dataset type {dataset_type!r}")
+        for pair in pairs:
+            schema.validate_entity(pair.left)
+            schema.validate_entity(pair.right)
+        self.name = name
+        self.schema = schema
+        self.dataset_type = dataset_type
+        self._pairs = tuple(pairs)
+
+    # -------------------------------------------------------------- access
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[PairRecord]:
+        return iter(self._pairs)
+
+    def __getitem__(self, index: int) -> PairRecord:
+        return self._pairs[index]
+
+    @property
+    def pairs(self) -> tuple[PairRecord, ...]:
+        return self._pairs
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Label vector, shape ``(len(self),)``, dtype int64."""
+        return np.array([p.label for p in self._pairs], dtype=np.int64)
+
+    @property
+    def match_fraction(self) -> float:
+        """Fraction of pairs labelled as matches (Table 1 '% Match')."""
+        if not self._pairs:
+            return 0.0
+        return float(self.labels.mean())
+
+    def subset(self, indices: Sequence[int], name_suffix: str = "") -> "EMDataset":
+        """A new dataset containing the pairs at ``indices`` (in order)."""
+        selected = [self._pairs[i] for i in indices]
+        return EMDataset(
+            self.name + name_suffix, self.schema, selected, self.dataset_type
+        )
+
+    def entity_texts(self, side: str) -> list[str]:
+        """Denormalized text of every entity on one side (corpus building)."""
+        texts = []
+        for pair in self._pairs:
+            parts = [
+                pair.text_of(side, attr.name) for attr in self.schema.attributes
+            ]
+            texts.append(" ".join(part for part in parts if part))
+        return texts
+
+    def corpus(self) -> list[str]:
+        """All entity texts from both sides, left side first."""
+        return self.entity_texts("left") + self.entity_texts("right")
+
+    def __repr__(self) -> str:
+        return (
+            f"EMDataset(name={self.name!r}, type={self.dataset_type!r}, "
+            f"pairs={len(self)}, match%={100 * self.match_fraction:.2f})"
+        )

@@ -1,0 +1,86 @@
+"""Train / validation / test splitting for EM datasets.
+
+The paper splits every benchmark dataset 60-20-20 with stratification on
+the match label (the Magellan splits are stratified). Splits are
+deterministic given the dataset name and seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SPLIT_PROPORTIONS, rng_for
+from repro.data.schema import EMDataset
+from repro.exceptions import DataError
+
+__all__ = ["DatasetSplits", "split_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSplits:
+    """The three partitions of a benchmark dataset."""
+
+    train: EMDataset
+    valid: EMDataset
+    test: EMDataset
+
+    def __iter__(self):
+        return iter((self.train, self.valid, self.test))
+
+    @property
+    def sizes(self) -> tuple[int, int, int]:
+        return (len(self.train), len(self.valid), len(self.test))
+
+
+def split_dataset(
+    dataset: EMDataset,
+    proportions: tuple[float, float, float] = SPLIT_PROPORTIONS,
+    seed: int | None = None,
+) -> DatasetSplits:
+    """Stratified 60-20-20 split of ``dataset``.
+
+    Stratification keeps the match rate of each partition close to the
+    dataset's global match rate, mirroring the Magellan benchmark splits.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to split.
+    proportions:
+        Train / valid / test fractions; must sum to 1.
+    seed:
+        Optional seed override; by default the split is derived from the
+        dataset name so reloading a benchmark always yields the same split.
+    """
+    if abs(sum(proportions) - 1.0) > 1e-9:
+        raise DataError(f"split proportions must sum to 1, got {proportions}")
+    if len(dataset) < 5:
+        raise DataError(f"dataset too small to split: {len(dataset)} pairs")
+
+    rng = rng_for("split", dataset.name, seed=seed)
+    labels = dataset.labels
+    train_idx: list[int] = []
+    valid_idx: list[int] = []
+    test_idx: list[int] = []
+    for label in (0, 1):
+        class_indices = np.flatnonzero(labels == label)
+        rng.shuffle(class_indices)
+        n = len(class_indices)
+        n_train = int(round(proportions[0] * n))
+        n_valid = int(round(proportions[1] * n))
+        train_idx.extend(class_indices[:n_train].tolist())
+        valid_idx.extend(class_indices[n_train : n_train + n_valid].tolist())
+        test_idx.extend(class_indices[n_train + n_valid :].tolist())
+
+    # Keep original ordering inside each partition for reproducibility of
+    # downstream batch iteration.
+    train_idx.sort()
+    valid_idx.sort()
+    test_idx.sort()
+    return DatasetSplits(
+        train=dataset.subset(train_idx, name_suffix="/train"),
+        valid=dataset.subset(valid_idx, name_suffix="/valid"),
+        test=dataset.subset(test_idx, name_suffix="/test"),
+    )

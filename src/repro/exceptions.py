@@ -1,0 +1,47 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Subclasses are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or combination of parameters was supplied."""
+
+
+class DataError(ReproError):
+    """A dataset is malformed, inconsistent, or could not be generated."""
+
+
+class SchemaError(DataError):
+    """A record does not conform to the schema of its table or dataset."""
+
+
+class NotFittedError(ReproError):
+    """A model or transformer was used before :meth:`fit` was called."""
+
+
+class BudgetExhaustedError(ReproError):
+    """The (simulated) training-time budget was consumed.
+
+    AutoML loops catch this internally to stop the search; it only escapes
+    to the caller when even a single configuration could not be evaluated.
+    """
+
+
+class SearchSpaceError(ConfigurationError):
+    """A hyper-parameter configuration is outside its declared space."""
+
+
+class UnknownDatasetError(DataError):
+    """The benchmark registry has no dataset with the requested name."""
+
+
+class UnknownModelError(ConfigurationError):
+    """A registry lookup (embedder, tokenizer, AutoML system) failed."""

@@ -1,0 +1,24 @@
+"""Experiment harness regenerating every table of the paper's Section 5.
+
+One module per table (``table1`` ... ``table5``), a shared runner with
+process- and disk-level result caching, and paper-style ASCII rendering.
+The benchmark suite under ``benchmarks/`` calls straight into these.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+]

@@ -1,0 +1,71 @@
+"""Experiment configuration, environment-overridable.
+
+Environment knobs (all optional):
+
+* ``REPRO_SCALE`` — dataset scale in (0, 1]; default 0.08 for benchmarks
+  (the 450-row minimum keeps small datasets at full size regardless).
+* ``REPRO_MAX_MODELS`` — AutoML candidate cap per fit; default 8.
+* ``REPRO_CACHE_DIR`` — disk cache for experiment results; default
+  ``.repro_cache`` under the working directory; ``off`` disables.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ExperimentConfig"]
+
+_DEFAULT_SCALE = 0.08
+_DEFAULT_MAX_MODELS = 8
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiment tables."""
+
+    scale: float = field(
+        default_factory=lambda: _env_float("REPRO_SCALE", _DEFAULT_SCALE)
+    )
+    max_models: int = field(
+        default_factory=lambda: _env_int("REPRO_MAX_MODELS", _DEFAULT_MAX_MODELS)
+    )
+    seed: int = 7
+    budget_short: float = 1.0  # Table 2 / Table 5 "1h" budget.
+    budget_long: float = 6.0  # Table 5 "6h" budget.
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+        if self.max_models < 1:
+            raise ValueError(f"max_models must be >= 1, got {self.max_models}")
+
+    @staticmethod
+    def cache_dir() -> Path | None:
+        """Directory of the on-disk result cache (None when disabled)."""
+        raw = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+        if raw.lower() in ("off", "none", ""):
+            return None
+        return Path(raw)
+
+    def cache_key(self, *parts: object) -> str:
+        """Stable cache key including every accuracy-relevant knob."""
+        from repro.config import DATA_VERSION
+
+        core = (f"v{DATA_VERSION}", self.scale, self.max_models, self.seed)
+        return "_".join(str(p) for p in core + parts).replace("/", "-")

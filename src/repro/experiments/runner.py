@@ -1,0 +1,188 @@
+"""Shared experiment runner with two-level result caching.
+
+The five tables overlap heavily — Table 4 derives from Tables 2 and 3,
+Table 5 re-uses Table 2's DeepMatcher runs and Table 3's hybrid+ALBERT
+embeddings — so every (system, dataset, configuration) evaluation is
+memoized in memory and, unless disabled, persisted as JSON under
+``.repro_cache/`` keyed by every accuracy-relevant knob. Re-running a
+benchmark after an interruption resumes instead of recomputing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.adapter import (
+    EMAdapter,
+    NativeTabularFeaturizer,
+    Word2VecFeaturizer,
+)
+from repro.automl import make_automl
+from repro.data import load_dataset, split_dataset
+from repro.data.splits import DatasetSplits
+from repro.experiments.config import ExperimentConfig
+from repro.matching import DeepMatcherHybrid, EMPipeline, evaluate_matcher
+from repro.matching.evaluation import EvaluationResult
+from repro.ml.metrics import f1_score, precision_score, recall_score
+
+__all__ = ["ExperimentRunner"]
+
+
+class ExperimentRunner:
+    """Caches splits, featurizations and evaluation results."""
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config if config is not None else ExperimentConfig()
+        self._splits: dict[str, DatasetSplits] = {}
+        self._results: dict[str, dict] = {}
+
+    # ------------------------------------------------------------- splits
+
+    def splits(self, dataset_name: str) -> DatasetSplits:
+        """The 60-20-20 splits of a benchmark dataset at config scale."""
+        if dataset_name not in self._splits:
+            dataset = load_dataset(dataset_name, scale=self.config.scale)
+            self._splits[dataset_name] = split_dataset(dataset)
+        return self._splits[dataset_name]
+
+    # -------------------------------------------------------------- cache
+
+    def _cache_path(self, key: str) -> Path | None:
+        directory = self.config.cache_dir()
+        if directory is None:
+            return None
+        directory.mkdir(parents=True, exist_ok=True)
+        return directory / f"{key}.json"
+
+    def _cached(self, key: str) -> dict | None:
+        if key in self._results:
+            return self._results[key]
+        path = self._cache_path(key)
+        if path is not None and path.exists():
+            try:
+                with path.open() as handle:
+                    record = json.load(handle)
+            except (json.JSONDecodeError, OSError):
+                return None  # Half-written by a concurrent worker.
+            self._results[key] = record
+            return record
+        return None
+
+    def _store(self, key: str, record: dict) -> None:
+        self._results[key] = record
+        path = self._cache_path(key)
+        if path is not None:
+            # Atomic write: concurrent workers may compute the same key
+            # (deterministically identical), and a rename never exposes a
+            # half-written file to a concurrent reader.
+            import os
+            import tempfile
+
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, suffix=".tmp", prefix=path.stem
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, indent=1)
+            os.replace(tmp_name, path)
+
+    @staticmethod
+    def _to_result(record: dict) -> EvaluationResult:
+        return EvaluationResult(**record)
+
+    # ---------------------------------------------------------------- raw
+
+    def run_raw_automl(
+        self,
+        system: str,
+        dataset_name: str,
+        budget_hours: float | None,
+    ) -> EvaluationResult:
+        """Section 5.1: an AutoML system on no-adapter features."""
+        budget_tag = "inf" if budget_hours is None else f"{budget_hours:g}"
+        key = self.config.cache_key("raw", system, dataset_name, budget_tag)
+        cached = self._cached(key)
+        if cached is not None:
+            return self._to_result(cached)
+
+        splits = self.splits(dataset_name)
+        if system == "autosklearn":
+            featurizer = Word2VecFeaturizer(seed=self.config.seed)
+        else:
+            featurizer = NativeTabularFeaturizer()
+        featurizer.fit(splits.train)
+        X_train = featurizer.transform(splits.train)
+        X_valid = featurizer.transform(splits.valid)
+        X_test = featurizer.transform(splits.test)
+
+        automl = make_automl(
+            system,
+            budget_hours=budget_hours,
+            seed=self.config.seed,
+            max_models=self.config.max_models,
+        )
+        import time
+
+        start = time.perf_counter()
+        automl.fit(X_train, splits.train.labels, X_valid, splits.valid.labels)
+        wall = time.perf_counter() - start
+        predictions = automl.predict(X_test)
+        labels = splits.test.labels
+        result = EvaluationResult(
+            system=f"{system}(raw)",
+            dataset=dataset_name,
+            f1=100.0 * f1_score(labels, predictions),
+            precision=100.0 * precision_score(labels, predictions),
+            recall=100.0 * recall_score(labels, predictions),
+            simulated_hours=automl.report_.simulated_hours,
+            wall_seconds=wall,
+        )
+        self._store(key, result.__dict__)
+        return result
+
+    # ------------------------------------------------------------ adapted
+
+    def run_adapted_automl(
+        self,
+        system: str,
+        dataset_name: str,
+        tokenizer: str,
+        embedder: str,
+        budget_hours: float | None = 1.0,
+    ) -> EvaluationResult:
+        """Sections 5.2/5.3: AutoML pipelined with an EM adapter."""
+        budget_tag = "inf" if budget_hours is None else f"{budget_hours:g}"
+        key = self.config.cache_key(
+            "adapted", system, dataset_name, tokenizer, embedder, budget_tag
+        )
+        cached = self._cached(key)
+        if cached is not None:
+            return self._to_result(cached)
+
+        splits = self.splits(dataset_name)
+        pipeline = EMPipeline(
+            adapter=EMAdapter(tokenizer, embedder, "mean"),
+            automl=system,
+            budget_hours=budget_hours,
+            seed=self.config.seed,
+            max_models=self.config.max_models,
+        )
+        result = evaluate_matcher(
+            pipeline, splits, system_name=f"{system}+{tokenizer}+{embedder}"
+        )
+        self._store(key, result.__dict__)
+        return result
+
+    # -------------------------------------------------------- deepmatcher
+
+    def run_deepmatcher(self, dataset_name: str) -> EvaluationResult:
+        """The DeepMatcher (Hybrid) baseline on one dataset."""
+        key = self.config.cache_key("deepmatcher", dataset_name)
+        cached = self._cached(key)
+        if cached is not None:
+            return self._to_result(cached)
+        splits = self.splits(dataset_name)
+        matcher = DeepMatcherHybrid(seed=self.config.seed)
+        result = evaluate_matcher(matcher, splits, system_name="deepmatcher")
+        self._store(key, result.__dict__)
+        return result

@@ -1,0 +1,69 @@
+"""Table 2 — effectiveness of raw AutoML systems on EM tasks.
+
+Per dataset: F1 and simulated training hours of AutoSklearn (1h budget,
+Word2Vec featurization), AutoGluon (default configuration = unbounded
+budget), H2OAutoML (1h cap), and the DeepMatcher (Hybrid) baseline.
+"""
+
+from __future__ import annotations
+
+from repro.data.benchmark import DATASET_NAMES
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import render_table
+
+__all__ = ["run_table2", "table2_rows"]
+
+#: (system, budget) in the paper's column order; None = unbounded.
+SYSTEM_BUDGETS: tuple[tuple[str, float | None], ...] = (
+    ("autosklearn", 1.0),
+    ("autogluon", None),
+    ("h2o", 1.0),
+)
+
+
+def table2_rows(
+    runner: ExperimentRunner | None = None,
+    datasets: tuple[str, ...] = DATASET_NAMES,
+) -> list[dict]:
+    """One dict per dataset with per-system F1 and hours."""
+    runner = runner or ExperimentRunner()
+    rows = []
+    for name in datasets:
+        row: dict[str, object] = {"dataset": name}
+        for system, budget in SYSTEM_BUDGETS:
+            result = runner.run_raw_automl(system, name, budget)
+            row[f"{system}_f1"] = result.f1
+            row[f"{system}_hours"] = result.simulated_hours
+        dm = runner.run_deepmatcher(name)
+        row["deepmatcher_f1"] = dm.f1
+        row["deepmatcher_hours"] = dm.simulated_hours
+        rows.append(row)
+    return rows
+
+
+def run_table2(
+    config: ExperimentConfig | None = None,
+    datasets: tuple[str, ...] = DATASET_NAMES,
+) -> str:
+    """Render Table 2 as text."""
+    runner = ExperimentRunner(config)
+    rows = table2_rows(runner, datasets)
+    columns = ["Dataset"]
+    for system, _budget in SYSTEM_BUDGETS:
+        columns += [f"{system} F1", f"{system} h"]
+    columns += ["DeepMatcher F1", "DeepMatcher h"]
+    body = []
+    for row in rows:
+        line: list[object] = [row["dataset"]]
+        for system, _budget in SYSTEM_BUDGETS:
+            line += [row[f"{system}_f1"], row[f"{system}_hours"]]
+        line += [row["deepmatcher_f1"], row["deepmatcher_hours"]]
+        body.append(line)
+    return render_table(
+        "Table 2: Effectiveness of AutoML systems in EM tasks", columns, body
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_table2())

@@ -1,0 +1,76 @@
+"""Table 3 — EM-adapter effectiveness grid.
+
+For each AutoML system (sub-tables a/b/c as in the paper): per dataset,
+the F1 of the adapter under {attribute, hybrid} tokenization x the five
+transformer embedders, with a 1h budget. This is the largest experiment
+of the paper; results are cached through the runner so Tables 4 and 5
+reuse them.
+"""
+
+from __future__ import annotations
+
+from repro.automl import AUTOML_NAMES
+from repro.data.benchmark import DATASET_NAMES
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import render_table
+from repro.transformers import EMBEDDER_NAMES
+
+__all__ = ["run_table3", "table3_rows", "TOKENIZER_MODES"]
+
+#: The two tokenization modes the paper reports in Table 3.
+TOKENIZER_MODES: tuple[str, ...] = ("attr", "hybrid")
+
+
+def table3_rows(
+    system: str,
+    runner: ExperimentRunner | None = None,
+    datasets: tuple[str, ...] = DATASET_NAMES,
+    embedders: tuple[str, ...] = EMBEDDER_NAMES,
+) -> list[dict]:
+    """Grid rows for one AutoML system."""
+    runner = runner or ExperimentRunner()
+    rows = []
+    for name in datasets:
+        row: dict[str, object] = {"dataset": name}
+        for mode in TOKENIZER_MODES:
+            for embedder in embedders:
+                result = runner.run_adapted_automl(
+                    system, name, mode, embedder, budget_hours=1.0
+                )
+                row[f"{mode}_{embedder}"] = result.f1
+        rows.append(row)
+    return rows
+
+
+def run_table3(
+    config: ExperimentConfig | None = None,
+    systems: tuple[str, ...] = AUTOML_NAMES,
+    datasets: tuple[str, ...] = DATASET_NAMES,
+    embedders: tuple[str, ...] = EMBEDDER_NAMES,
+) -> str:
+    """Render the three sub-tables (a, b, c) as text."""
+    runner = ExperimentRunner(config)
+    sections = []
+    for label, system in zip("abc", systems):
+        rows = table3_rows(system, runner, datasets, embedders)
+        columns = ["Dataset"]
+        for mode in TOKENIZER_MODES:
+            prefix = "Attr" if mode == "attr" else "Hybrid"
+            columns += [f"{prefix}:{e}" for e in embedders]
+        body = []
+        for row in rows:
+            line: list[object] = [row["dataset"]]
+            for mode in TOKENIZER_MODES:
+                line += [row[f"{mode}_{e}"] for e in embedders]
+            body.append(line)
+        sections.append(
+            render_table(
+                f"Table 3({label}): EM-Adapter with {system}", columns, body
+            )
+        )
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_table3())

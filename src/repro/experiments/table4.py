@@ -1,0 +1,105 @@
+"""Table 4 — impact of the EM adapter on AutoML performance.
+
+Per dataset and AutoML system: the no-adapter F1 (Table 2's runs), the
+average F1 across the five embedders under attribute and hybrid
+tokenization (Table 3's runs), and the delta between the no-adapter score
+and the mean of the two adapter variants. Entirely derived from cached
+runs of the other tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.automl import AUTOML_NAMES
+from repro.data.benchmark import DATASET_NAMES
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.table2 import SYSTEM_BUDGETS
+from repro.experiments.table3 import TOKENIZER_MODES
+from repro.experiments.tables import render_table
+from repro.transformers import EMBEDDER_NAMES
+
+__all__ = ["run_table4", "table4_rows", "average_deltas"]
+
+
+def table4_rows(
+    runner: ExperimentRunner | None = None,
+    datasets: tuple[str, ...] = DATASET_NAMES,
+    systems: tuple[str, ...] = AUTOML_NAMES,
+    embedders: tuple[str, ...] = EMBEDDER_NAMES,
+) -> list[dict]:
+    """One dict per dataset with per-system no-adapter/attr/hybrid/delta."""
+    runner = runner or ExperimentRunner()
+    budgets = dict(SYSTEM_BUDGETS)
+    rows = []
+    for name in datasets:
+        row: dict[str, object] = {"dataset": name}
+        for system in systems:
+            raw = runner.run_raw_automl(system, name, budgets.get(system, 1.0))
+            mode_means = {}
+            for mode in TOKENIZER_MODES:
+                scores = [
+                    runner.run_adapted_automl(
+                        system, name, mode, embedder, budget_hours=1.0
+                    ).f1
+                    for embedder in embedders
+                ]
+                mode_means[mode] = float(np.mean(scores))
+            adapter_mean = float(np.mean(list(mode_means.values())))
+            row[f"{system}_none"] = raw.f1
+            row[f"{system}_attr"] = mode_means["attr"]
+            row[f"{system}_hybrid"] = mode_means["hybrid"]
+            row[f"{system}_delta"] = adapter_mean - raw.f1
+        rows.append(row)
+    return rows
+
+
+def average_deltas(rows: list[dict], systems: tuple[str, ...] = AUTOML_NAMES) -> dict:
+    """Mean adapter impact per system (the paper quotes ~23-28 points)."""
+    return {
+        system: float(np.mean([row[f"{system}_delta"] for row in rows]))
+        for system in systems
+    }
+
+
+def run_table4(
+    config: ExperimentConfig | None = None,
+    datasets: tuple[str, ...] = DATASET_NAMES,
+    systems: tuple[str, ...] = AUTOML_NAMES,
+    embedders: tuple[str, ...] = EMBEDDER_NAMES,
+) -> str:
+    """Render Table 4 as text, with the per-system average delta footer."""
+    runner = ExperimentRunner(config)
+    rows = table4_rows(runner, datasets, systems, embedders)
+    columns = ["Dataset"]
+    for system in systems:
+        columns += [
+            f"{system}:none",
+            f"{system}:attr",
+            f"{system}:hybrid",
+            f"{system}:Δ",
+        ]
+    body = []
+    for row in rows:
+        line: list[object] = [row["dataset"]]
+        for system in systems:
+            line += [
+                row[f"{system}_none"],
+                row[f"{system}_attr"],
+                row[f"{system}_hybrid"],
+                row[f"{system}_delta"],
+            ]
+        body.append(line)
+    table = render_table(
+        "Table 4: Impact of EM-Adapter on AutoML performance", columns, body
+    )
+    deltas = average_deltas(rows, systems)
+    footer = "Average Δ: " + "  ".join(
+        f"{system}={delta:+.2f}" for system, delta in deltas.items()
+    )
+    return f"{table}\n{footer}"
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_table4())

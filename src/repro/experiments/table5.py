@@ -1,0 +1,88 @@
+"""Table 5 — EM-adapted AutoML vs DeepMatcher under training budgets.
+
+The paper's final experiment: the best adapter configuration (hybrid
+tokenizer + ALBERT embedder) pipelined with each AutoML system, under 1h
+and 6h simulated budgets, against DeepMatcher (Hybrid). The delta column
+is the difference between the best adapted-AutoML F1 and DeepMatcher's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.automl import AUTOML_NAMES
+from repro.data.benchmark import DATASET_NAMES
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import render_table
+
+__all__ = ["run_table5", "table5_rows", "BEST_TOKENIZER", "BEST_EMBEDDER"]
+
+#: The winning adapter configuration from Table 3 (paper Section 5.3).
+BEST_TOKENIZER = "hybrid"
+BEST_EMBEDDER = "albert"
+
+
+def table5_rows(
+    runner: ExperimentRunner | None = None,
+    datasets: tuple[str, ...] = DATASET_NAMES,
+    systems: tuple[str, ...] = AUTOML_NAMES,
+    budgets: tuple[float, float] = (1.0, 6.0),
+) -> list[dict]:
+    """One dict per dataset: DM baseline + per-budget per-system F1."""
+    runner = runner or ExperimentRunner()
+    rows = []
+    for name in datasets:
+        dm = runner.run_deepmatcher(name)
+        row: dict[str, object] = {
+            "dataset": name,
+            "deepmatcher_f1": dm.f1,
+            "deepmatcher_hours": dm.simulated_hours,
+        }
+        for budget in budgets:
+            tag = f"{budget:g}h"
+            scores = []
+            for system in systems:
+                result = runner.run_adapted_automl(
+                    system, name, BEST_TOKENIZER, BEST_EMBEDDER,
+                    budget_hours=budget,
+                )
+                row[f"{system}_{tag}"] = result.f1
+                scores.append(result.f1)
+            row[f"delta_{tag}"] = float(np.max(scores)) - dm.f1
+        rows.append(row)
+    return rows
+
+
+def run_table5(
+    config: ExperimentConfig | None = None,
+    datasets: tuple[str, ...] = DATASET_NAMES,
+    systems: tuple[str, ...] = AUTOML_NAMES,
+    budgets: tuple[float, float] = (1.0, 6.0),
+) -> str:
+    """Render Table 5 as text."""
+    runner = ExperimentRunner(config)
+    rows = table5_rows(runner, datasets, systems, budgets)
+    columns = ["Dataset", "DM F1", "DM h"]
+    for budget in budgets:
+        tag = f"{budget:g}h"
+        columns += [f"{system}@{tag}" for system in systems] + [f"Δ@{tag}"]
+    body = []
+    for row in rows:
+        line: list[object] = [
+            row["dataset"], row["deepmatcher_f1"], row["deepmatcher_hours"],
+        ]
+        for budget in budgets:
+            tag = f"{budget:g}h"
+            line += [row[f"{system}_{tag}"] for system in systems]
+            line += [row[f"delta_{tag}"]]
+        body.append(line)
+    return render_table(
+        "Table 5: EM-Adapter + AutoML vs DeepMatcher (training budgets)",
+        columns,
+        body,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_table5())

@@ -1,0 +1,47 @@
+"""Paper-style ASCII table rendering.
+
+Every experiment module returns its data as a list of row dicts plus a
+column specification; :func:`render_table` lays them out in a fixed-width
+grid that mirrors the paper's tables closely enough to compare line by
+line.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value: object, decimals: int = 2) -> str:
+    """Human formatting: floats to fixed decimals, None to '-'."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{decimals}f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    decimals: int = 2,
+) -> str:
+    """Fixed-width grid with a title line and a header separator."""
+    formatted = [
+        [format_value(cell, decimals) for cell in row] for row in rows
+    ]
+    widths = [len(str(col)) for col in columns]
+    for row in formatted:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * w for w in widths)
+    body = "\n".join(line(row) for row in formatted)
+    return f"{title}\n{line(list(columns))}\n{separator}\n{body}"

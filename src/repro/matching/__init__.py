@@ -1,0 +1,22 @@
+"""End-to-end EM systems.
+
+* :class:`EMPipeline` — the headline API: an EM adapter pipelined with an
+  AutoML system (the paper's proposal).
+* :class:`DeepMatcherHybrid` — the expert-tuned deep-learning baseline the
+  paper compares against.
+* :mod:`repro.matching.evaluation` — the harness that trains a system on
+  a benchmark dataset's splits and reports the paper's metrics.
+"""
+
+from repro.matching.deepmatcher import DeepMatcherHybrid
+from repro.matching.evaluation import EvaluationResult, evaluate_matcher
+from repro.matching.magellan import MagellanMatcher
+from repro.matching.pipeline import EMPipeline
+
+__all__ = [
+    "DeepMatcherHybrid",
+    "EMPipeline",
+    "EvaluationResult",
+    "MagellanMatcher",
+    "evaluate_matcher",
+]

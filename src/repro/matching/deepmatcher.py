@@ -1,0 +1,226 @@
+"""DeepMatcher (Hybrid) baseline.
+
+DeepMatcher (Mudgal et al., SIGMOD 2018) in its *Hybrid* configuration
+summarizes each attribute pair with soft-alignment attention over word
+embeddings, compares the aligned representations, and classifies the
+concatenated comparison vectors with a trained network. This module
+reproduces that architecture at laptop scale:
+
+* frozen fastText-style hash embeddings (as DeepMatcher uses frozen
+  fastText vectors);
+* per-attribute *decomposable-attention* summarization: each token of one
+  side is softly aligned to the other side's tokens by embedding
+  similarity, and the element-wise comparison of token and alignment is
+  averaged — both directions;
+* a trained two-hidden-layer classifier (manual-gradient MLP with Adam,
+  dropout and early stopping) on the concatenated per-attribute
+  comparison vectors.
+
+The *expert tuning* the paper attributes to DeepMatcher is embodied in
+the calibrated defaults; the AutoML systems get no such hand-tuning.
+Training time is reported through the same simulated cost model as the
+AutoML systems (DESIGN.md §2), calibrated to land near the paper's
+Table 2 hours.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.config import stable_hash
+from repro.data.schema import EMDataset, PairRecord
+from repro.exceptions import NotFittedError
+from repro.ml.metrics import best_f1_threshold
+from repro.nn.autograd import MLPClassifier
+from repro.text.similarity import ngrams
+from repro.text.tokenization import BasicTokenizer
+
+__all__ = ["DeepMatcherHybrid"]
+
+_HASH_BUCKETS = 4096
+
+#: Simulated hours per (thousand rows x attribute) at the default epochs,
+#: calibrated so full-scale S-DG lands near the paper's 8.5 h.
+_COST_PER_KROW_ATTR = 0.10
+
+
+class DeepMatcherHybrid:
+    """The Hybrid variant of DeepMatcher, from scratch.
+
+    Parameters
+    ----------
+    embedding_dim:
+        Dimensionality of the frozen hash word embeddings.
+    hidden:
+        Width of the trained classifier's hidden layers.
+    epochs:
+        Training epochs (early stopping may end sooner).
+    seed:
+        Seeds embeddings, initialization, batching.
+    """
+
+    name = "deepmatcher"
+
+    def __init__(
+        self,
+        embedding_dim: int = 48,
+        hidden: int = 96,
+        epochs: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.embedding_dim = embedding_dim
+        self.hidden = hidden
+        #: None = adaptive: small datasets train more epochs (as the real
+        #: DeepMatcher's default 10-40 epoch schedules effectively do).
+        self.epochs = epochs
+        self.seed = seed
+        self._tokenizer = BasicTokenizer()
+        rng = np.random.default_rng(stable_hash("deepmatcher-table", seed))
+        self._table = rng.normal(size=(_HASH_BUCKETS, embedding_dim))
+        self._table /= np.sqrt(embedding_dim)
+        self._token_cache: dict[str, np.ndarray] = {}
+
+    # --------------------------------------------------------- embeddings
+
+    def _token_vector(self, token: str) -> np.ndarray:
+        cached = self._token_cache.get(token)
+        if cached is not None:
+            return cached
+        rows = [stable_hash("dm-tok", token) % _HASH_BUCKETS]
+        for gram in ngrams(token, 3):
+            rows.append(stable_hash("dm-ng", gram) % _HASH_BUCKETS)
+        vector = self._table[rows].mean(axis=0)
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector = vector / norm
+        self._token_cache[token] = vector
+        return vector
+
+    def _embed_value(self, text: str) -> np.ndarray:
+        tokens = self._tokenizer.tokenize(text)[:40]
+        if not tokens:
+            return np.zeros((1, self.embedding_dim))
+        return np.stack([self._token_vector(t) for t in tokens])
+
+    # ------------------------------------------------------ summarization
+
+    def _attribute_comparison(self, left: str, right: str) -> np.ndarray:
+        """Soft-alignment comparison vector of one attribute pair."""
+        e_left = self._embed_value(left)
+        e_right = self._embed_value(right)
+        sim = e_left @ e_right.T  # Cosine similarities (unit rows).
+        gain = 10.0
+
+        # Left tokens aligned against right side.
+        attn_lr = _softmax_rows(sim * gain)
+        aligned_l = attn_lr @ e_right
+        # Right tokens aligned against left side.
+        attn_rl = _softmax_rows(sim.T * gain)
+        aligned_r = attn_rl @ e_left
+
+        abs_l = np.abs(e_left - aligned_l).mean(axis=0)
+        mul_l = (e_left * aligned_l).mean(axis=0)
+        abs_r = np.abs(e_right - aligned_r).mean(axis=0)
+        mul_r = (e_right * aligned_r).mean(axis=0)
+        cover_l = sim.max(axis=1).mean() if sim.size else 0.0
+        cover_r = sim.max(axis=0).mean() if sim.size else 0.0
+        both_empty = float(not left.strip() and not right.strip())
+        return np.concatenate(
+            [
+                abs_l + abs_r,
+                mul_l + mul_r,
+                [cover_l, cover_r, both_empty],
+            ]
+        )
+
+    def featurize(self, dataset: EMDataset) -> np.ndarray:
+        """Comparison vectors for every pair (the Hybrid summarization).
+
+        Per-attribute soft-alignment comparisons, plus one record-level
+        comparison over the denormalized entities — the component that
+        makes the Hybrid variant robust to Dirty data, where values sit in
+        the wrong column.
+        """
+        rows = []
+        names = dataset.schema.attribute_names
+        for pair in dataset:
+            parts = [
+                self._attribute_comparison(
+                    pair.text_of("left", name), pair.text_of("right", name)
+                )
+                for name in names
+            ]
+            whole_left = " ".join(pair.text_of("left", n) for n in names)
+            whole_right = " ".join(pair.text_of("right", n) for n in names)
+            parts.append(self._attribute_comparison(whole_left, whole_right))
+            rows.append(np.concatenate(parts))
+        return np.vstack(rows)
+
+    # ---------------------------------------------------------------- fit
+
+    def fit(self, train: EMDataset, valid: EMDataset) -> "DeepMatcherHybrid":
+        """Train on the train split, early-stop and threshold on valid."""
+        start = time.perf_counter()
+        X_train = self.featurize(train)
+        X_valid = self.featurize(valid)
+        y_train = train.labels
+        y_valid = valid.labels
+
+        # Standardize comparison features (DeepMatcher batch-normalizes).
+        self._feature_mean = X_train.mean(axis=0)
+        std = X_train.std(axis=0)
+        self._feature_scale = np.where(std > 0, std, 1.0)
+        X_train = (X_train - self._feature_mean) / self._feature_scale
+        X_valid = (X_valid - self._feature_mean) / self._feature_scale
+
+        epochs = self.epochs
+        if epochs is None:
+            # Adaptive schedule: tiny datasets need many passes to reach
+            # the same number of optimizer steps.
+            epochs = int(np.clip(25_000 // max(1, len(train)), 30, 120))
+        self._epochs_used = epochs
+        self._classifier = MLPClassifier(
+            hidden=self.hidden,
+            epochs=epochs,
+            lr=3e-3,
+            dropout=0.1,
+            class_weighted=True,
+            seed=self.seed,
+        )
+        self._classifier.fit(X_train, y_train, X_valid, y_valid)
+        proba = self._classifier.predict_proba(X_valid)[:, 1]
+        self._threshold, _ = best_f1_threshold(y_valid, proba)
+        self.simulated_hours_ = self._cost_hours(train)
+        self.wall_seconds_ = time.perf_counter() - start
+        return self
+
+    def _cost_hours(self, train: EMDataset) -> float:
+        n_attrs = len(train.schema.attributes) + 1  # + the record-level path.
+        return (
+            _COST_PER_KROW_ATTR
+            * (len(train) / 1000.0)
+            * n_attrs
+            * (self._epochs_used / 30.0)
+        )
+
+    # ---------------------------------------------------------- inference
+
+    def predict_proba(self, dataset: EMDataset) -> np.ndarray:
+        """P(match) per pair of ``dataset``."""
+        if not hasattr(self, "_classifier"):
+            raise NotFittedError("DeepMatcherHybrid must be fitted first")
+        features = self.featurize(dataset)
+        features = (features - self._feature_mean) / self._feature_scale
+        return self._classifier.predict_proba(features)[:, 1]
+
+    def predict(self, dataset: EMDataset) -> np.ndarray:
+        """Match labels at the validation-tuned threshold."""
+        return (self.predict_proba(dataset) >= self._threshold).astype(np.int64)
+
+
+def _softmax_rows(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)

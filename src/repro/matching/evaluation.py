@@ -1,0 +1,59 @@
+"""Evaluation harness shared by the experiment tables.
+
+One call of :func:`evaluate_matcher` covers the full protocol of the
+paper's Section 5: train on the train split (with the validation split
+available for model selection / early stopping / thresholding), then
+report F1, precision and recall on the held-out test split plus the
+simulated and wall-clock training times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.splits import DatasetSplits
+from repro.ml.metrics import f1_score, precision_score, recall_score
+
+__all__ = ["EvaluationResult", "evaluate_matcher"]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Outcome of one (system, dataset) evaluation."""
+
+    system: str
+    dataset: str
+    f1: float  # Percent, as the paper reports it.
+    precision: float
+    recall: float
+    simulated_hours: float
+    wall_seconds: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.system} on {self.dataset}: F1={self.f1:.2f} "
+            f"P={self.precision:.2f} R={self.recall:.2f} "
+            f"({self.simulated_hours:.2f} sim-h, {self.wall_seconds:.1f}s wall)"
+        )
+
+
+def evaluate_matcher(matcher, splits: DatasetSplits, system_name: str | None = None) -> EvaluationResult:
+    """Fit ``matcher`` on the splits and measure it on the test set.
+
+    ``matcher`` is anything exposing ``fit(train, valid)`` and
+    ``predict(dataset)`` over :class:`~repro.data.schema.EMDataset` —
+    both :class:`~repro.matching.pipeline.EMPipeline` and
+    :class:`~repro.matching.deepmatcher.DeepMatcherHybrid` qualify.
+    """
+    matcher.fit(splits.train, splits.valid)
+    predictions = matcher.predict(splits.test)
+    labels = splits.test.labels
+    return EvaluationResult(
+        system=system_name or getattr(matcher, "name", type(matcher).__name__),
+        dataset=splits.test.name.split("/")[0],
+        f1=100.0 * f1_score(labels, predictions),
+        precision=100.0 * precision_score(labels, predictions),
+        recall=100.0 * recall_score(labels, predictions),
+        simulated_hours=float(getattr(matcher, "simulated_hours_", 0.0)),
+        wall_seconds=float(getattr(matcher, "wall_seconds_", 0.0)),
+    )

@@ -1,0 +1,111 @@
+"""The headline API: an EM adapter pipelined with an AutoML system.
+
+This is what the paper proposes a non-expert user runs::
+
+    from repro.data import load_dataset, split_dataset
+    from repro.matching import EMPipeline
+
+    splits = split_dataset(load_dataset("S-DA"))
+    pipeline = EMPipeline(automl="autosklearn", budget_hours=1.0)
+    pipeline.fit(splits.train, splits.valid)
+    f1 = pipeline.score(splits.test)
+
+No ML expertise enters the call: the adapter's defaults are the paper's
+best configuration (hybrid tokenizer + ALBERT embedder + mean combiner),
+and the AutoML system does all model selection and tuning internally.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.adapter import EMAdapter
+from repro.automl import AutoMLSystem, make_automl
+from repro.data.schema import EMDataset
+from repro.exceptions import NotFittedError
+from repro.ml.metrics import f1_score, precision_score, recall_score
+
+__all__ = ["EMPipeline"]
+
+
+class EMPipeline:
+    """EM adapter + AutoML, end to end.
+
+    Parameters
+    ----------
+    adapter:
+        An :class:`EMAdapter` (default: the paper's best configuration —
+        hybrid tokenizer, ALBERT embedder, mean combiner).
+    automl:
+        An :class:`AutoMLSystem` instance or registry name
+        (``"autosklearn"`` / ``"autogluon"`` / ``"h2o"``).
+    budget_hours:
+        Simulated training budget forwarded when ``automl`` is a name;
+        ``None`` leaves the system unbounded.
+    seed:
+        Forwarded to the AutoML system when built from a name.
+    """
+
+    def __init__(
+        self,
+        adapter: EMAdapter | None = None,
+        automl: AutoMLSystem | str = "autosklearn",
+        budget_hours: float | None = 1.0,
+        seed: int = 0,
+        max_models: int | None = None,
+    ) -> None:
+        self.adapter = adapter if adapter is not None else EMAdapter()
+        if isinstance(automl, str):
+            kwargs = {"budget_hours": budget_hours, "seed": seed}
+            if max_models is not None:
+                kwargs["max_models"] = max_models
+            self.automl = make_automl(automl, **kwargs)
+        else:
+            self.automl = automl
+
+    def fit(self, train: EMDataset, valid: EMDataset) -> "EMPipeline":
+        """Encode the splits with the adapter and run the AutoML search."""
+        start = time.perf_counter()
+        X_train = self.adapter.transform(train)
+        X_valid = self.adapter.transform(valid)
+        self.automl.fit(X_train, train.labels, X_valid, valid.labels)
+        self.wall_seconds_ = time.perf_counter() - start
+        return self
+
+    @property
+    def simulated_hours_(self) -> float:
+        """Simulated training hours consumed by the AutoML search."""
+        return self.automl.report_.simulated_hours
+
+    def predict_proba(self, dataset: EMDataset) -> np.ndarray:
+        """P(match) per pair."""
+        self._check_fitted()
+        return self.automl.predict_proba(self.adapter.transform(dataset))[:, 1]
+
+    def predict(self, dataset: EMDataset) -> np.ndarray:
+        """Match labels at the AutoML's validation-tuned threshold."""
+        self._check_fitted()
+        return self.automl.predict(self.adapter.transform(dataset))
+
+    def score(self, dataset: EMDataset) -> float:
+        """Test F1 (fraction in [0, 1]; the paper reports it x100)."""
+        return f1_score(dataset.labels, self.predict(dataset))
+
+    def detailed_score(self, dataset: EMDataset) -> dict[str, float]:
+        """F1, precision and recall on ``dataset``."""
+        predictions = self.predict(dataset)
+        labels = dataset.labels
+        return {
+            "f1": f1_score(labels, predictions),
+            "precision": precision_score(labels, predictions),
+            "recall": recall_score(labels, predictions),
+        }
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "wall_seconds_"):
+            raise NotFittedError("EMPipeline must be fitted first")
+
+    def __repr__(self) -> str:
+        return f"EMPipeline(adapter={self.adapter.name}, automl={self.automl.name})"

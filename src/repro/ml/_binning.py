@@ -1,0 +1,75 @@
+"""Quantile feature binning shared by the tree and boosting models.
+
+Trees and gradient boosting both operate on binned features (LightGBM
+style): each column is mapped to small integer bins by quantile edges
+learned on the training data, so split finding reduces to histogram
+accumulation. Missing values (NaN) get the dedicated bin 0, which ordered
+splits send to the left child — a simple but standard missing-value
+policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+__all__ = ["BinMapper", "MISSING_BIN"]
+
+#: Bin index reserved for missing values.
+MISSING_BIN = 0
+
+
+class BinMapper:
+    """Learn per-column quantile bin edges and map values to uint8 bins.
+
+    Bin 0 is reserved for NaN; finite values occupy bins ``1..n_bins-1``.
+    """
+
+    def __init__(self, n_bins: int = 64) -> None:
+        if not 4 <= n_bins <= 256:
+            raise ValueError(f"n_bins must be in [4, 256], got {n_bins}")
+        self.n_bins = n_bins
+
+    def fit(self, X: np.ndarray) -> "BinMapper":
+        X = np.asarray(X, dtype=np.float64)
+        edges: list[np.ndarray] = []
+        for col in range(X.shape[1]):
+            values = X[:, col]
+            finite = values[~np.isnan(values)]
+            if len(finite) == 0:
+                edges.append(np.array([]))
+                continue
+            quantiles = np.linspace(0, 1, self.n_bins - 1)
+            col_edges = np.unique(np.quantile(finite, quantiles))
+            # Interior edges only: values <= first edge land in bin 1.
+            edges.append(col_edges[1:-1] if len(col_edges) > 2 else col_edges[:0])
+        self.edges_ = edges
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "edges_"):
+            raise NotFittedError("BinMapper must be fitted before transform")
+        X = np.asarray(X, dtype=np.float64)
+        binned = np.empty(X.shape, dtype=np.uint8)
+        for col in range(X.shape[1]):
+            values = X[:, col]
+            missing = np.isnan(values)
+            col_edges = self.edges_[col]
+            if len(col_edges) == 0:
+                bins = np.ones(len(values), dtype=np.int64)
+            else:
+                bins = np.searchsorted(col_edges, values, side="right") + 1
+            bins[missing] = MISSING_BIN
+            binned[:, col] = bins.astype(np.uint8)
+        return binned
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    @property
+    def actual_bins_(self) -> list[int]:
+        """Number of occupied bins per column (including the missing bin)."""
+        if not hasattr(self, "edges_"):
+            raise NotFittedError("BinMapper must be fitted first")
+        return [len(edges) + 2 for edges in self.edges_]

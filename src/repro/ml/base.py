@@ -1,0 +1,137 @@
+"""Estimator base class and cloning, in the scikit-learn idiom.
+
+Every model in the zoo derives from :class:`Estimator`: hyper-parameters
+are constructor arguments stored verbatim on ``self``, learned state lives
+in trailing-underscore attributes, and :func:`clone` builds an unfitted
+copy from :meth:`Estimator.get_params`. The AutoML layer relies on exactly
+these three conventions.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, TypeVar
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+__all__ = ["Estimator", "clone", "check_Xy", "check_is_fitted"]
+
+E = TypeVar("E", bound="Estimator")
+
+
+class Estimator:
+    """Base class for all classifiers in the zoo.
+
+    Subclasses implement ``fit(X, y)`` returning ``self``,
+    ``predict_proba(X)`` returning an ``(n, 2)`` array for binary tasks,
+    and inherit :meth:`predict`. Constructor arguments must all have
+    defaults and be stored under their own names (enforced by
+    :meth:`get_params`).
+    """
+
+    def fit(self: E, X: np.ndarray, y: np.ndarray) -> E:  # pragma: no cover
+        raise NotImplementedError
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Class predictions from :meth:`predict_proba` (argmax)."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    # ------------------------------------------------------------- params
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        signature = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, param in signature.parameters.items()
+            if name != "self"
+            and param.kind
+            in (param.POSITIONAL_OR_KEYWORD, param.KEYWORD_ONLY)
+        ]
+
+    def get_params(self) -> dict[str, Any]:
+        """Constructor hyper-parameters as a dict."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self: E, **params: Any) -> E:
+        """Set hyper-parameters in place; unknown names raise."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"{type(self).__name__} has no parameter {name!r}"
+                )
+            setattr(self, name, value)
+        return self
+
+    # ------------------------------------------------------------- state
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once ``classes_`` has been learned."""
+        return hasattr(self, "classes_")
+
+    def _store_classes(self, y: np.ndarray) -> np.ndarray:
+        """Record ``classes_`` and return y encoded as class indices."""
+        classes, encoded = np.unique(y, return_inverse=True)
+        self.classes_: np.ndarray = classes
+        return encoded
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: E) -> E:
+    """An unfitted copy of ``estimator`` with identical hyper-parameters.
+
+    Nested estimators (values that are themselves :class:`Estimator`
+    instances, or lists of them) are cloned recursively.
+    """
+    params = {}
+    for name, value in estimator.get_params().items():
+        if isinstance(value, Estimator):
+            params[name] = clone(value)
+        elif isinstance(value, (list, tuple)) and value and all(
+            isinstance(v, Estimator) for v in value
+        ):
+            params[name] = type(value)(clone(v) for v in value)
+        else:
+            params[name] = value
+    return type(estimator)(**params)
+
+
+def check_Xy(
+    X: np.ndarray, y: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Validate and coerce the feature matrix (and labels, if given).
+
+    X becomes a 2-D float64 array; NaNs are allowed (tree models handle
+    them, others should impute first). y becomes a 1-D array whose length
+    matches X.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+    if y is None:
+        return X, None
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-dimensional, got shape {y.shape}")
+    if len(y) != len(X):
+        raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+    return X, y
+
+
+def check_is_fitted(estimator: Estimator) -> None:
+    """Raise :class:`NotFittedError` unless ``estimator`` has been fit."""
+    if not estimator.is_fitted:
+        raise NotFittedError(
+            f"{type(estimator).__name__} must be fitted before use"
+        )

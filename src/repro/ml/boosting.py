@@ -1,0 +1,354 @@
+"""Histogram gradient boosting (LightGBM-style) with logistic loss.
+
+Stands in for both the LightGBM and CatBoost members of AutoGluon's zoo
+and for AutoSklearn's gradient-boosting family. Trees are second-order
+(Newton) regression trees over uint8-binned features; split gain follows
+the XGBoost formulation with L2 leaf regularization. Two classic
+optimizations keep the pure-numpy implementation fast: feature
+subsampling is decided once per tree (so parent/child histograms share a
+feature set), and each node computes the histogram of its *smaller* child
+only, deriving the sibling by subtraction from the parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml._binning import BinMapper
+from repro.ml.base import Estimator, check_is_fitted, check_Xy
+
+__all__ = ["GradientBoostingClassifier"]
+
+
+
+
+@dataclass
+class _RegNode:
+    feature: int = -1
+    threshold_bin: int = 0
+    left: int = -1
+    right: int = -1
+    value: float = 0.0
+
+
+class _HistRegressionTree:
+    """One boosting round: a Newton regression tree on binned features."""
+
+    def __init__(
+        self,
+        max_depth: int,
+        min_samples_leaf: int,
+        reg_lambda: float,
+        features: np.ndarray,
+        rng: np.random.Generator,
+        stride: int = 64,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.reg_lambda = reg_lambda
+        self.features = features  # Per-tree feature subset (colsample).
+        self.rng = rng
+        self.stride = stride  # Bin stride; BinMapper keeps bins < stride.
+        self.nodes: list[_RegNode] = []
+
+    def fit(
+        self, binned: np.ndarray, grad: np.ndarray, hess: np.ndarray
+    ) -> "_HistRegressionTree":
+        self._binned = binned
+        self._grad = grad
+        self._hess = hess
+        root_idx = np.flatnonzero(hess >= 0)  # All rows.
+        g_hist, h_hist = self._histograms(root_idx)
+        self._grow(root_idx, g_hist, h_hist, depth=0)
+        self._finalize()
+        del self._binned, self._grad, self._hess
+        return self
+
+    # ------------------------------------------------------------- hists
+
+    def _histograms(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(n_feats, 256) gradient and hessian histograms of ``indices``."""
+        feats = self.features
+        stride = self.stride
+        n_feats = len(feats)
+        g_hist = np.empty((n_feats, stride))
+        h_hist = np.empty((n_feats, stride))
+        chunk = max(1, int(4_000_000 // max(1, len(indices))))
+        node_grad = self._grad[indices]
+        node_hess = self._hess[indices]
+        rows = self._binned[indices]
+        for start in range(0, n_feats, chunk):
+            cols = feats[start : start + chunk]
+            width = len(cols)
+            sub = rows[:, cols].astype(np.int64)
+            sub += np.arange(width) * stride
+            flat = sub.ravel()
+            size = width * stride
+            g_hist[start : start + width] = np.bincount(
+                flat, weights=np.repeat(node_grad, width), minlength=size
+            ).reshape(width, stride)
+            h_hist[start : start + width] = np.bincount(
+                flat, weights=np.repeat(node_hess, width), minlength=size
+            ).reshape(width, stride)
+        return g_hist, h_hist
+
+    # -------------------------------------------------------------- grow
+
+    def _leaf_value(self, g: float, h: float) -> float:
+        return -g / (h + self.reg_lambda)
+
+    def _grow(
+        self,
+        indices: np.ndarray,
+        g_hist: np.ndarray,
+        h_hist: np.ndarray,
+        depth: int,
+    ) -> int:
+        node_id = len(self.nodes)
+        self.nodes.append(_RegNode())
+        g_total = float(g_hist.sum())
+        h_total = float(h_hist.sum())
+
+        if depth >= self.max_depth or len(indices) < 2 * self.min_samples_leaf:
+            self.nodes[node_id].value = self._leaf_value(g_total, h_total)
+            return node_id
+
+        split = self._find_split(g_hist, h_hist, g_total, h_total)
+        if split is None:
+            self.nodes[node_id].value = self._leaf_value(g_total, h_total)
+            return node_id
+
+        feature, threshold_bin = split
+        go_left = self._binned[indices, feature] <= threshold_bin
+        left_idx = indices[go_left]
+        right_idx = indices[~go_left]
+        if (
+            len(left_idx) < self.min_samples_leaf
+            or len(right_idx) < self.min_samples_leaf
+        ):
+            self.nodes[node_id].value = self._leaf_value(g_total, h_total)
+            return node_id
+
+        # Histogram subtraction: bincount the smaller child, derive the
+        # larger one from the parent.
+        if len(left_idx) <= len(right_idx):
+            g_left, h_left = self._histograms(left_idx)
+            g_right, h_right = g_hist - g_left, h_hist - h_left
+        else:
+            g_right, h_right = self._histograms(right_idx)
+            g_left, h_left = g_hist - g_right, h_hist - h_right
+
+        self.nodes[node_id].feature = feature
+        self.nodes[node_id].threshold_bin = threshold_bin
+        self.nodes[node_id].left = self._grow(left_idx, g_left, h_left, depth + 1)
+        self.nodes[node_id].right = self._grow(
+            right_idx, g_right, h_right, depth + 1
+        )
+        return node_id
+
+    def _find_split(
+        self,
+        g_hist: np.ndarray,
+        h_hist: np.ndarray,
+        g_total: float,
+        h_total: float,
+    ) -> tuple[int, int] | None:
+        lam = self.reg_lambda
+        parent_score = g_total**2 / (h_total + lam)
+        g_left = np.cumsum(g_hist, axis=1)[:, :-1]
+        h_left = np.cumsum(h_hist, axis=1)[:, :-1]
+        g_right = g_total - g_left
+        h_right = h_total - h_left
+        valid = (h_left > 1e-12) & (h_right > 1e-12)
+        gain = np.where(
+            valid,
+            g_left**2 / (h_left + lam) + g_right**2 / (h_right + lam) - parent_score,
+            -np.inf,
+        )
+        f_idx, t_idx = np.unravel_index(int(np.argmax(gain)), gain.shape)
+        if gain[f_idx, t_idx] <= 1e-7:
+            return None
+        return (int(self.features[f_idx]), int(t_idx))
+
+    # --------------------------------------------------------- inference
+
+    def _finalize(self) -> None:
+        self.feat = np.array([n.feature for n in self.nodes])
+        self.thresh = np.array([n.threshold_bin for n in self.nodes], dtype=np.int64)
+        self.left = np.array([n.left for n in self.nodes])
+        self.right = np.array([n.right for n in self.nodes])
+        self.values = np.array([n.value for n in self.nodes])
+
+    def predict(self, binned: np.ndarray) -> np.ndarray:
+        node_ids = np.zeros(len(binned), dtype=np.int64)
+        active = self.feat[node_ids] >= 0
+        while active.any():
+            rows = np.flatnonzero(active)
+            current = node_ids[rows]
+            go_left = (
+                binned[rows, self.feat[current]].astype(np.int64)
+                <= self.thresh[current]
+            )
+            node_ids[rows] = np.where(
+                go_left, self.left[current], self.right[current]
+            )
+            active[rows] = self.feat[node_ids[rows]] >= 0
+        return self.values[node_ids]
+
+
+class GradientBoostingClassifier(Estimator):
+    """Binary histogram GBM with logistic loss and early stopping.
+
+    Parameters
+    ----------
+    n_estimators:
+        Boosting rounds cap.
+    learning_rate:
+        Shrinkage applied to every tree's contribution.
+    max_depth:
+        Depth of each regression tree.
+    min_samples_leaf, reg_lambda:
+        Leaf regularization.
+    subsample:
+        Row subsampling fraction per round (stochastic boosting).
+    colsample:
+        Feature subsampling fraction, drawn once per tree.
+    early_stopping_rounds:
+        Stop when the held-out logloss has not improved for this many
+        rounds (10% of the training rows are held out); ``None`` disables.
+    n_bins, seed:
+        Histogram resolution and RNG seed.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 200,
+        learning_rate: float = 0.1,
+        max_depth: int = 5,
+        min_samples_leaf: int = 5,
+        reg_lambda: float = 1.0,
+        subsample: float = 1.0,
+        colsample: float = 1.0,
+        early_stopping_rounds: int | None = 20,
+        n_bins: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.reg_lambda = reg_lambda
+        self.subsample = subsample
+        self.colsample = colsample
+        self.early_stopping_rounds = early_stopping_rounds
+        self.n_bins = n_bins
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
+        X, y = check_Xy(X, y)
+        encoded = self._store_classes(y).astype(np.float64)
+        self._mapper = BinMapper(n_bins=self.n_bins)
+        if len(self.classes_) == 1:
+            self._base_score = 10.0 if self.classes_[0] == 1 else -10.0
+            self._trees: list[_HistRegressionTree] = []
+            self._mapper.fit(X)
+            return self
+        if len(self.classes_) != 2:
+            raise ValueError("GradientBoostingClassifier is binary only")
+
+        rng = np.random.default_rng(self.seed)
+        binned_all = self._mapper.fit_transform(X)
+
+        if self.early_stopping_rounds is not None and len(y) >= 50:
+            n_valid = max(10, int(0.1 * len(y)))
+            perm = rng.permutation(len(y))
+            valid_idx, train_idx = perm[:n_valid], perm[n_valid:]
+        else:
+            train_idx = np.arange(len(y))
+            valid_idx = np.array([], dtype=np.int64)
+
+        binned = binned_all[train_idx]
+        target = encoded[train_idx]
+        prior = float(np.clip(target.mean(), 1e-6, 1 - 1e-6))
+        self._base_score = float(np.log(prior / (1 - prior)))
+
+        raw = np.full(len(target), self._base_score)
+        raw_valid = np.full(len(valid_idx), self._base_score)
+        n_features = X.shape[1]
+        n_cols = (
+            n_features
+            if self.colsample >= 1.0
+            else max(1, int(self.colsample * n_features))
+        )
+
+        self._trees = []
+        best_loss = np.inf
+        best_round = 0
+        for round_idx in range(self.n_estimators):
+            prob = 1.0 / (1.0 + np.exp(-raw))
+            grad = prob - target
+            hess = np.maximum(prob * (1.0 - prob), 1e-12)
+            if self.subsample < 1.0:
+                mask = rng.random(len(target)) < self.subsample
+                if mask.sum() < 2 * self.min_samples_leaf:
+                    mask[:] = True
+                grad = np.where(mask, grad, 0.0)
+                hess = np.where(mask, hess, 1e-12)
+            if n_cols < n_features:
+                features = np.sort(
+                    rng.choice(n_features, size=n_cols, replace=False)
+                )
+            else:
+                features = np.arange(n_features)
+            tree = _HistRegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                reg_lambda=self.reg_lambda,
+                features=features,
+                rng=rng,
+                stride=self.n_bins,
+            ).fit(binned, grad, hess)
+            self._trees.append(tree)
+            raw += self.learning_rate * tree.predict(binned)
+
+            if len(valid_idx) > 0:
+                raw_valid += self.learning_rate * tree.predict(
+                    binned_all[valid_idx]
+                )
+                p = 1.0 / (1.0 + np.exp(-raw_valid))
+                eps = 1e-12
+                yv = encoded[valid_idx]
+                loss = float(
+                    -np.mean(yv * np.log(p + eps) + (1 - yv) * np.log(1 - p + eps))
+                )
+                if loss < best_loss - 1e-6:
+                    best_loss = loss
+                    best_round = round_idx
+                elif round_idx - best_round >= self.early_stopping_rounds:
+                    self._trees = self._trees[: best_round + 1]
+                    break
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self)
+        X, _ = check_Xy(X)
+        binned = self._mapper.transform(X)
+        raw = np.full(len(X), self._base_score)
+        for tree in self._trees:
+            raw += self.learning_rate * tree.predict(binned)
+        return raw
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self)
+        if len(self.classes_) == 1:
+            return np.ones((len(X), 1))
+        p1 = 1.0 / (1.0 + np.exp(-self.decision_function(X)))
+        return np.column_stack([1.0 - p1, p1])
+
+    @property
+    def n_trees_(self) -> int:
+        """Number of boosting rounds actually kept after early stopping."""
+        check_is_fitted(self)
+        return len(self._trees)

@@ -1,0 +1,124 @@
+"""Probability calibration: Platt scaling and isotonic regression.
+
+EM decisions are threshold-sensitive (the paper's systems all tune the
+match threshold on validation data), so calibrated probabilities matter
+for downstream consumers who act on scores rather than labels — e.g. the
+clerical-review queues of production ER deployments. Both calibrators
+wrap an already-fitted model's validation scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+__all__ = ["PlattCalibrator", "IsotonicCalibrator", "expected_calibration_error"]
+
+
+class PlattCalibrator:
+    """Sigmoid (Platt) calibration: fit ``sigmoid(a*s + b)`` on scores."""
+
+    def fit(self, scores: np.ndarray, y: np.ndarray) -> "PlattCalibrator":
+        from scipy import optimize
+
+        scores = np.asarray(scores, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+
+        def loss(params: np.ndarray) -> float:
+            a, b = params
+            p = 1.0 / (1.0 + np.exp(-np.clip(a * scores + b, -35, 35)))
+            eps = 1e-12
+            return -float(
+                np.mean(y * np.log(p + eps) + (1 - y) * np.log(1 - p + eps))
+            )
+
+        result = optimize.minimize(
+            loss, np.array([1.0, 0.0]), method="Nelder-Mead"
+        )
+        self.a_, self.b_ = float(result.x[0]), float(result.x[1])
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "a_"):
+            raise NotFittedError("PlattCalibrator must be fitted first")
+        z = self.a_ * np.asarray(scores, dtype=np.float64) + self.b_
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+
+
+class IsotonicCalibrator:
+    """Isotonic regression via pool-adjacent-violators (PAV).
+
+    Produces a stepwise non-decreasing mapping from raw scores to
+    calibrated probabilities; new scores are linearly interpolated between
+    the learned knots.
+    """
+
+    def fit(self, scores: np.ndarray, y: np.ndarray) -> "IsotonicCalibrator":
+        scores = np.asarray(scores, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(scores) != len(y):
+            raise ValueError("scores and y must have equal length")
+        order = np.argsort(scores, kind="mergesort")
+        x_sorted = scores[order]
+        y_sorted = y[order]
+
+        # PAV: maintain blocks (value, weight, x-range), merge violations.
+        values: list[float] = []
+        weights: list[float] = []
+        starts: list[float] = []
+        ends: list[float] = []
+        for xi, yi in zip(x_sorted, y_sorted):
+            values.append(float(yi))
+            weights.append(1.0)
+            starts.append(float(xi))
+            ends.append(float(xi))
+            while len(values) >= 2 and values[-2] > values[-1]:
+                w = weights[-2] + weights[-1]
+                v = (values[-2] * weights[-2] + values[-1] * weights[-1]) / w
+                values[-2:] = [v]
+                weights[-2:] = [w]
+                starts[-2:] = [starts[-2]]
+                ends[-2:] = [ends[-1]]
+        # Each block contributes two knots (start and end at the block
+        # value), so predictions are constant inside a block and ramp only
+        # between blocks — the standard isotonic step shape.
+        knots_x: list[float] = []
+        knots_y: list[float] = []
+        for v, lo, hi in zip(values, starts, ends):
+            if knots_x and lo <= knots_x[-1]:
+                lo = np.nextafter(knots_x[-1], np.inf)
+            knots_x.append(lo)
+            knots_y.append(v)
+            if hi > lo:
+                knots_x.append(hi)
+                knots_y.append(v)
+        self.knots_x_ = np.array(knots_x)
+        self.knots_y_ = np.array(knots_y)
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "knots_x_"):
+            raise NotFittedError("IsotonicCalibrator must be fitted first")
+        scores = np.asarray(scores, dtype=np.float64)
+        if len(self.knots_x_) == 1:
+            return np.full(len(scores), float(self.knots_y_[0]))
+        return np.interp(scores, self.knots_x_, self.knots_y_)
+
+
+def expected_calibration_error(
+    y: np.ndarray, proba: np.ndarray, n_bins: int = 10
+) -> float:
+    """ECE: mean |accuracy - confidence| over equal-width probability bins."""
+    y = np.asarray(y, dtype=np.float64)
+    proba = np.asarray(proba, dtype=np.float64)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    total = 0.0
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (proba >= lo) & (proba < hi if hi < 1.0 else proba <= hi)
+        if not mask.any():
+            continue
+        accuracy = float(y[mask].mean())
+        confidence = float(proba[mask].mean())
+        total += mask.mean() * abs(accuracy - confidence)
+    return float(total)

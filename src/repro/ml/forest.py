@@ -1,0 +1,111 @@
+"""Bagged tree ensembles: Random Forest and Extremely Randomized Trees.
+
+Both share one :class:`~repro.ml._binning.BinMapper` across all trees so
+the feature matrix is binned once per fit/predict, and average the class
+distributions of their member trees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml._binning import BinMapper
+from repro.ml.base import Estimator, check_is_fitted, check_Xy
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier", "ExtraTreesClassifier"]
+
+
+class _BaggedTrees(Estimator):
+    """Shared implementation of the two forest variants."""
+
+    _splitter = "best"
+    _default_bootstrap = True
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = "sqrt",
+        bootstrap: bool | None = None,
+        class_weight: str | None = None,
+        n_bins: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.class_weight = class_weight
+        self.n_bins = n_bins
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "_BaggedTrees":
+        X, y = check_Xy(X, y)
+        encoded = self._store_classes(y)
+        self.n_classes_ = len(self.classes_)
+        self._mapper = BinMapper(n_bins=self.n_bins)
+        binned = self._mapper.fit_transform(X)
+
+        rng = np.random.default_rng(self.seed)
+        use_bootstrap = (
+            self._default_bootstrap if self.bootstrap is None else self.bootstrap
+        )
+        base_weight = self._class_weights(encoded)
+
+        self.estimators_: list[DecisionTreeClassifier] = []
+        n = len(y)
+        for i in range(self.n_estimators):
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                splitter=self._splitter,
+                n_bins=self.n_bins,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            if use_bootstrap:
+                counts = np.bincount(
+                    rng.integers(0, n, size=n), minlength=n
+                ).astype(np.float64)
+                weight = counts * base_weight
+            else:
+                weight = base_weight
+            tree.fit(X, y, sample_weight=weight, binned=binned)
+            self.estimators_.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self)
+        X, _ = check_Xy(X)
+        binned = self._mapper.transform(X)
+        proba = np.zeros((len(X), self.n_classes_))
+        for tree in self.estimators_:
+            proba += tree.predict_proba(X, binned=binned)
+        return proba / len(self.estimators_)
+
+    def _class_weights(self, encoded: np.ndarray) -> np.ndarray:
+        if self.class_weight is None:
+            return np.ones(len(encoded))
+        if self.class_weight != "balanced":
+            raise ValueError(f"unknown class_weight {self.class_weight!r}")
+        counts = np.bincount(encoded, minlength=self.n_classes_).astype(np.float64)
+        counts[counts == 0] = 1.0
+        per_class = len(encoded) / (self.n_classes_ * counts)
+        return per_class[encoded]
+
+
+class RandomForestClassifier(_BaggedTrees):
+    """Bootstrap-bagged CART forest with sqrt feature subsampling."""
+
+    _splitter = "best"
+    _default_bootstrap = True
+
+
+class ExtraTreesClassifier(_BaggedTrees):
+    """Extremely Randomized Trees: random thresholds, no bootstrap."""
+
+    _splitter = "random"
+    _default_bootstrap = False

@@ -1,0 +1,56 @@
+"""Gaussian naive Bayes (a cheap member of the AutoSklearn-style zoo)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Estimator, check_is_fitted, check_Xy
+
+__all__ = ["GaussianNaiveBayes"]
+
+
+class GaussianNaiveBayes(Estimator):
+    """Per-class independent Gaussians with variance smoothing."""
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        if var_smoothing <= 0:
+            raise ValueError(f"var_smoothing must be positive, got {var_smoothing}")
+        self.var_smoothing = var_smoothing
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNaiveBayes":
+        X, y = check_Xy(X, y)
+        if np.isnan(X).any():
+            raise ValueError("GaussianNaiveBayes does not accept NaNs; impute first")
+        encoded = self._store_classes(y)
+        n_classes = len(self.classes_)
+        n_features = X.shape[1]
+        self.theta_ = np.zeros((n_classes, n_features))
+        self.var_ = np.zeros((n_classes, n_features))
+        self.priors_ = np.zeros(n_classes)
+        global_var = X.var(axis=0).max() if len(X) else 1.0
+        smoothing = self.var_smoothing * max(global_var, 1e-12)
+        for cls in range(n_classes):
+            rows = X[encoded == cls]
+            self.priors_[cls] = len(rows) / len(X)
+            if len(rows) == 0:
+                self.var_[cls] = smoothing
+                continue
+            self.theta_[cls] = rows.mean(axis=0)
+            self.var_[cls] = rows.var(axis=0) + smoothing
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self)
+        X, _ = check_Xy(X)
+        log_probs = np.zeros((len(X), len(self.classes_)))
+        for cls in range(len(self.classes_)):
+            prior = max(self.priors_[cls], 1e-12)
+            diff = X - self.theta_[cls]
+            log_likelihood = -0.5 * np.sum(
+                np.log(2.0 * np.pi * self.var_[cls]) + diff**2 / self.var_[cls],
+                axis=1,
+            )
+            log_probs[:, cls] = np.log(prior) + log_likelihood
+        log_probs -= log_probs.max(axis=1, keepdims=True)
+        probs = np.exp(log_probs)
+        return probs / probs.sum(axis=1, keepdims=True)

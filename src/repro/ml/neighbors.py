@@ -1,0 +1,65 @@
+"""k-Nearest-Neighbours classifier (part of the AutoGluon-style zoo)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Estimator, check_is_fitted, check_Xy
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier(Estimator):
+    """Brute-force k-NN with uniform or distance weighting.
+
+    Distances are Euclidean, computed blockwise so memory stays bounded on
+    large test sets. Probabilities are the (weighted) class frequencies of
+    the neighbourhood.
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform") -> None:
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"unknown weights {weights!r}")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X, y = check_Xy(X, y)
+        if np.isnan(X).any():
+            raise ValueError("KNeighborsClassifier does not accept NaNs; impute first")
+        self._X = X
+        self._y = self._store_classes(y)
+        self.n_classes_ = len(self.classes_)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self)
+        X, _ = check_Xy(X)
+        k = min(self.n_neighbors, len(self._X))
+        out = np.empty((len(X), self.n_classes_))
+        train_sq = np.sum(self._X**2, axis=1)
+        block = max(1, int(2e7 // max(1, len(self._X))))
+        for start in range(0, len(X), block):
+            chunk = X[start : start + block]
+            d2 = (
+                np.sum(chunk**2, axis=1)[:, None]
+                - 2.0 * chunk @ self._X.T
+                + train_sq[None, :]
+            )
+            np.maximum(d2, 0.0, out=d2)
+            neighbor_idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            rows = np.arange(len(chunk))[:, None]
+            neighbor_d = np.sqrt(d2[rows, neighbor_idx])
+            neighbor_y = self._y[neighbor_idx]
+            if self.weights == "distance":
+                w = 1.0 / np.maximum(neighbor_d, 1e-9)
+            else:
+                w = np.ones_like(neighbor_d)
+            for cls in range(self.n_classes_):
+                out[start : start + block, cls] = np.sum(
+                    w * (neighbor_y == cls), axis=1
+                )
+        out /= np.maximum(out.sum(axis=1, keepdims=True), 1e-12)
+        return out

@@ -1,0 +1,324 @@
+"""CART decision trees over binned features.
+
+The tree grows *breadth-first*: all frontier nodes of one depth are
+processed in a single vectorized pass — their per-feature class histograms
+come from one ``bincount`` over composite (node, feature, bin) keys — so
+the Python overhead per node is constant regardless of tree size. Each
+node examines its own random feature subset (``max_features``), which is
+what differentiates a bagged Random Forest from a single CART; with
+``splitter="random"`` a random threshold per feature is used instead of
+the Gini-optimal one (Extremely Randomized Trees).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml._binning import BinMapper
+from repro.ml.base import Estimator, check_is_fitted, check_Xy
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+
+
+class DecisionTreeClassifier(Estimator):
+    """Binary/multiclass CART classifier on binned features.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap; ``None`` means unlimited (bounded by data).
+    min_samples_split / min_samples_leaf:
+        Pre-pruning thresholds.
+    max_features:
+        Features examined per node: ``None`` (all), ``"sqrt"``, an int, or
+        a float fraction.
+    splitter:
+        ``"best"`` (exact Gini over bins) or ``"random"`` (one random
+        threshold per feature, extra-trees style).
+    n_bins:
+        Histogram resolution for continuous features.
+    seed:
+        Seeds feature subsampling and random thresholds.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = None,
+        splitter: str = "best",
+        n_bins: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if splitter not in ("best", "random"):
+            raise ValueError(f"unknown splitter {splitter!r}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.splitter = splitter
+        self.n_bins = n_bins
+        self.seed = seed
+
+    # ---------------------------------------------------------------- fit
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+        binned: np.ndarray | None = None,
+    ) -> "DecisionTreeClassifier":
+        """Grow the tree.
+
+        ``binned`` lets ensemble callers share one :class:`BinMapper`
+        across all trees; when given, ``X`` is only used for shape checks.
+        """
+        X, y = check_Xy(X, y)
+        encoded = self._store_classes(y)
+        self.n_classes_ = len(self.classes_)
+        if binned is None:
+            self._mapper = BinMapper(n_bins=self.n_bins)
+            binned = self._mapper.fit_transform(X)
+        else:
+            self._mapper = None
+        if sample_weight is None:
+            sample_weight = np.ones(len(y), dtype=np.float64)
+
+        rng = np.random.default_rng(self.seed)
+        self._grow_breadth_first(binned, encoded, sample_weight, rng)
+        return self
+
+    def _n_candidate_features(self, n_features: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return n_features
+        if mf == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(mf, float):
+            return max(1, int(mf * n_features))
+        return max(1, min(int(mf), n_features))
+
+    def _grow_breadth_first(
+        self,
+        binned: np.ndarray,
+        y: np.ndarray,
+        weight: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        n_rows, n_features = binned.shape
+        k = self._n_candidate_features(n_features)
+        max_depth = self.max_depth if self.max_depth is not None else 10**9
+
+        # Flat node arrays, grown dynamically.
+        feat: list[int] = [-1]
+        thresh: list[int] = [0]
+        left: list[int] = [-1]
+        right: list[int] = [-1]
+        values: list[np.ndarray | None] = [None]
+
+        # Rows participating in growth; weight-0 rows still get routed at
+        # prediction time but contribute nothing to histograms.
+        node_of_row = np.zeros(n_rows, dtype=np.int64)
+        active_nodes = [0]
+        depth = 0
+        uniform = np.full(self.n_classes_, 1.0 / self.n_classes_)
+
+        while active_nodes and depth <= max_depth:
+            slot_of_node = {node: s for s, node in enumerate(active_nodes)}
+            n_active = len(active_nodes)
+            in_active = np.isin(node_of_row, active_nodes)
+            rows = np.flatnonzero(in_active)
+            if len(rows) == 0:
+                break
+            slots = np.array(
+                [slot_of_node[n] for n in node_of_row[rows]], dtype=np.int64
+            )
+
+            # Per-node feature subsets.
+            if k >= n_features:
+                feat_matrix = np.tile(np.arange(n_features), (n_active, 1))
+            else:
+                feat_matrix = np.argsort(
+                    rng.random((n_active, n_features)), axis=1
+                )[:, :k]
+
+            width = feat_matrix.shape[1]
+            stride = self.n_bins  # BinMapper guarantees bins < n_bins.
+            row_feats = feat_matrix[slots]  # (n_rows_active, width)
+            bins = binned[rows[:, None], row_feats].astype(np.int64)
+            keys = (
+                slots[:, None] * (width * stride)
+                + np.arange(width)[None, :] * stride
+                + bins
+            ).ravel()
+            size = n_active * width * stride
+
+            hist = np.empty((n_active, width, stride, self.n_classes_))
+            w_rows = weight[rows]
+            y_rows = y[rows]
+            for cls in range(self.n_classes_):
+                cls_w = np.repeat(w_rows * (y_rows == cls), width)
+                hist[:, :, :, cls] = np.bincount(
+                    keys, weights=cls_w, minlength=size
+                ).reshape(n_active, width, stride)
+
+            totals = hist.sum(axis=(1, 2)) / width  # (n_active, n_classes)
+            total_w = totals.sum(axis=1)  # (n_active,)
+            node_sizes = np.bincount(slots, minlength=n_active)
+
+            cum = np.cumsum(hist, axis=2)[:, :, :-1, :]
+            left_w = cum.sum(axis=3)
+            right_w = total_w[:, None, None] - left_w
+            valid = (left_w >= self.min_samples_leaf) & (
+                right_w >= self.min_samples_leaf
+            )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                gini_left = 1.0 - np.sum(
+                    (cum / np.maximum(left_w[..., None], 1e-12)) ** 2, axis=3
+                )
+                right_counts = totals[:, None, None, :] - cum
+                gini_right = 1.0 - np.sum(
+                    (right_counts / np.maximum(right_w[..., None], 1e-12)) ** 2,
+                    axis=3,
+                )
+            parent_gini = 1.0 - np.sum(
+                (totals / np.maximum(total_w[:, None], 1e-12)) ** 2, axis=1
+            )
+            gain = np.where(
+                valid,
+                parent_gini[:, None, None]
+                - (left_w * gini_left + right_w * gini_right)
+                / np.maximum(total_w[:, None, None], 1e-12),
+                -np.inf,
+            )
+            if self.splitter == "random":
+                noise = rng.random(gain.shape)
+                pick = np.where(valid, noise, -np.inf)
+                t_choice = np.argmax(pick, axis=2)  # (n_active, width)
+                masked = np.full_like(gain, -np.inf)
+                s_idx, f_idx = np.meshgrid(
+                    np.arange(n_active), np.arange(width), indexing="ij"
+                )
+                masked[s_idx, f_idx, t_choice] = gain[s_idx, f_idx, t_choice]
+                gain = masked
+
+            flat_gain = gain.reshape(n_active, -1)
+            best_flat = np.argmax(flat_gain, axis=1)
+            best_gain = flat_gain[np.arange(n_active), best_flat]
+            best_feat_slot = best_flat // (stride - 1)
+            best_bin = best_flat % (stride - 1)
+
+            # Group rows by node slot once, so the split loop touches each
+            # node's rows directly instead of rescanning all rows per node.
+            order = np.argsort(slots, kind="stable")
+            sorted_rows = rows[order]
+            starts = np.searchsorted(slots[order], np.arange(n_active))
+            ends = np.searchsorted(slots[order], np.arange(n_active), side="right")
+
+            next_active: list[int] = []
+            new_assign = node_of_row.copy()
+            for s, node in enumerate(active_nodes):
+                counts = totals[s]
+                node_rows = sorted_rows[starts[s] : ends[s]]
+                splittable = (
+                    depth < max_depth
+                    and node_sizes[s] >= self.min_samples_split
+                    and counts.max() < total_w[s]
+                    and best_gain[s] > 1e-9
+                )
+                if not splittable:
+                    values[node] = (
+                        counts / total_w[s] if total_w[s] > 0 else uniform.copy()
+                    )
+                    new_assign[node_rows] = -1
+                    continue
+                f = int(feat_matrix[s, best_feat_slot[s]])
+                t = int(best_bin[s])
+                go_left = binned[node_rows, f] <= t
+                left_id = len(feat)
+                right_id = left_id + 1
+                for _ in range(2):
+                    feat.append(-1)
+                    thresh.append(0)
+                    left.append(-1)
+                    right.append(-1)
+                    values.append(None)
+                feat[node] = f
+                thresh[node] = t
+                left[node] = left_id
+                right[node] = right_id
+                new_assign[node_rows[go_left]] = left_id
+                new_assign[node_rows[~go_left]] = right_id
+                next_active.extend((left_id, right_id))
+
+            node_of_row = new_assign
+            active_nodes = next_active
+            depth += 1
+
+        # Any nodes still active after the loop become leaves.
+        for node in active_nodes:
+            node_rows = np.flatnonzero(node_of_row == node)
+            counts = np.bincount(
+                y[node_rows], weights=weight[node_rows], minlength=self.n_classes_
+            )
+            total = counts.sum()
+            values[node] = counts / total if total > 0 else uniform.copy()
+
+        self._feat = np.array(feat)
+        self._thresh = np.array(thresh, dtype=np.int64)
+        self._left = np.array(left)
+        self._right = np.array(right)
+        self._values = np.vstack(
+            [v if v is not None else uniform for v in values]
+        )
+
+    # ---------------------------------------------------------- inference
+
+    def predict_proba(
+        self, X: np.ndarray, binned: np.ndarray | None = None
+    ) -> np.ndarray:
+        check_is_fitted(self)
+        if binned is None:
+            if self._mapper is None:
+                raise ValueError(
+                    "tree was fitted on shared bins; pass binned= explicitly"
+                )
+            X, _ = check_Xy(X)
+            binned = self._mapper.transform(X)
+        binned = binned.astype(np.int64, copy=False)
+        node_ids = np.zeros(len(binned), dtype=np.int64)
+        active = self._feat[node_ids] >= 0
+        while active.any():
+            rows = np.flatnonzero(active)
+            current = node_ids[rows]
+            feats = self._feat[current]
+            go_left = binned[rows, feats] <= self._thresh[current]
+            node_ids[rows] = np.where(
+                go_left, self._left[current], self._right[current]
+            )
+            active[rows] = self._feat[node_ids[rows]] >= 0
+        return self._values[node_ids]
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the grown tree."""
+        check_is_fitted(self)
+        return len(self._feat)
+
+    @property
+    def depth(self) -> int:
+        """Maximum depth of the grown tree."""
+        check_is_fitted(self)
+
+        def walk(node_id: int) -> int:
+            if self._feat[node_id] < 0:
+                return 0
+            return 1 + max(
+                walk(int(self._left[node_id])), walk(int(self._right[node_id]))
+            )
+
+        return walk(0)

@@ -1,0 +1,199 @@
+"""Minimal manual-gradient network: an MLP classifier trained with Adam.
+
+This is the trainable half of the neural substrate; the frozen
+transformers never need gradients, but the DeepMatcher baseline does. The
+MLP keeps explicit forward caches and hand-derived backward passes —
+enough machinery for the paper's comparison network without dragging in a
+general autograd engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+from repro.nn.optim import Adam
+
+__all__ = ["MLPClassifier"]
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+class MLPClassifier:
+    """Two-hidden-layer binary MLP with dropout, class weighting and Adam.
+
+    Trained on logistic loss with early stopping on a validation split.
+    Probabilities are sigmoid outputs; the network is intentionally small
+    (the DeepMatcher classifier head is a 2-layer HighwayNet of similar
+    capacity).
+    """
+
+    def __init__(
+        self,
+        hidden: int = 64,
+        epochs: int = 30,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        dropout: float = 0.2,
+        weight_decay: float = 1e-5,
+        class_weighted: bool = True,
+        patience: int = 5,
+        seed: int = 0,
+    ) -> None:
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.dropout = dropout
+        self.weight_decay = weight_decay
+        self.class_weighted = class_weighted
+        self.patience = patience
+        self.seed = seed
+
+    # ---------------------------------------------------------------- fit
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        X_valid: np.ndarray | None = None,
+        y_valid: np.ndarray | None = None,
+    ) -> "MLPClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        d = X.shape[1]
+        h = self.hidden
+
+        def init(rows: int, cols: int) -> np.ndarray:
+            return rng.normal(0.0, np.sqrt(2.0 / rows), size=(rows, cols))
+
+        self._params = [
+            init(d, h), np.zeros(h),      # W1, b1
+            init(h, h), np.zeros(h),      # W2, b2
+            init(h, 1).reshape(h), 0.0,   # w3, b3 (scalar handled below)
+        ]
+        # Keep b3 as a 1-element array so the optimizer can update in place.
+        self._params[5] = np.zeros(1)
+
+        if self.class_weighted:
+            pos = max(1.0, float(y.sum()))
+            neg = max(1.0, float(len(y) - y.sum()))
+            w_pos = len(y) / (2.0 * pos)
+            w_neg = len(y) / (2.0 * neg)
+        else:
+            w_pos = w_neg = 1.0
+
+        optimizer = Adam(lr=self.lr)
+        best_loss = np.inf
+        best_params = [p.copy() for p in self._params]
+        stale = 0
+
+        for _epoch in range(self.epochs):
+            order = rng.permutation(len(y))
+            for start in range(0, len(y), self.batch_size):
+                batch = order[start : start + self.batch_size]
+                grads = self._backward(X[batch], y[batch], w_pos, w_neg, rng)
+                optimizer.step(self._params, grads)
+
+            if X_valid is not None and y_valid is not None and len(y_valid):
+                proba = self._forward(np.asarray(X_valid, dtype=np.float64))
+                eps = 1e-9
+                yv = np.asarray(y_valid, dtype=np.float64)
+                loss = float(
+                    -np.mean(
+                        yv * np.log(proba + eps)
+                        + (1 - yv) * np.log(1 - proba + eps)
+                    )
+                )
+                if loss < best_loss - 1e-5:
+                    best_loss = loss
+                    best_params = [p.copy() for p in self._params]
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= self.patience:
+                        break
+        if best_loss < np.inf:
+            self._params = best_params
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------ forward
+
+    def _forward(
+        self,
+        X: np.ndarray,
+        rng: np.random.Generator | None = None,
+        cache: dict | None = None,
+    ) -> np.ndarray:
+        W1, b1, W2, b2, w3, b3 = self._params
+        z1 = X @ W1 + b1
+        a1 = _relu(z1)
+        if rng is not None and self.dropout > 0:
+            mask1 = rng.random(a1.shape) >= self.dropout
+            a1 = a1 * mask1 / (1.0 - self.dropout)
+        else:
+            mask1 = None
+        z2 = a1 @ W2 + b2
+        a2 = _relu(z2)
+        if rng is not None and self.dropout > 0:
+            mask2 = rng.random(a2.shape) >= self.dropout
+            a2 = a2 * mask2 / (1.0 - self.dropout)
+        else:
+            mask2 = None
+        logits = a2 @ w3 + b3[0]
+        proba = 1.0 / (1.0 + np.exp(-np.clip(logits, -35, 35)))
+        if cache is not None:
+            cache.update(
+                X=X, z1=z1, a1=a1, z2=z2, a2=a2, proba=proba,
+                mask1=mask1, mask2=mask2,
+            )
+        return proba
+
+    def _backward(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        w_pos: float,
+        w_neg: float,
+        rng: np.random.Generator,
+    ) -> list[np.ndarray]:
+        W1, b1, W2, b2, w3, b3 = self._params
+        cache: dict = {}
+        proba = self._forward(X, rng=rng, cache=cache)
+        n = len(y)
+        sample_w = np.where(y == 1, w_pos, w_neg)
+        # d(loss)/d(logits) for weighted binary cross-entropy.
+        dlogits = sample_w * (proba - y) / n
+
+        a2, a1 = cache["a2"], cache["a1"]
+        dw3 = a2.T @ dlogits + self.weight_decay * w3
+        db3 = np.array([dlogits.sum()])
+        da2 = np.outer(dlogits, w3)
+        if cache["mask2"] is not None:
+            da2 = da2 * cache["mask2"] / (1.0 - self.dropout)
+        dz2 = da2 * (cache["z2"] > 0)
+        dW2 = a1.T @ dz2 + self.weight_decay * W2
+        db2 = dz2.sum(axis=0)
+        da1 = dz2 @ W2.T
+        if cache["mask1"] is not None:
+            da1 = da1 * cache["mask1"] / (1.0 - self.dropout)
+        dz1 = da1 * (cache["z1"] > 0)
+        dW1 = cache["X"].T @ dz1 + self.weight_decay * W1
+        db1 = dz1.sum(axis=0)
+        return [dW1, db1, dW2, db2, dw3, db3]
+
+    # ---------------------------------------------------------- inference
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not getattr(self, "_fitted", False):
+            raise NotFittedError("MLPClassifier must be fitted first")
+        p1 = self._forward(np.asarray(X, dtype=np.float64))
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Class labels at ``threshold`` on P(match)."""
+        return (self.predict_proba(X)[:, 1] >= threshold).astype(np.int64)

@@ -1,0 +1,69 @@
+"""Optimizers for the manual-gradient networks (SGD and Adam)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Vanilla SGD with optional momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Update ``params`` in place from matching ``grads``."""
+        for i, (param, grad) in enumerate(zip(params, grads)):
+            if self.momentum > 0:
+                v = self._velocity.get(i)
+                if v is None:
+                    v = np.zeros_like(param)
+                v = self.momentum * v - self.lr * grad
+                self._velocity[i] = v
+                param += v
+            else:
+                param -= self.lr * grad
+
+
+class Adam:
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Update ``params`` in place from matching ``grads``."""
+        self._t += 1
+        for i, (param, grad) in enumerate(zip(params, grads)):
+            m = self._m.get(i)
+            v = self._v.get(i)
+            if m is None:
+                m = np.zeros_like(param)
+                v = np.zeros_like(param)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad**2
+            self._m[i] = m
+            self._v[i] = v
+            m_hat = m / (1 - self.beta1**self._t)
+            v_hat = v / (1 - self.beta2**self._t)
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

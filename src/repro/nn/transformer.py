@@ -1,0 +1,260 @@
+"""Forward-only transformer encoder (the simulated pre-trained backbone).
+
+This is a real multi-head self-attention encoder — per-layer Q/K/V/output
+projections, GELU feed-forward blocks, residual connections and layer
+normalization — whose weights are drawn deterministically from a seed
+instead of being learned. Three design choices make random weights behave
+like a *pre-trained* featurizer for entity matching (DESIGN.md §2), each
+mirroring a pattern documented in trained checkpoints:
+
+* **Tied query/key projections with cosine logits.** With ``W_q ≈ W_k``
+  and per-head L2 normalization, the attention logit between tokens *i*
+  and *j* is (up to the sharpness gain) the cosine similarity of their
+  representations — the "matching head" pattern of trained BERT layers.
+  Identical or near-identical surface tokens, which the hash embeddings
+  map to nearby vectors, attend strongly to each other.
+* **Self-attention masking + segment-aware cross heads.** When the caller
+  provides segment ids (the two entities of an EM pair), the diagonal is
+  masked and half the heads may only attend *across* segments. A token
+  with a duplicate on the other side of ``[SEP]`` then receives its twin's
+  content through the value path (soft alignment, as in DeepER's
+  decomposable attention and in BERT's inter-sentence heads); a token
+  without one receives a diffuse mixture. After the residual, matched
+  tokens carry roughly doubled content vectors while unmatched ones do
+  not — a first-order, mean-pool-surviving signal of pair similarity.
+* **Content-preserving value path.** The value projection is a damped
+  identity plus noise, so attention mixes token *content* rather than
+  scrambling it.
+
+``attention_temperature`` divides the logits (lower = sharper attention)
+and is one of the knobs that differentiates the five simulated
+architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.functional import hard_gelu, layer_norm, softmax
+
+__all__ = ["EncoderConfig", "TransformerEncoder"]
+
+_NEG_INF = np.float64(-1e9)  # Cast to float32 where biases are assembled.
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Architecture hyper-parameters of one simulated pre-trained model."""
+
+    dim: int = 96
+    n_layers: int = 4
+    n_heads: int = 4
+    ffn_multiplier: int = 2
+    attention_temperature: float = 1.0
+    attention_sharpness: float = 8.0  # Gain on cosine attention logits.
+    ffn_scale: float = 0.15  # Residual weight of the feed-forward block.
+    value_gating: bool = True  # Second-order (sharpness-gated) attention.
+    share_layers: bool = False  # ALBERT-style cross-layer parameter sharing.
+    qk_noise: float = 0.05  # Deviation between W_q and W_k.
+    cross_segment_heads: bool = True  # Half the heads attend across [SEP].
+    max_len: int = 128
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dim % self.n_heads != 0:
+            raise ValueError(
+                f"dim {self.dim} not divisible by n_heads {self.n_heads}"
+            )
+
+
+@dataclass
+class _LayerWeights:
+    w_q: np.ndarray
+    w_k: np.ndarray
+    w_v: np.ndarray
+    w_o: np.ndarray
+    w_ffn1: np.ndarray
+    b_ffn1: np.ndarray
+    w_ffn2: np.ndarray
+
+
+def _orthogonal(rng: np.random.Generator, rows: int, cols: int) -> np.ndarray:
+    """Random matrix with orthonormal-ish columns, scaled for unit gain."""
+    raw = rng.normal(size=(rows, cols))
+    q, _ = np.linalg.qr(raw if rows >= cols else raw.T)
+    if rows < cols:
+        q = q.T
+    return q[:rows, :cols]
+
+
+def _normalize_heads(x: np.ndarray) -> np.ndarray:
+    """L2-normalize the trailing (head-dim) axis."""
+    norm = np.linalg.norm(x, axis=-1, keepdims=True)
+    return x / np.maximum(norm, 1e-9)
+
+
+class TransformerEncoder:
+    """Seeded random-weight transformer encoder (forward pass only)."""
+
+    def __init__(self, config: EncoderConfig) -> None:
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        n_unique = 1 if config.share_layers else config.n_layers
+        self._layers = [self._init_layer(rng) for _ in range(n_unique)]
+        self._position = self._init_positions(rng).astype(np.float32)
+        self._segment = (
+            0.1 * rng.normal(size=(2, config.dim)) / np.sqrt(config.dim)
+        ).astype(np.float32)
+
+    def _init_layer(self, rng: np.random.Generator) -> _LayerWeights:
+        dim = self.config.dim
+        hidden = dim * self.config.ffn_multiplier
+        w_q = _orthogonal(rng, dim, dim)
+        # Tied Q/K with controlled deviation: the similarity-kernel prior.
+        w_k = w_q + self.config.qk_noise * rng.normal(size=(dim, dim)) / np.sqrt(dim)
+        # Value path: damped identity plus noise, preserving token content.
+        w_v = 0.85 * np.eye(dim) + 0.15 * _orthogonal(rng, dim, dim)
+        w_o = 0.9 * np.eye(dim) + 0.1 * _orthogonal(rng, dim, dim)
+        w_ffn1 = _orthogonal(rng, dim, hidden) * np.sqrt(2.0)
+        b_ffn1 = 0.1 * rng.normal(size=hidden)
+        w_ffn2 = _orthogonal(rng, hidden, dim) * 0.5
+        # Weights are float32: the forward pass is compute-bound and the
+        # random-feature readout does not need double precision.
+        return _LayerWeights(
+            *(
+                m.astype(np.float32)
+                for m in (w_q, w_k, w_v, w_o, w_ffn1, b_ffn1, w_ffn2)
+            )
+        )
+
+    def _init_positions(self, rng: np.random.Generator) -> np.ndarray:
+        """Sinusoidal position encodings with a small gain."""
+        dim = self.config.dim
+        positions = np.arange(self.config.max_len)[:, None]
+        dims = np.arange(dim)[None, :]
+        angles = positions / np.power(10000.0, (2 * (dims // 2)) / dim)
+        table = np.where(dims % 2 == 0, np.sin(angles), np.cos(angles))
+        return 0.05 * table
+
+    def _layer_weights(self, layer_idx: int) -> _LayerWeights:
+        if self.config.share_layers:
+            return self._layers[0]
+        return self._layers[layer_idx]
+
+    # --------------------------------------------------------------- bias
+
+    def _attention_bias(
+        self, mask: np.ndarray, segments: np.ndarray | None
+    ) -> np.ndarray:
+        """Per-head additive attention bias, shape (batch, heads, seq, seq).
+
+        Padding is always masked. With segment ids, the diagonal is masked
+        (a token never attends to itself, so duplicate detection must look
+        at *other* tokens) and the first half of the heads is restricted
+        to cross-segment attention — the soft-alignment heads.
+        """
+        batch, seq = mask.shape
+        n_heads = self.config.n_heads
+        bias = np.where(mask[:, None, None, :], 0.0, _NEG_INF)
+        bias = np.broadcast_to(bias, (batch, n_heads, seq, seq)).copy()
+        if segments is None:
+            return bias
+        eye = np.eye(seq, dtype=bool)
+        bias[:, :, eye] = _NEG_INF
+        if self.config.cross_segment_heads and n_heads >= 2:
+            same_segment = segments[:, :, None] == segments[:, None, :]
+            n_cross = n_heads // 2
+            cross_block = np.where(same_segment[:, None, :, :], _NEG_INF, 0.0)
+            bias[:, :n_cross] += cross_block
+        # Guard: rows whose every logit is masked get the diagonal back,
+        # otherwise softmax would produce NaNs (e.g. a one-token segment).
+        fully_masked = (bias <= _NEG_INF / 2).all(axis=-1)
+        if fully_masked.any():
+            b_idx, h_idx, i_idx = np.nonzero(fully_masked)
+            bias[b_idx, h_idx, i_idx, i_idx] = 0.0
+        return bias
+
+    # ------------------------------------------------------------ forward
+
+    def encode(
+        self,
+        embeddings: np.ndarray,
+        mask: np.ndarray | None = None,
+        segments: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Contextualize a batch of token embeddings (last layer only)."""
+        return self.encode_all_layers(embeddings, mask, segments)[-1]
+
+    def encode_all_layers(
+        self,
+        embeddings: np.ndarray,
+        mask: np.ndarray | None = None,
+        segments: np.ndarray | None = None,
+    ) -> list[np.ndarray]:
+        """Hidden states after every layer.
+
+        Parameters
+        ----------
+        embeddings:
+            ``(batch, seq, dim)`` token embeddings (already truncated to
+            ``config.max_len``).
+        mask:
+            Boolean ``(batch, seq)``; True marks real tokens.
+        segments:
+            Optional int ``(batch, seq)`` with 0/1 entity-side ids. When
+            given, self-attention is masked and cross-segment heads
+            activate (see module docstring).
+        """
+        cfg = self.config
+        batch, seq, dim = embeddings.shape
+        if dim != cfg.dim:
+            raise ValueError(f"expected dim {cfg.dim}, got {dim}")
+        if seq > cfg.max_len:
+            raise ValueError(f"sequence length {seq} exceeds max_len {cfg.max_len}")
+        if mask is None:
+            mask = np.ones((batch, seq), dtype=bool)
+
+        h = embeddings.astype(np.float32) + self._position[None, :seq, :]
+        if segments is not None:
+            h = h + self._segment[np.clip(segments, 0, 1)]
+        h = h * mask[:, :, None]
+
+        bias = self._attention_bias(mask, segments).astype(np.float32)
+        head_dim = dim // cfg.n_heads
+        gain = cfg.attention_sharpness / cfg.attention_temperature
+
+        outputs: list[np.ndarray] = []
+        for layer_idx in range(cfg.n_layers):
+            w = self._layer_weights(layer_idx)
+            x = layer_norm(h)
+            # (batch, heads, seq, head_dim) layout so the attention scores
+            # come from BLAS batched matmuls rather than einsum loops.
+            q = (x @ w.w_q).reshape(batch, seq, cfg.n_heads, head_dim)
+            k = (x @ w.w_k).reshape(batch, seq, cfg.n_heads, head_dim)
+            v = (x @ w.w_v).reshape(batch, seq, cfg.n_heads, head_dim)
+            q = _normalize_heads(q).transpose(0, 2, 1, 3)
+            k = _normalize_heads(k).transpose(0, 2, 1, 3)
+            v = v.transpose(0, 2, 1, 3)
+            logits = q @ k.transpose(0, 1, 3, 2) * gain + bias
+            attn = softmax(logits, axis=-1)
+            if cfg.value_gating:
+                # Second-order attention: weighting values by A² makes the
+                # incoming mass per token equal the attention sharpness
+                # (inverse participation ratio). A token whose attention
+                # locks onto a near-duplicate receives that duplicate's
+                # full content; diffuse attention passes almost nothing.
+                # This emulates the value gating trained models learn and
+                # keeps pooled representations of unrelated pairs apart.
+                attn = attn * attn
+            mixed = (
+                (attn @ v).transpose(0, 2, 1, 3).reshape(batch, seq, dim)
+            )
+            h = h + mixed @ w.w_o
+
+            x = layer_norm(h)
+            h = h + cfg.ffn_scale * (hard_gelu(x @ w.w_ffn1 + w.b_ffn1) @ w.w_ffn2)
+            h = h * mask[:, :, None]
+            outputs.append(h)
+        return outputs

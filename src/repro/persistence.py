@@ -1,0 +1,72 @@
+"""Model persistence: save and load fitted matchers.
+
+A production EM deployment trains once and serves many times, so fitted
+pipelines must survive the process. Serialization uses pickle with a
+format header that records the library version; loading refuses files
+written by a different major version rather than failing obscurely later.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ReproError
+
+__all__ = ["save_model", "load_model", "PersistenceError"]
+
+_MAGIC = "repro-model"
+
+
+class PersistenceError(ReproError):
+    """A model file is missing, corrupt, or version-incompatible."""
+
+
+def save_model(model: Any, path: str | Path) -> Path:
+    """Serialize a fitted matcher (EMPipeline, DeepMatcherHybrid, ...).
+
+    The envelope records the library version; any picklable matcher is
+    accepted.
+    """
+    from repro import __version__
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    envelope = {
+        "magic": _MAGIC,
+        "version": __version__,
+        "type": type(model).__name__,
+        "model": model,
+    }
+    with path.open("wb") as handle:
+        pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_model(path: str | Path) -> Any:
+    """Load a matcher saved by :func:`save_model`.
+
+    Raises :class:`PersistenceError` for missing/corrupt files or a major
+    version mismatch.
+    """
+    from repro import __version__
+
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"no model file at {path}")
+    try:
+        with path.open("rb") as handle:
+            envelope = pickle.load(handle)
+    except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        raise PersistenceError(f"{path} is not a valid model file: {exc}") from exc
+    if not isinstance(envelope, dict) or envelope.get("magic") != _MAGIC:
+        raise PersistenceError(f"{path} is not a repro model file")
+    saved_major = str(envelope.get("version", "")).split(".")[0]
+    current_major = __version__.split(".")[0]
+    if saved_major != current_major:
+        raise PersistenceError(
+            f"{path} was written by repro {envelope.get('version')}, "
+            f"incompatible with {__version__}"
+        )
+    return envelope["model"]

@@ -1,0 +1,104 @@
+"""Phonetic encodings: Soundex and a simplified Metaphone.
+
+Classic record-linkage blocking keys — names that sound alike share a
+code even when spelled differently. Used by the similarity library and
+available as blocking keys (e.g. ``SortedNeighborhoodBlocker`` on a
+Soundex key).
+"""
+
+from __future__ import annotations
+
+__all__ = ["soundex", "metaphone", "phonetic_equal"]
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    "l": "4",
+    **dict.fromkeys("mn", "5"),
+    "r": "6",
+}
+
+
+def soundex(word: str) -> str:
+    """American Soundex code (letter + 3 digits); '' for empty input."""
+    letters = [ch for ch in word.lower() if ch.isalpha()]
+    if not letters:
+        return ""
+    first = letters[0]
+    code = [first.upper()]
+    previous = _SOUNDEX_CODES.get(first, "")
+    for ch in letters[1:]:
+        digit = _SOUNDEX_CODES.get(ch, "")
+        if digit and digit != previous:
+            code.append(digit)
+            if len(code) == 4:
+                break
+        if ch not in "hw":  # h/w do not reset the adjacency rule.
+            previous = digit
+    return "".join(code).ljust(4, "0")
+
+
+_VOWELS = set("aeiou")
+
+
+def metaphone(word: str, max_length: int = 6) -> str:
+    """A compact Metaphone variant: consonant-skeleton phonetic code.
+
+    Not the full 1990 algorithm; covers the transformations that matter
+    for blocking: silent e, ck->k, ph->f, sh->x, th->0, c/g
+    softening before e/i/y, and vowel dropping after the first letter.
+    """
+    letters = "".join(ch for ch in word.lower() if ch.isalpha())
+    if not letters:
+        return ""
+    out: list[str] = []
+    i = 0
+    while i < len(letters) and len(out) < max_length:
+        ch = letters[i]
+        nxt = letters[i + 1] if i + 1 < len(letters) else ""
+        if ch == nxt:  # Collapse doubled letters.
+            i += 1
+            continue
+        if ch == "p" and nxt == "h":
+            out.append("f")
+            i += 2
+            continue
+        if ch == "s" and nxt == "h":
+            out.append("x")
+            i += 2
+            continue
+        if ch == "t" and nxt == "h":
+            out.append("0")
+            i += 2
+            continue
+        if ch == "c":
+            if nxt == "k":
+                out.append("k")
+                i += 2
+                continue
+            out.append("s" if nxt in "eiy" else "k")
+            i += 1
+            continue
+        if ch == "g":
+            out.append("j" if nxt in "eiy" else "g")
+            i += 1
+            continue
+        if ch == "e" and i == len(letters) - 1:
+            i += 1  # Silent final e.
+            continue
+        if ch in _VOWELS:
+            if i == 0:
+                out.append(ch)
+            i += 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def phonetic_equal(a: str, b: str) -> bool:
+    """Whether two words agree under either phonetic encoding."""
+    if not a or not b:
+        return False
+    return soundex(a) == soundex(b) or metaphone(a) == metaphone(b)

@@ -1,0 +1,84 @@
+"""Word-level vocabulary with frequency pruning.
+
+Used by :class:`repro.text.word2vec.Word2Vec` and by the hash-kernel token
+embeddings of the simulated transformers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """A bidirectional token <-> id mapping built from corpus counts.
+
+    Id 0 is always the unknown token ``<unk>``. Tokens are ordered by
+    descending frequency, ties broken alphabetically, so the mapping is
+    deterministic for a given corpus.
+    """
+
+    UNK = "<unk>"
+
+    def __init__(self, min_count: int = 1, max_size: int | None = None) -> None:
+        if min_count < 1:
+            raise ValueError(f"min_count must be >= 1, got {min_count}")
+        self.min_count = min_count
+        self.max_size = max_size
+        self._token_to_id: dict[str, int] = {self.UNK: 0}
+        self._id_to_token: list[str] = [self.UNK]
+        self._counts: Counter[str] = Counter()
+
+    @classmethod
+    def from_documents(
+        cls,
+        documents: Iterable[list[str]],
+        min_count: int = 1,
+        max_size: int | None = None,
+    ) -> "Vocabulary":
+        """Build a vocabulary from pre-tokenized documents."""
+        vocab = cls(min_count=min_count, max_size=max_size)
+        for tokens in documents:
+            vocab._counts.update(tokens)
+        eligible = [
+            (count, token)
+            for token, count in vocab._counts.items()
+            if count >= min_count
+        ]
+        eligible.sort(key=lambda pair: (-pair[0], pair[1]))
+        if max_size is not None:
+            eligible = eligible[: max(0, max_size - 1)]
+        for _count, token in eligible:
+            vocab._token_to_id[token] = len(vocab._id_to_token)
+            vocab._id_to_token.append(token)
+        return vocab
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_token)
+
+    def id_of(self, token: str) -> int:
+        """Id of ``token``; 0 (the ``<unk>`` id) when out of vocabulary."""
+        return self._token_to_id.get(token, 0)
+
+    def token_of(self, index: int) -> str:
+        """Token at ``index``; raises ``IndexError`` when out of range."""
+        return self._id_to_token[index]
+
+    def count_of(self, token: str) -> int:
+        """Raw corpus count of ``token`` (0 when never seen)."""
+        return self._counts.get(token, 0)
+
+    def encode(self, tokens: Iterable[str]) -> list[int]:
+        """Map tokens to ids (unknowns become 0)."""
+        return [self.id_of(token) for token in tokens]
+
+    def __repr__(self) -> str:
+        return f"Vocabulary(size={len(self)}, min_count={self.min_count})"

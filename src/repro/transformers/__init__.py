@@ -1,0 +1,17 @@
+"""Simulated pre-trained transformer language models.
+
+Five architectures — ``bert``, ``dbert`` (DistilBERT), ``albert``,
+``roberta`` and ``xlnet`` — matching the embedder set of the paper's
+Section 4. Each is a seeded random-weight :class:`TransformerEncoder`
+over fastText-style hashed character-n-gram token embeddings; see
+DESIGN.md §2 for why this substitution preserves the behaviour the paper
+relies on.
+"""
+
+from repro.transformers.pretrained import (
+    EMBEDDER_NAMES,
+    PretrainedEncoder,
+    load_pretrained,
+)
+
+__all__ = ["EMBEDDER_NAMES", "PretrainedEncoder", "load_pretrained"]

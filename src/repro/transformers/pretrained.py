@@ -1,0 +1,256 @@
+"""Registry of the five simulated pre-trained architectures.
+
+Each architecture couples
+
+* a *token embedding* scheme: fastText-style hashing of character n-grams
+  into a fixed random table, which needs no corpus fitting (this is what
+  makes the encoder usable "out of the box", mirroring how the paper uses
+  checkpoints without fine-tuning) and maps surface-similar tokens — and
+  in particular typo'd duplicates — to nearby vectors;
+* a :class:`~repro.nn.transformer.TransformerEncoder` whose depth, heads,
+  attention temperature and parameter sharing differ per architecture the
+  way the real checkpoints differ (DistilBERT is a shallower BERT; ALBERT
+  shares weights across layers and ends up the strongest featurizer here,
+  matching the paper's Table 3 finding; XLNet's flavour is emulated with a
+  higher temperature and a different n-gram window).
+
+Encoders are memoized by :func:`load_pretrained`, because constructing the
+weight tensors is deterministic but not free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.config import GLOBAL_SEED, stable_hash
+from repro.exceptions import UnknownModelError
+from repro.nn.transformer import EncoderConfig, TransformerEncoder
+from repro.text.similarity import ngrams
+from repro.text.tokenization import BasicTokenizer
+
+__all__ = ["ArchitectureSpec", "PretrainedEncoder", "load_pretrained", "EMBEDDER_NAMES"]
+
+_HASH_BUCKETS = 8192
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """Static description of one simulated architecture."""
+
+    name: str
+    encoder: EncoderConfig
+    ngram_min: int = 3
+    ngram_max: int = 4
+    embedding_seed: int = 0
+
+
+_SPECS: dict[str, ArchitectureSpec] = {
+    "bert": ArchitectureSpec(
+        name="bert",
+        encoder=EncoderConfig(
+            dim=96, n_layers=4, n_heads=4, attention_temperature=1.0,
+            share_layers=False, seed=GLOBAL_SEED + 101,
+        ),
+        ngram_min=3, ngram_max=4, embedding_seed=GLOBAL_SEED + 1,
+    ),
+    "dbert": ArchitectureSpec(
+        name="dbert",
+        encoder=EncoderConfig(
+            dim=96, n_layers=2, n_heads=4, attention_temperature=1.05,
+            share_layers=False, seed=GLOBAL_SEED + 102,
+        ),
+        ngram_min=3, ngram_max=4, embedding_seed=GLOBAL_SEED + 1,
+    ),
+    "albert": ArchitectureSpec(
+        name="albert",
+        encoder=EncoderConfig(
+            dim=96, n_layers=6, n_heads=4, attention_temperature=0.7,
+            share_layers=True, qk_noise=0.02, seed=GLOBAL_SEED + 103,
+        ),
+        ngram_min=3, ngram_max=5, embedding_seed=GLOBAL_SEED + 3,
+    ),
+    "roberta": ArchitectureSpec(
+        name="roberta",
+        encoder=EncoderConfig(
+            dim=96, n_layers=4, n_heads=8, attention_temperature=1.0,
+            share_layers=False, seed=GLOBAL_SEED + 104,
+        ),
+        ngram_min=2, ngram_max=3, embedding_seed=GLOBAL_SEED + 4,
+    ),
+    "xlnet": ArchitectureSpec(
+        name="xlnet",
+        encoder=EncoderConfig(
+            dim=96, n_layers=4, n_heads=4, attention_temperature=1.25,
+            share_layers=False, qk_noise=0.10, seed=GLOBAL_SEED + 105,
+        ),
+        ngram_min=3, ngram_max=5, embedding_seed=GLOBAL_SEED + 5,
+    ),
+}
+
+#: The five embedder names, in the paper's table-column order.
+EMBEDDER_NAMES: tuple[str, ...] = ("bert", "dbert", "albert", "roberta", "xlnet")
+
+
+class PretrainedEncoder:
+    """A ready-to-use simulated checkpoint: tokenizer + embeddings + encoder.
+
+    The public surface mirrors how the EM adapter consumes HuggingFace
+    models: :meth:`embed_sequences` maps raw strings to fixed-size vectors
+    (mean of the last hidden layer, or the concatenation of the last four
+    layers' means when ``pooling="last4"``).
+    """
+
+    #: Marker token separating the two entities inside one sequence.
+    SEP = "[sep]"
+
+    def __init__(self, spec: ArchitectureSpec) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self._tokenizer = BasicTokenizer(lowercase=True)
+        self._encoder = TransformerEncoder(spec.encoder)
+        rng = np.random.default_rng(spec.embedding_seed)
+        dim = spec.encoder.dim
+        self._table = rng.normal(size=(_HASH_BUCKETS, dim)) / np.sqrt(dim)
+        self._sep_vector = rng.normal(size=dim) / np.sqrt(dim)
+        self._token_cache: dict[str, np.ndarray] = {}
+
+    @property
+    def dim(self) -> int:
+        """Hidden dimensionality of the encoder."""
+        return self.spec.encoder.dim
+
+    def output_dim(self, pooling: str = "mean") -> int:
+        """Feature size produced by :meth:`embed_sequences`."""
+        if pooling == "mean":
+            return self.dim
+        if pooling == "last4":
+            return self.dim * min(4, self.spec.encoder.n_layers)
+        raise UnknownModelError(f"unknown pooling {pooling!r}")
+
+    # --------------------------------------------------------- embeddings
+
+    def _token_vector(self, token: str) -> np.ndarray:
+        cached = self._token_cache.get(token)
+        if cached is not None:
+            return cached
+        if token == self.SEP:
+            vector = self._sep_vector
+        else:
+            rows = [stable_hash("tok", self.spec.name, token) % _HASH_BUCKETS]
+            for n in range(self.spec.ngram_min, self.spec.ngram_max + 1):
+                for gram in ngrams(token, n):
+                    rows.append(
+                        stable_hash("ng", self.spec.name, gram) % _HASH_BUCKETS
+                    )
+            vector = self._table[rows].mean(axis=0)
+            norm = np.linalg.norm(vector)
+            if norm > 0:
+                vector = vector / norm
+        self._token_cache[token] = vector
+        return vector
+
+    def tokenize(self, text: str) -> list[str]:
+        """Word-level tokens with the ``[sep]`` marker kept intact.
+
+        The basic tokenizer splits punctuation, turning the marker into
+        ``[ sep ]``; those triples are re-merged here so segment detection
+        works on the token list.
+        """
+        raw = [token for token in self._tokenizer.tokenize(text) if token]
+        tokens: list[str] = []
+        i = 0
+        while i < len(raw):
+            if raw[i] == "[" and i + 2 < len(raw) + 1 and raw[i + 1 : i + 3] == ["sep", "]"]:
+                tokens.append(self.SEP)
+                i += 3
+            else:
+                tokens.append(raw[i])
+                i += 1
+        return tokens
+
+    def _sequence_matrix(self, text: str) -> tuple[np.ndarray, np.ndarray]:
+        """Token embedding matrix and 0/1 segment ids for one sequence.
+
+        Segment ids flip after the first ``[sep]`` marker, exactly like
+        BERT's ``token_type_ids`` for a sentence pair.
+        """
+        tokens = self.tokenize(text)[: self.spec.encoder.max_len]
+        if not tokens:
+            return np.zeros((1, self.dim)), np.zeros(1, dtype=np.int64)
+        matrix = np.stack([self._token_vector(t) for t in tokens])
+        segments = np.zeros(len(tokens), dtype=np.int64)
+        if self.SEP in tokens:
+            boundary = tokens.index(self.SEP)
+            segments[boundary + 1 :] = 1
+        return matrix, segments
+
+    def embed_sequences(
+        self,
+        texts: list[str],
+        pooling: str = "mean",
+        batch_size: int = 256,
+    ) -> np.ndarray:
+        """Encode raw strings into fixed-size vectors.
+
+        Sequences are sorted by length into padded batches, encoded, and
+        mean-pooled over real tokens. Empty strings embed to zeros.
+        """
+        if pooling not in ("mean", "last4"):
+            raise UnknownModelError(f"unknown pooling {pooling!r}")
+        prepared = [self._sequence_matrix(text) for text in texts]
+        out = np.zeros((len(texts), self.output_dim(pooling)))
+        order = np.argsort([len(m) for m, _s in prepared], kind="stable")
+        for start in range(0, len(order), batch_size):
+            batch_ids = order[start : start + batch_size]
+            batch = [prepared[i] for i in batch_ids]
+            max_len = max(len(m) for m, _s in batch)
+            padded = np.zeros((len(batch), max_len, self.dim))
+            mask = np.zeros((len(batch), max_len), dtype=bool)
+            segments = np.zeros((len(batch), max_len), dtype=np.int64)
+            for row, (matrix, seg) in enumerate(batch):
+                padded[row, : len(matrix)] = matrix
+                mask[row, : len(matrix)] = True
+                segments[row, : len(seg)] = seg
+            out[batch_ids] = self._pool(padded, mask, segments, pooling)
+        return out
+
+    def _pool(
+        self,
+        padded: np.ndarray,
+        mask: np.ndarray,
+        segments: np.ndarray,
+        pooling: str,
+    ) -> np.ndarray:
+        counts = np.maximum(mask.sum(axis=1, keepdims=True), 1)
+        layers = self._encoder.encode_all_layers(padded, mask, segments)
+        if pooling == "mean":
+            return layers[-1].sum(axis=1) / counts
+        last4 = layers[-min(4, len(layers)) :]
+        pooled = [layer.sum(axis=1) / counts for layer in last4]
+        return np.hstack(pooled)
+
+    def pair_text(self, left: str, right: str) -> str:
+        """Serialize two value strings into one ``left [sep] right`` sequence."""
+        return f"{left} {self.SEP} {right}"
+
+    def __repr__(self) -> str:
+        cfg = self.spec.encoder
+        return (
+            f"PretrainedEncoder(name={self.name!r}, dim={cfg.dim}, "
+            f"layers={cfg.n_layers}, heads={cfg.n_heads})"
+        )
+
+
+@lru_cache(maxsize=None)
+def load_pretrained(name: str) -> PretrainedEncoder:
+    """Load (and memoize) a simulated checkpoint by architecture name."""
+    try:
+        spec = _SPECS[name]
+    except KeyError:
+        raise UnknownModelError(
+            f"unknown embedder {name!r}; known: {', '.join(EMBEDDER_NAMES)}"
+        ) from None
+    return PretrainedEncoder(spec)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, split_dataset
+from repro.data.splits import DatasetSplits
+from repro.data.schema import EMDataset
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_sda() -> EMDataset:
+    """A small S-DA (DBLP-ACM style) dataset shared across tests."""
+    return load_dataset("S-DA", scale=0.04)
+
+
+@pytest.fixture(scope="session")
+def tiny_sda_splits(tiny_sda) -> DatasetSplits:
+    return split_dataset(tiny_sda)
+
+
+@pytest.fixture(scope="session")
+def linear_problem(rng):
+    """A separable-ish binary problem: (X, y, X_test, y_test)."""
+    n, d = 600, 12
+    w = rng.normal(size=d)
+
+    def make(count):
+        X = rng.normal(size=(count, d))
+        y = (X @ w + 0.5 * rng.normal(size=count) > 0.25).astype(np.int64)
+        return X, y
+
+    X, y = make(n)
+    X_test, y_test = make(250)
+    return X, y, X_test, y_test

@@ -1,0 +1,262 @@
+"""Tests for the EM adapter: tokenizers, embedder, combiners, pipeline,
+no-adapter featurizers, and augmentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapter import (
+    AttributeTokenizer,
+    ConcatCombiner,
+    EMAdapter,
+    HybridTokenizer,
+    MeanCombiner,
+    NativeTabularFeaturizer,
+    TransformerEmbedder,
+    UnstructuredTokenizer,
+    Word2VecFeaturizer,
+    clear_adapter_cache,
+    make_combiner,
+    make_tokenizer,
+)
+from repro.adapter.augmentation import balance_dataset, shuffle_attribute, swap_pair
+from repro.data.schema import AttributeKind, EMDataset, PairRecord, Schema
+from repro.exceptions import NotFittedError, UnknownModelError
+
+SCHEMA = Schema.of(
+    "product",
+    ("title", AttributeKind.TEXT),
+    ("brand", AttributeKind.CATEGORICAL),
+    ("price", AttributeKind.NUMERIC),
+)
+
+
+def make_dataset(n=6):
+    pairs = []
+    for i in range(n):
+        left = {"title": f"sony camera x{i}", "brand": "sony", "price": 10.0 + i}
+        right = {"title": f"sony camera x{i}", "brand": "sony", "price": 10.0 + i}
+        pairs.append(PairRecord(i, left, right, i % 2))
+    return EMDataset("toy", SCHEMA, pairs)
+
+
+class TestTokenizers:
+    def test_registry(self):
+        assert isinstance(make_tokenizer("attr"), AttributeTokenizer)
+        assert isinstance(make_tokenizer("hybrid"), HybridTokenizer)
+        assert isinstance(make_tokenizer("unstructured"), UnstructuredTokenizer)
+
+    def test_unknown_tokenizer(self):
+        with pytest.raises(UnknownModelError):
+            make_tokenizer("quantum")
+
+    def test_unstructured_single_sequence(self):
+        pair = make_dataset()[0]
+        sequences = UnstructuredTokenizer().sequences(pair, SCHEMA)
+        assert len(sequences) == 1
+        left, right = sequences[0]
+        assert "sony camera x0" in left and "10.0" in left
+
+    def test_attr_one_per_attribute(self):
+        pair = make_dataset()[0]
+        sequences = AttributeTokenizer().sequences(pair, SCHEMA)
+        assert len(sequences) == 3
+        assert sequences[0] == ("sony camera x0", "sony camera x0")
+        assert sequences[2] == ("10.0", "10.0")
+
+    def test_hybrid_incremental_prefixes(self):
+        pair = make_dataset()[0]
+        sequences = HybridTokenizer().sequences(pair, SCHEMA)
+        assert len(sequences) == 3
+        assert sequences[0][0] == "sony camera x0"
+        assert sequences[1][0] == "sony camera x0 sony"
+        # The final sequence couples the entire records.
+        assert sequences[2][0] == "sony camera x0 sony 10.0"
+
+    def test_hybrid_skips_empty_values_in_concat(self):
+        left = {"title": "a", "brand": "", "price": None}
+        pair = PairRecord(0, left, dict(left), 0)
+        sequences = HybridTokenizer().sequences(pair, SCHEMA)
+        assert sequences[-1][0] == "a"
+
+    def test_sequence_count_matches(self):
+        assert AttributeTokenizer().sequence_count(SCHEMA) == 3
+        assert HybridTokenizer().sequence_count(SCHEMA) == 3
+        assert UnstructuredTokenizer().sequence_count(SCHEMA) == 1
+
+
+class TestEmbedder:
+    def test_output_dim_modes(self):
+        emb = TransformerEmbedder("bert", layers="first_last")
+        per_layer = 3 * 96 + 2
+        assert emb.output_dim == 2 * per_layer
+        assert TransformerEmbedder("bert", layers="last").output_dim == per_layer
+
+    def test_unknown_layers_mode(self):
+        with pytest.raises(UnknownModelError):
+            TransformerEmbedder("bert", layers="middle")
+
+    def test_embed_pairs_shape(self):
+        emb = TransformerEmbedder("dbert")
+        out = emb.embed_pairs([("sony camera", "sony camera"), ("a", "b")])
+        assert out.shape == (2, emb.output_dim)
+        assert np.isfinite(out).all()
+
+    def test_identical_pair_scores_higher_cosine(self):
+        emb = TransformerEmbedder("albert")
+        out = emb.embed_pairs(
+            [
+                ("canon eos camera", "canon eos camera"),
+                ("canon eos camera", "panasonic microwave oven"),
+            ]
+        )
+        # The layer-0 cosine feature sits at a fixed offset: 3 * dim.
+        cos_index = 3 * 96
+        assert out[0, cos_index] > out[1, cos_index]
+
+
+class TestCombiners:
+    def test_mean(self):
+        stack = [np.array([[1.0, 2.0]]), np.array([[3.0, 4.0]])]
+        out = MeanCombiner().combine_dataset(stack)
+        np.testing.assert_allclose(out, [[2.0, 3.0]])
+
+    def test_concat(self):
+        stack = [np.array([[1.0]]), np.array([[2.0]])]
+        out = ConcatCombiner().combine_dataset(stack)
+        np.testing.assert_allclose(out, [[1.0, 2.0]])
+
+    def test_single_record_combine(self):
+        embeddings = np.array([[1.0, 3.0], [3.0, 5.0]])
+        np.testing.assert_allclose(
+            MeanCombiner().combine(embeddings), [2.0, 4.0]
+        )
+        assert len(ConcatCombiner().combine(embeddings)) == 4
+
+    def test_registry(self):
+        assert isinstance(make_combiner("mean"), MeanCombiner)
+        with pytest.raises(UnknownModelError):
+            make_combiner("max")
+
+
+class TestEMAdapter:
+    def test_transform_shape_mean(self):
+        clear_adapter_cache()
+        adapter = EMAdapter("attr", "dbert", "mean")
+        dataset = make_dataset()
+        out = adapter.transform(dataset)
+        assert out.shape == (len(dataset), adapter.output_dim(dataset))
+
+    def test_transform_shape_concat(self):
+        clear_adapter_cache()
+        adapter = EMAdapter("attr", "dbert", "concat")
+        dataset = make_dataset()
+        out = adapter.transform(dataset)
+        assert out.shape[1] == adapter.embedder.output_dim * 3
+
+    def test_cache_hit_returns_same_array(self):
+        clear_adapter_cache()
+        adapter = EMAdapter("attr", "dbert", "mean")
+        dataset = make_dataset()
+        first = adapter.transform(dataset)
+        second = adapter.transform(dataset)
+        assert first is second
+
+    def test_cache_disabled(self):
+        clear_adapter_cache()
+        adapter = EMAdapter("attr", "dbert", "mean", cache=False)
+        dataset = make_dataset()
+        assert adapter.transform(dataset) is not adapter.transform(dataset)
+
+    def test_name_is_stable(self):
+        adapter = EMAdapter("hybrid", "albert", "mean")
+        assert adapter.name == "hybrid+albert/first_last+mean"
+
+    def test_accepts_component_instances(self):
+        adapter = EMAdapter(
+            HybridTokenizer(), TransformerEmbedder("bert"), MeanCombiner()
+        )
+        assert adapter.tokenizer.name == "hybrid"
+
+
+class TestNoAdapterFeaturizers:
+    def test_word2vec_featurizer_shape(self, tiny_sda):
+        featurizer = Word2VecFeaturizer(dim=8, epochs=1)
+        features = featurizer.fit_transform(tiny_sda)
+        assert features.shape == (len(tiny_sda), featurizer.output_dim)
+
+    def test_word2vec_requires_fit(self, tiny_sda):
+        with pytest.raises(NotFittedError):
+            Word2VecFeaturizer().transform(tiny_sda)
+
+    def test_native_featurizer_shape_and_nan(self):
+        dataset = make_dataset()
+        featurizer = NativeTabularFeaturizer(text_hash_dim=8)
+        features = featurizer.fit_transform(dataset)
+        assert features.shape[0] == len(dataset)
+        # title: 3 stats + 8 bag; brand: 2; price: 1 -> 14 per side.
+        assert features.shape[1] == 2 * (3 + 8 + 2 + 1)
+
+    def test_native_featurizer_missing_numeric_is_nan(self):
+        left = {"title": "a", "brand": "b", "price": None}
+        pair = PairRecord(0, left, dict(left), 0)
+        dataset = EMDataset("toy", SCHEMA, [pair])
+        features = NativeTabularFeaturizer(text_hash_dim=4).fit_transform(dataset)
+        assert np.isnan(features).sum() == 2  # One price per side.
+
+    def test_native_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            NativeTabularFeaturizer().transform(make_dataset())
+
+    def test_no_cross_side_features(self):
+        """Raw featurizers encode sides independently (the paper's point)."""
+        left = {"title": "identical text", "brand": "x", "price": 1.0}
+        match = PairRecord(0, dict(left), dict(left), 1)
+        other = {"title": "completely different", "brand": "y", "price": 9.0}
+        nonmatch = PairRecord(1, dict(left), dict(other), 0)
+        dataset = EMDataset("toy", SCHEMA, [match, nonmatch])
+        features = NativeTabularFeaturizer(text_hash_dim=4).fit_transform(dataset)
+        # Left-side features of both rows are identical: no comparison info.
+        half = features.shape[1] // 2
+        np.testing.assert_allclose(features[0, :half], features[1, :half])
+
+
+class TestAugmentation:
+    def test_swap_preserves_label(self):
+        pair = make_dataset()[1]
+        swapped = swap_pair(pair, 99)
+        assert swapped.label == pair.label
+        assert swapped.left == pair.right and swapped.right == pair.left
+
+    def test_shuffle_attribute_keeps_tokens(self):
+        pair = make_dataset()[0]
+        rng = np.random.default_rng(0)
+        shuffled = shuffle_attribute(pair, "title", rng, 99, side="right")
+        assert sorted(str(shuffled.right["title"]).split()) == sorted(
+            str(pair.right["title"]).split()
+        )
+
+    def test_balance_reaches_target(self, tiny_sda):
+        balanced = balance_dataset(tiny_sda, target_match_fraction=0.4)
+        assert balanced.match_fraction == pytest.approx(0.4, abs=0.02)
+        assert len(balanced) > len(tiny_sda)
+
+    def test_balance_noop_when_already_balanced(self):
+        dataset = make_dataset(6)  # 50% positives.
+        assert balance_dataset(dataset, target_match_fraction=0.4) is dataset
+
+    def test_balance_rejects_bad_target(self, tiny_sda):
+        with pytest.raises(ValueError):
+            balance_dataset(tiny_sda, target_match_fraction=1.0)
+
+
+class TestAdapterCacheKeying:
+    def test_equal_length_subsets_do_not_collide(self):
+        clear_adapter_cache()
+        adapter = EMAdapter("attr", "dbert", "mean")
+        dataset = make_dataset(8)
+        first = adapter.transform(dataset.subset([0, 1, 2]))
+        second = adapter.transform(dataset.subset([3, 4, 5]))
+        assert first.shape == second.shape
+        assert not np.allclose(first, second)

@@ -1,0 +1,154 @@
+"""Tests for the blocking subsystem and match clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.blocking import (
+    MinHashBlocker,
+    SortedNeighborhoodBlocker,
+    TokenBlocker,
+    blocking_quality,
+    cluster_matches,
+    make_candidate_dataset,
+)
+from repro.data.generators import RestaurantGenerator
+from repro.data.schema import Schema
+from repro.exceptions import DataError
+
+
+def make_tables(n=40, seed=0):
+    """Two tables describing overlapping restaurants + true match pairs."""
+    generator = RestaurantGenerator()
+    rng = np.random.default_rng(seed)
+    left, right, matches = [], [], set()
+    for i in range(n):
+        entity = generator.sample_entity(rng)
+        l_row, r_row = generator.render_pair(entity, rng)
+        left.append(l_row)
+        if i % 2 == 0:  # Half the left entities exist on the right too.
+            right.append(r_row)
+            matches.add((i, len(right) - 1))
+    # Plus right-only entities.
+    for _ in range(n // 2):
+        entity = generator.sample_entity(rng)
+        _l, r_row = generator.render_pair(entity, rng)
+        right.append(r_row)
+    return left, right, matches, generator.schema
+
+
+class TestTokenBlocker:
+    def test_finds_most_true_matches(self):
+        left, right, matches, _schema = make_tables()
+        blocker = TokenBlocker(["name", "phone"], min_shared=1)
+        quality = blocking_quality(
+            blocker.candidates(left, right), matches, len(left), len(right)
+        )
+        assert quality["pair_completeness"] > 0.8
+        assert quality["reduction_ratio"] > 0.3
+
+    def test_min_shared_two_shrinks_candidates(self):
+        left, right, _matches, _schema = make_tables()
+        loose = TokenBlocker(["name", "addr"], min_shared=1)
+        strict = TokenBlocker(["name", "addr"], min_shared=2)
+        assert len(strict.candidates(left, right)) <= len(
+            loose.candidates(left, right)
+        )
+
+    def test_rejects_no_attributes(self):
+        with pytest.raises(DataError):
+            TokenBlocker([])
+
+    def test_rejects_bad_min_shared(self):
+        with pytest.raises(DataError):
+            TokenBlocker(["a"], min_shared=0)
+
+    def test_pairs_are_sorted_and_unique(self):
+        left, right, _m, _s = make_tables(20)
+        candidates = TokenBlocker(["name"]).candidates(left, right)
+        assert candidates == sorted(set(candidates))
+
+
+class TestSortedNeighborhood:
+    def test_window_blocks_neighbours(self):
+        left = [{"k": "aaa"}, {"k": "zzz"}]
+        right = [{"k": "aab"}, {"k": "zzy"}]
+        blocker = SortedNeighborhoodBlocker("k", window=2)
+        candidates = blocker.candidates(left, right)
+        assert (0, 0) in candidates
+        assert (1, 1) in candidates
+        assert (0, 1) not in candidates
+
+    def test_larger_window_superset(self):
+        left, right, _m, _s = make_tables(20)
+        small = SortedNeighborhoodBlocker("name", window=3)
+        large = SortedNeighborhoodBlocker("name", window=9)
+        assert set(small.candidates(left, right)) <= set(
+            large.candidates(left, right)
+        )
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(DataError):
+            SortedNeighborhoodBlocker("k", window=1)
+
+
+class TestMinHash:
+    def test_high_jaccard_pairs_collide(self):
+        left = [{"t": "golden dragon palace restaurant downtown"}]
+        right = [
+            {"t": "golden dragon palace restaurant uptown"},
+            {"t": "completely unrelated sushi bar"},
+        ]
+        blocker = MinHashBlocker(["t"], bands=16, rows_per_band=1, seed=1)
+        candidates = blocker.candidates(left, right)
+        assert (0, 0) in candidates
+
+    def test_deterministic(self):
+        left, right, _m, _s = make_tables(20)
+        a = MinHashBlocker(["name", "addr"], seed=3).candidates(left, right)
+        b = MinHashBlocker(["name", "addr"], seed=3).candidates(left, right)
+        assert a == b
+
+    def test_empty_rows_skipped(self):
+        blocker = MinHashBlocker(["t"])
+        assert blocker.candidates([{"t": ""}], [{"t": "x"}]) == []
+
+    def test_recall_on_generated_tables(self):
+        left, right, matches, _s = make_tables(30)
+        blocker = MinHashBlocker(
+            ["name", "addr", "phone"], bands=12, rows_per_band=1
+        )
+        quality = blocking_quality(
+            blocker.candidates(left, right), matches, len(left), len(right)
+        )
+        assert quality["pair_completeness"] > 0.7
+
+
+class TestCandidateDataset:
+    def test_labels_from_truth(self):
+        left, right, matches, schema = make_tables(10)
+        blocker = TokenBlocker(["name", "phone"])
+        candidates = blocker.candidates(left, right)
+        dataset = make_candidate_dataset(
+            schema, left, right, candidates, matches
+        )
+        assert len(dataset) == len(candidates)
+        assert dataset.labels.sum() == len(set(candidates) & matches)
+
+    def test_unlabelled_defaults_to_zero(self):
+        left, right, _m, schema = make_tables(6)
+        dataset = make_candidate_dataset(schema, left, right, [(0, 0)])
+        assert dataset.labels.sum() == 0
+
+
+class TestClustering:
+    def test_transitive_clusters(self):
+        pairs = [(0, 0), (1, 0), (2, 5)]
+        predictions = [1, 1, 0]
+        clusters = cluster_matches(pairs, predictions, n_left=3)
+        assert len(clusters) == 1
+        assert clusters[0] == {("L", 0), ("L", 1), ("R", 0)}
+
+    def test_no_matches_no_clusters(self):
+        assert cluster_matches([(0, 0)], [0], n_left=1) == []

@@ -1,0 +1,161 @@
+"""Tests for calibration, dataset profiling, and phonetic encodings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.profiling import profile_dataset
+from repro.exceptions import NotFittedError
+from repro.ml.calibration import (
+    IsotonicCalibrator,
+    PlattCalibrator,
+    expected_calibration_error,
+)
+from repro.text.phonetic import metaphone, phonetic_equal, soundex
+
+words = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122), max_size=12
+)
+
+
+class TestPlatt:
+    def test_recovers_shifted_sigmoid(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=2000)
+        true_p = 1.0 / (1.0 + np.exp(-(2.0 * scores - 1.0)))
+        y = (rng.random(2000) < true_p).astype(float)
+        calibrated = PlattCalibrator().fit(scores, y).transform(scores)
+        ece_raw = expected_calibration_error(
+            y, 1.0 / (1.0 + np.exp(-scores))
+        )
+        ece_cal = expected_calibration_error(y, calibrated)
+        assert ece_cal < ece_raw
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            PlattCalibrator().transform(np.zeros(3))
+
+    def test_output_in_unit_interval(self):
+        cal = PlattCalibrator().fit(
+            np.array([-2.0, -1.0, 1.0, 2.0]), np.array([0, 0, 1, 1])
+        )
+        out = cal.transform(np.linspace(-10, 10, 50))
+        assert ((out >= 0) & (out <= 1)).all()
+
+
+class TestIsotonic:
+    def test_monotone_output(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(300)
+        y = (rng.random(300) < scores).astype(float)
+        cal = IsotonicCalibrator().fit(scores, y)
+        grid = np.linspace(0, 1, 100)
+        out = cal.transform(grid)
+        assert (np.diff(out) >= -1e-12).all()
+
+    def test_perfectly_separable(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        y = np.array([0, 0, 1, 1])
+        cal = IsotonicCalibrator().fit(scores, y)
+        assert cal.transform(np.array([0.15]))[0] == pytest.approx(0.0)
+        assert cal.transform(np.array([0.85]))[0] == pytest.approx(1.0)
+
+    def test_violations_pooled(self):
+        # All labels equal -> single pooled block.
+        scores = np.array([0.1, 0.5, 0.9])
+        y = np.array([1, 1, 1])
+        cal = IsotonicCalibrator().fit(scores, y)
+        out = cal.transform(np.array([0.0, 0.5, 1.0]))
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            IsotonicCalibrator().fit(np.zeros(3), np.zeros(4))
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            IsotonicCalibrator().transform(np.zeros(2))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25)
+    def test_calibrated_mean_matches_base_rate(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(100)
+        y = rng.integers(0, 2, 100).astype(float)
+        cal = IsotonicCalibrator().fit(scores, y)
+        # PAV approximately preserves the base rate on the training
+        # points (exact at block ends; interpolation inside blocks).
+        assert cal.transform(scores).mean() == pytest.approx(
+            y.mean(), abs=0.08
+        )
+
+
+class TestECE:
+    def test_perfect_calibration_zero(self):
+        proba = np.array([0.0, 1.0, 0.0, 1.0])
+        y = np.array([0, 1, 0, 1])
+        assert expected_calibration_error(y, proba) == pytest.approx(0.0)
+
+    def test_overconfident_penalized(self):
+        y = np.array([0, 0, 0, 1])
+        proba = np.full(4, 0.95)
+        assert expected_calibration_error(y, proba) > 0.5
+
+
+class TestProfiling:
+    def test_profile_shapes(self, tiny_sda):
+        profile = profile_dataset(tiny_sda)
+        assert profile.n_pairs == len(tiny_sda)
+        assert len(profile.attributes) == len(tiny_sda.schema.attributes)
+        assert profile.imbalance_ratio > 1.0  # EM data is imbalanced.
+
+    def test_overlap_gap_positive_on_discriminative_attr(self, tiny_sda):
+        profile = profile_dataset(tiny_sda)
+        best = profile.most_discriminative()
+        assert best.overlap_gap > 0.15
+        assert best.overlap_match > best.overlap_nonmatch
+
+    def test_summary_renders(self, tiny_sda):
+        text = profile_dataset(tiny_sda).summary()
+        assert "S-DA" in text and "title" in text
+
+    def test_missing_rate_bounds(self, tiny_sda):
+        for attr in profile_dataset(tiny_sda).attributes:
+            assert 0.0 <= attr.missing_rate <= 1.0
+
+
+class TestPhonetic:
+    def test_soundex_classic(self):
+        assert soundex("Robert") == "R163"
+        assert soundex("Rupert") == "R163"
+        assert soundex("Ashcraft") == soundex("Ashcroft")
+
+    def test_soundex_padding(self):
+        assert soundex("Lee") == "L000"
+
+    def test_soundex_empty(self):
+        assert soundex("") == ""
+        assert soundex("123") == ""
+
+    def test_metaphone_transformations(self):
+        assert metaphone("phone") == metaphone("fone")
+        assert metaphone("shark")[0] == "x"
+        assert metaphone("city")[0] == "s"
+        assert metaphone("cat")[0] == "k"
+
+    def test_metaphone_silent_e(self):
+        assert metaphone("kate") == metaphone("kat")
+
+    def test_phonetic_equal(self):
+        assert phonetic_equal("smith", "smyth")
+        assert not phonetic_equal("smith", "jones")
+        assert not phonetic_equal("", "smith")
+
+    @given(words)
+    @settings(max_examples=40)
+    def test_soundex_shape(self, word):
+        code = soundex(word)
+        assert code == "" or (len(code) == 4 and code[0].isupper())

@@ -1,0 +1,50 @@
+"""CLI coverage beyond the happy path, plus top-level package surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.cli import main as cli_main
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_exports(self):
+        assert hasattr(repro, "EMPipeline")
+        assert hasattr(repro, "EMAdapter")
+        assert hasattr(repro, "DeepMatcherHybrid")
+        assert len(repro.DATASET_NAMES) == 12
+
+    def test_all_matches_attributes(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestCliEdgeCases:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli_main([])
+
+    def test_table_requires_valid_number(self):
+        with pytest.raises(SystemExit):
+            cli_main(["table", "7"])
+
+    def test_match_requires_known_dataset(self):
+        with pytest.raises(SystemExit):
+            cli_main(["match", "--dataset", "bogus"])
+
+    def test_scale_flag_flows_to_table1(self, capsys):
+        assert cli_main(["table", "1", "--scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "Magellan" in out
+
+    def test_dataset_subset_parsing(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_MAX_MODELS", "2")
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        assert cli_main(["table", "2", "--datasets", "S-BR"]) == 0
+        out = capsys.readouterr().out
+        assert "S-BR" in out and "S-DG" not in out

@@ -1,0 +1,187 @@
+"""Tests for the perturbation engine and the six domain generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.generators import (
+    BeerGenerator,
+    BibliographicGenerator,
+    MusicGenerator,
+    PerturbationConfig,
+    Perturber,
+    RestaurantGenerator,
+    RetailProductGenerator,
+    SoftwareProductGenerator,
+    TextualProductGenerator,
+    generate_pairs,
+)
+from repro.exceptions import DataError
+from repro.text.similarity import jaccard
+
+ALL_GENERATORS = [
+    BibliographicGenerator(venue_mismatch=True),
+    BibliographicGenerator(venue_mismatch=False),
+    SoftwareProductGenerator(),
+    RetailProductGenerator(),
+    RestaurantGenerator(),
+    MusicGenerator(),
+    BeerGenerator(),
+    TextualProductGenerator(),
+]
+
+
+class TestPerturber:
+    def test_zero_config_is_identity_for_text(self):
+        cfg = PerturbationConfig().scaled(0.0)
+        perturber = Perturber(cfg, np.random.default_rng(0))
+        assert perturber.perturb_text("hello wonderful world") == (
+            "hello wonderful world"
+        )
+
+    def test_scaled_clamps_to_one(self):
+        cfg = PerturbationConfig(typo_rate=0.5).scaled(10)
+        assert cfg.typo_rate == 1.0
+
+    def test_missing_rate_one_blanks_value(self):
+        cfg = PerturbationConfig(missing_rate=1.0)
+        perturber = Perturber(cfg, np.random.default_rng(0))
+        assert perturber.perturb_text("anything") == ""
+
+    def test_never_produces_empty_from_nonempty_without_missing(self):
+        cfg = PerturbationConfig(
+            typo_rate=0.5, token_drop_rate=0.9, missing_rate=0.0
+        )
+        rng = np.random.default_rng(1)
+        perturber = Perturber(cfg, rng)
+        for _ in range(50):
+            assert perturber.perturb_text("alpha beta gamma") != ""
+
+    def test_numeric_jitter_and_missing(self):
+        cfg = PerturbationConfig(numeric_jitter=0.5, numeric_missing_rate=0.0)
+        rng = np.random.default_rng(2)
+        perturber = Perturber(cfg, rng)
+        values = [perturber.perturb_numeric(100.0) for _ in range(50)]
+        assert all(v is not None for v in values)
+        assert any(v != 100.0 for v in values)
+
+    def test_numeric_none_passthrough(self):
+        perturber = Perturber(PerturbationConfig(), np.random.default_rng(0))
+        assert perturber.perturb_numeric(None) is None
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_typos_preserve_nonemptiness(self, seed):
+        cfg = PerturbationConfig(typo_rate=1.0, missing_rate=0.0)
+        perturber = Perturber(cfg, np.random.default_rng(seed))
+        assert len(perturber.perturb_text("product")) > 0
+
+
+@pytest.mark.parametrize("generator", ALL_GENERATORS, ids=lambda g: type(g).__name__)
+class TestDomainGenerators:
+    def test_entities_match_schema(self, generator):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            entity = generator.sample_entity(rng)
+            left, right = generator.render_pair(entity, rng)
+            generator.schema.validate_entity(left)
+            generator.schema.validate_entity(right)
+
+    def test_siblings_differ_but_overlap(self, generator):
+        rng = np.random.default_rng(1)
+        overlaps, identities = [], 0
+        for _ in range(30):
+            entity = generator.sample_entity(rng)
+            sibling = generator.make_sibling(entity, rng)
+            text_e = " ".join(str(v) for v in entity.values())
+            text_s = " ".join(str(v) for v in sibling.values())
+            if text_e == text_s:
+                identities += 1
+            overlaps.append(jaccard(text_e.split(), text_s.split()))
+        assert identities <= 2  # Siblings are (nearly) always different.
+        assert np.mean(overlaps) > 0.15  # But share surface tokens.
+
+    def test_match_pairs_more_similar_than_siblings(self, generator):
+        rng = np.random.default_rng(2)
+        match_sims, sibling_sims = [], []
+        for _ in range(40):
+            entity = generator.sample_entity(rng)
+            left, right = generator.render_pair(entity, rng)
+            match_sims.append(
+                jaccard(
+                    " ".join(str(v) for v in left.values()).split(),
+                    " ".join(str(v) for v in right.values()).split(),
+                )
+            )
+            sibling = generator.make_sibling(entity, rng)
+            left2, _ = generator.render_pair(entity, rng)
+            _, right2 = generator.render_pair(sibling, rng)
+            sibling_sims.append(
+                jaccard(
+                    " ".join(str(v) for v in left2.values()).split(),
+                    " ".join(str(v) for v in right2.values()).split(),
+                )
+            )
+        assert np.mean(match_sims) > np.mean(sibling_sims)
+
+
+class TestGeneratePairs:
+    def test_size_and_match_fraction(self):
+        dataset = generate_pairs(
+            BeerGenerator(), 300, 0.2, np.random.default_rng(0)
+        )
+        assert len(dataset) == 300
+        assert dataset.match_fraction == pytest.approx(0.2, abs=0.01)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(DataError):
+            generate_pairs(BeerGenerator(), 0, 0.2, np.random.default_rng(0))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(DataError):
+            generate_pairs(BeerGenerator(), 10, 1.5, np.random.default_rng(0))
+
+    def test_pair_ids_sequential(self):
+        dataset = generate_pairs(
+            BeerGenerator(), 50, 0.2, np.random.default_rng(0)
+        )
+        assert [p.pair_id for p in dataset] == list(range(50))
+
+    def test_labels_shuffled(self):
+        dataset = generate_pairs(
+            BeerGenerator(), 200, 0.3, np.random.default_rng(0)
+        )
+        labels = dataset.labels
+        # Matches must not be all at the front.
+        assert labels[: int(200 * 0.3)].sum() < int(200 * 0.3)
+
+    def test_deterministic_given_rng_seed(self):
+        a = generate_pairs(BeerGenerator(), 40, 0.25, np.random.default_rng(9))
+        b = generate_pairs(BeerGenerator(), 40, 0.25, np.random.default_rng(9))
+        assert [p.left for p in a] == [p.left for p in b]
+        assert (a.labels == b.labels).all()
+
+    def test_hard_negative_fraction_extremes(self):
+        easy = generate_pairs(
+            RetailProductGenerator(), 150, 0.2, np.random.default_rng(3),
+            hard_negative_fraction=0.0,
+        )
+        hard = generate_pairs(
+            RetailProductGenerator(), 150, 0.2, np.random.default_rng(3),
+            hard_negative_fraction=1.0,
+        )
+
+        def negative_similarity(dataset):
+            sims = [
+                jaccard(
+                    str(p.left["title"]).split(), str(p.right["title"]).split()
+                )
+                for p in dataset
+                if p.label == 0
+            ]
+            return np.mean(sims)
+
+        assert negative_similarity(hard) > negative_similarity(easy)

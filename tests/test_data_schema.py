@@ -1,0 +1,139 @@
+"""Tests for schemas, pair records and EMDataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.schema import (
+    Attribute,
+    AttributeKind,
+    EMDataset,
+    PairRecord,
+    Schema,
+)
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return Schema.of(
+        "product",
+        ("title", AttributeKind.TEXT),
+        ("brand", AttributeKind.CATEGORICAL),
+        ("price", AttributeKind.NUMERIC),
+    )
+
+
+def make_pair(pair_id=0, label=1):
+    left = {"title": "sony tv", "brand": "sony", "price": 99.0}
+    right = {"title": "sony tv x90", "brand": "sony", "price": 95.0}
+    return PairRecord(pair_id, left, right, label)
+
+
+class TestSchema:
+    def test_attribute_names(self, schema):
+        assert schema.attribute_names == ("title", "brand", "price")
+
+    def test_kind_partition(self, schema):
+        assert [a.name for a in schema.text_attributes()] == ["title", "brand"]
+        assert [a.name for a in schema.numeric_attributes()] == ["price"]
+
+    def test_lookup(self, schema):
+        assert schema.attribute("brand").kind is AttributeKind.CATEGORICAL
+
+    def test_lookup_missing_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.attribute("missing")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("bad", (Attribute("a"), Attribute("a")))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("empty", ())
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_validate_entity_catches_missing(self, schema):
+        with pytest.raises(SchemaError, match="missing"):
+            schema.validate_entity({"title": "x", "brand": "y"})
+
+    def test_validate_entity_catches_extra(self, schema):
+        entity = {"title": "x", "brand": "y", "price": 1.0, "junk": 2}
+        with pytest.raises(SchemaError, match="extra"):
+            schema.validate_entity(entity)
+
+    def test_bare_string_columns_default_to_text(self):
+        s = Schema.of("s", "a", "b")
+        assert all(a.kind is AttributeKind.TEXT for a in s.attributes)
+
+
+class TestPairRecord:
+    def test_label_validation(self):
+        with pytest.raises(SchemaError):
+            PairRecord(0, {}, {}, 2)
+
+    def test_value_sides(self):
+        pair = make_pair()
+        assert pair.value("left", "price") == 99.0
+        assert pair.value("right", "price") == 95.0
+
+    def test_value_bad_side(self):
+        with pytest.raises(ValueError):
+            make_pair().value("middle", "price")
+
+    def test_text_of_none_is_empty(self):
+        pair = PairRecord(0, {"p": None}, {"p": 3.5}, 0)
+        assert pair.text_of("left", "p") == ""
+        assert pair.text_of("right", "p") == "3.5"
+
+
+class TestEMDataset:
+    def test_validates_pairs_against_schema(self, schema):
+        bad = PairRecord(0, {"title": "x"}, {"title": "y"}, 0)
+        with pytest.raises(SchemaError):
+            EMDataset("d", schema, [bad])
+
+    def test_rejects_unknown_type(self, schema):
+        with pytest.raises(SchemaError):
+            EMDataset("d", schema, [make_pair()], dataset_type="Weird")
+
+    def test_labels_and_match_fraction(self, schema):
+        pairs = [make_pair(i, label=int(i < 2)) for i in range(4)]
+        dataset = EMDataset("d", schema, pairs)
+        np.testing.assert_array_equal(dataset.labels, [1, 1, 0, 0])
+        assert dataset.match_fraction == 0.5
+
+    def test_subset_preserves_order(self, schema):
+        pairs = [make_pair(i, label=i % 2) for i in range(6)]
+        dataset = EMDataset("d", schema, pairs)
+        sub = dataset.subset([4, 1])
+        assert [p.pair_id for p in sub] == [4, 1]
+        assert sub.name == "d"
+
+    def test_entity_texts_skip_missing(self, schema):
+        pair = PairRecord(
+            0,
+            {"title": "a", "brand": "", "price": None},
+            {"title": "b", "brand": "c", "price": 1.0},
+            0,
+        )
+        dataset = EMDataset("d", schema, [pair])
+        assert dataset.entity_texts("left") == ["a"]
+        assert dataset.entity_texts("right") == ["b c 1.0"]
+
+    def test_corpus_covers_both_sides(self, schema):
+        dataset = EMDataset("d", schema, [make_pair()])
+        corpus = dataset.corpus()
+        assert len(corpus) == 2
+
+    def test_iteration_and_indexing(self, schema):
+        pairs = [make_pair(i) for i in range(3)]
+        dataset = EMDataset("d", schema, pairs)
+        assert len(dataset) == 3
+        assert dataset[1].pair_id == 1
+        assert [p.pair_id for p in dataset] == [0, 1, 2]

@@ -1,0 +1,67 @@
+"""Tiny-scale integration tests of the Table 3/4/5 experiment modules.
+
+These run one small dataset (S-BR at scale 0.02, 450 pairs) with a
+two-model AutoML cap and a single embedder, exercising the full
+runner -> table-row -> render path without the benchmark suite's cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentRunner
+from repro.experiments.table3 import table3_rows
+from repro.experiments.table4 import table4_rows
+from repro.experiments.table5 import table5_rows
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    import os
+
+    cache = tmp_path_factory.mktemp("cache")
+    os.environ["REPRO_CACHE_DIR"] = str(cache)
+    yield ExperimentRunner(ExperimentConfig(scale=0.02, max_models=2))
+    os.environ.pop("REPRO_CACHE_DIR", None)
+
+
+DATASETS = ("S-BR",)
+EMBEDDERS = ("dbert",)
+
+
+class TestTinyTables:
+    def test_table3_rows(self, runner):
+        rows = table3_rows(
+            "h2o", runner, datasets=DATASETS, embedders=EMBEDDERS
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert 0.0 <= row["attr_dbert"] <= 100.0
+        assert 0.0 <= row["hybrid_dbert"] <= 100.0
+
+    def test_table4_rows_reuse_cache(self, runner):
+        rows = table4_rows(
+            runner,
+            datasets=DATASETS,
+            systems=("h2o",),
+            embedders=EMBEDDERS,
+        )
+        row = rows[0]
+        adapter_mean = (row["h2o_attr"] + row["h2o_hybrid"]) / 2
+        assert row["h2o_delta"] == pytest.approx(
+            adapter_mean - row["h2o_none"], abs=1e-9
+        )
+
+    def test_table5_rows(self, runner):
+        rows = table5_rows(
+            runner,
+            datasets=DATASETS,
+            systems=("h2o",),
+            budgets=(1.0, 6.0),
+        )
+        row = rows[0]
+        assert "deepmatcher_f1" in row
+        assert row["delta_1h"] == pytest.approx(
+            row["h2o_1h"] - row["deepmatcher_f1"], abs=1e-9
+        )
+        assert 0.0 <= row["h2o_6h"] <= 100.0

@@ -1,0 +1,137 @@
+"""Tests for the experiment harness: config, caching, tables, CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments import ExperimentConfig, ExperimentRunner, run_table1
+from repro.experiments.table2 import table2_rows
+from repro.experiments.table4 import average_deltas
+from repro.experiments.tables import format_value, render_table
+
+
+class TestConfig:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_MAX_MODELS", raising=False)
+        config = ExperimentConfig()
+        assert 0 < config.scale <= 1
+        assert config.max_models >= 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        monkeypatch.setenv("REPRO_MAX_MODELS", "3")
+        config = ExperimentConfig()
+        assert config.scale == 0.5
+        assert config.max_models == 3
+
+    def test_invalid_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "banana")
+        config = ExperimentConfig()
+        assert 0 < config.scale <= 1
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale=2.0)
+
+    def test_cache_key_includes_data_version(self):
+        from repro.config import DATA_VERSION
+
+        key = ExperimentConfig(scale=0.5).cache_key("x")
+        assert f"v{DATA_VERSION}" in key
+
+    def test_cache_dir_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        assert ExperimentConfig.cache_dir() is None
+
+
+class TestRendering:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(1.23456) == "1.23"
+        assert format_value(True) == "yes"
+        assert format_value("abc") == "abc"
+
+    def test_render_table_alignment(self):
+        text = render_table("T", ["A", "Long"], [[1, 2.5], [30, 4.0]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Long" in lines[1]
+        assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+
+class TestTable1:
+    def test_registry_table(self):
+        text = run_table1()
+        assert "S-DG" in text and "28707" in text and "18.63" in text
+
+    def test_generated_table_small_scale(self):
+        text = run_table1(scale=0.02, generate=True)
+        assert "S-BR" in text
+
+
+class TestRunnerCaching:
+    def test_disk_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        config = ExperimentConfig(scale=0.02, max_models=2)
+        runner = ExperimentRunner(config)
+        first = runner.run_deepmatcher("S-BR")
+        assert (tmp_path / f"{config.cache_key('deepmatcher', 'S-BR')}.json").exists()
+
+        # A fresh runner must reload the identical result from disk.
+        fresh = ExperimentRunner(config)
+        second = fresh.run_deepmatcher("S-BR")
+        assert second == first
+
+    def test_splits_cached_per_dataset(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        runner = ExperimentRunner(ExperimentConfig(scale=0.02, max_models=2))
+        assert runner.splits("S-BR") is runner.splits("S-BR")
+
+
+class TestTableAggregation:
+    def test_average_deltas(self):
+        rows = [
+            {"autosklearn_delta": 10.0, "autogluon_delta": 20.0, "h2o_delta": 0.0},
+            {"autosklearn_delta": 30.0, "autogluon_delta": 40.0, "h2o_delta": 0.0},
+        ]
+        deltas = average_deltas(rows)
+        assert deltas["autosklearn"] == pytest.approx(20.0)
+        assert deltas["autogluon"] == pytest.approx(30.0)
+
+    def test_table2_rows_structure(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        runner = ExperimentRunner(ExperimentConfig(scale=0.02, max_models=2))
+        rows = table2_rows(runner, datasets=("S-BR",))
+        assert len(rows) == 1
+        row = rows[0]
+        for key in (
+            "autosklearn_f1", "autogluon_f1", "h2o_f1", "deepmatcher_f1",
+        ):
+            assert 0.0 <= row[key] <= 100.0
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert cli_main(["table", "1"]) == 0
+        assert "Magellan" in capsys.readouterr().out
+
+    def test_datasets(self, capsys):
+        assert cli_main(["datasets"]) == 0
+        assert "S-FZ" in capsys.readouterr().out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["table", "2", "--datasets", "S-XX"])
+
+    def test_match_command(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_MAX_MODELS", "2")
+        code = cli_main(
+            ["match", "--dataset", "S-BR", "--scale", "0.02", "--budget", "1.0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "autosklearn on S-BR" in out

@@ -1,0 +1,86 @@
+"""Tests for the extension components: Magellan baseline, local embedder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapter import EMAdapter
+from repro.adapter.local_embedder import LocalWord2VecEmbedder
+from repro.data import load_dataset, split_dataset
+from repro.exceptions import NotFittedError
+from repro.matching.magellan import MagellanMatcher
+from repro.ml.metrics import f1_score
+
+
+@pytest.fixture(scope="module")
+def splits():
+    return split_dataset(load_dataset("S-DA", scale=0.04))
+
+
+class TestMagellanMatcher:
+    def test_learns_easy_dataset(self, splits):
+        matcher = MagellanMatcher(seed=1)
+        matcher.fit(splits.train, splits.valid)
+        f1 = f1_score(splits.test.labels, matcher.predict(splits.test))
+        assert f1 > 0.75
+
+    def test_feature_count(self, splits):
+        matcher = MagellanMatcher()
+        features = matcher.featurize(splits.test)
+        schema = splits.test.schema
+        expected = 0
+        for attr in schema.attributes:
+            expected += 3 if attr.kind.value == "numeric" else 7
+        assert features.shape == (len(splits.test), expected)
+
+    def test_identical_pair_maximal_similarity(self, splits):
+        matcher = MagellanMatcher()
+        features = matcher._text_features("sony camera", "sony camera")
+        assert features[0] == 1.0  # jaccard
+        assert features[3] == pytest.approx(1.0)  # jaro-winkler
+
+    def test_numeric_missing_flags(self):
+        features = MagellanMatcher._numeric_features(None, 3.0)
+        assert np.isnan(features[0])
+        assert features[2] == 0.0
+        both = MagellanMatcher._numeric_features(None, None)
+        assert both[2] == 1.0
+
+    def test_unfitted_raises(self, splits):
+        with pytest.raises(NotFittedError):
+            MagellanMatcher().predict(splits.test)
+
+    def test_reports_times(self, splits):
+        matcher = MagellanMatcher()
+        matcher.fit(splits.train, splits.valid)
+        assert matcher.wall_seconds_ > 0
+        assert matcher.simulated_hours_ > 0
+
+
+class TestLocalEmbedder:
+    @pytest.fixture(scope="class")
+    def embedder(self):
+        dataset = load_dataset("S-DA", scale=0.04)
+        return LocalWord2VecEmbedder.from_dataset(dataset, dim=16, epochs=1)
+
+    def test_output_dim(self, embedder):
+        assert embedder.output_dim == 3 * 16 + 2
+
+    def test_embed_pairs_shape(self, embedder):
+        out = embedder.embed_pairs([("a b", "a b"), ("x", "y")])
+        assert out.shape == (2, embedder.output_dim)
+
+    def test_identical_pair_cosine_one(self, embedder):
+        out = embedder.embed_pairs([("query processing", "query processing")])
+        cos_index = 3 * 16
+        assert out[0, cos_index] == pytest.approx(1.0, abs=1e-6)
+
+    def test_plugs_into_adapter(self, embedder):
+        dataset = load_dataset("S-DA", scale=0.04)
+        adapter = EMAdapter("attr", embedder, "mean", cache=False)
+        features = adapter.transform(dataset.subset(range(8)))
+        assert features.shape == (8, embedder.output_dim)
+
+    def test_name_includes_corpus(self, embedder):
+        assert "S-DA" in embedder.name

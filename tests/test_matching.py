@@ -1,0 +1,121 @@
+"""Integration tests: DeepMatcher baseline and the headline EMPipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, split_dataset
+from repro.exceptions import NotFittedError
+from repro.matching import DeepMatcherHybrid, EMPipeline, evaluate_matcher
+from repro.adapter import EMAdapter
+
+
+@pytest.fixture(scope="module")
+def sda_splits():
+    return split_dataset(load_dataset("S-DA", scale=0.04))
+
+
+class TestDeepMatcher:
+    @pytest.fixture(scope="class")
+    def fitted(self, request):
+        splits = split_dataset(load_dataset("S-DA", scale=0.04))
+        matcher = DeepMatcherHybrid(seed=3)
+        matcher.fit(splits.train, splits.valid)
+        return matcher, splits
+
+    def test_learns_easy_dataset(self, fitted):
+        matcher, splits = fitted
+        from repro.ml.metrics import f1_score
+
+        f1 = f1_score(splits.test.labels, matcher.predict(splits.test))
+        assert f1 > 0.75
+
+    def test_featurize_shape(self, fitted):
+        matcher, splits = fitted
+        features = matcher.featurize(splits.test)
+        n_attrs = len(splits.test.schema.attributes) + 1  # + record level.
+        per_attr = 2 * matcher.embedding_dim + 3
+        assert features.shape == (len(splits.test), n_attrs * per_attr)
+
+    def test_simulated_hours_positive(self, fitted):
+        matcher, _ = fitted
+        assert matcher.simulated_hours_ > 0
+
+    def test_unfitted_raises(self, sda_splits):
+        with pytest.raises(NotFittedError):
+            DeepMatcherHybrid().predict(sda_splits.test)
+
+    def test_identical_strings_align_perfectly(self):
+        matcher = DeepMatcherHybrid()
+        features = matcher._attribute_comparison("sony camera", "sony camera")
+        dim = matcher.embedding_dim
+        cover_l, cover_r = features[2 * dim], features[2 * dim + 1]
+        assert cover_l == pytest.approx(1.0, abs=1e-6)
+        assert cover_r == pytest.approx(1.0, abs=1e-6)
+
+    def test_disjoint_strings_low_coverage(self):
+        matcher = DeepMatcherHybrid()
+        features = matcher._attribute_comparison("aaa bbb", "xyz qrs")
+        dim = matcher.embedding_dim
+        assert features[2 * dim] < 0.6
+
+    def test_empty_pair_flag(self):
+        matcher = DeepMatcherHybrid()
+        features = matcher._attribute_comparison("", "")
+        assert features[-1] == 1.0
+
+
+class TestEMPipeline:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        splits = split_dataset(load_dataset("S-DA", scale=0.04))
+        pipeline = EMPipeline(
+            adapter=EMAdapter("hybrid", "albert"),
+            automl="autosklearn",
+            budget_hours=1.0,
+            max_models=5,
+        )
+        pipeline.fit(splits.train, splits.valid)
+        return pipeline, splits
+
+    def test_scores_reasonably(self, fitted):
+        pipeline, splits = fitted
+        assert pipeline.score(splits.test) > 0.6
+
+    def test_detailed_score_keys(self, fitted):
+        pipeline, splits = fitted
+        scores = pipeline.detailed_score(splits.test)
+        assert set(scores) == {"f1", "precision", "recall"}
+        assert all(0 <= v <= 1 for v in scores.values())
+
+    def test_predict_proba_range(self, fitted):
+        pipeline, splits = fitted
+        proba = pipeline.predict_proba(splits.test)
+        assert ((proba >= 0) & (proba <= 1)).all()
+
+    def test_simulated_hours_reported(self, fitted):
+        pipeline, _ = fitted
+        assert pipeline.simulated_hours_ > 0
+
+    def test_unfitted_raises(self, sda_splits):
+        with pytest.raises(NotFittedError):
+            EMPipeline(max_models=3).predict(sda_splits.test)
+
+    def test_accepts_automl_instance(self):
+        from repro.automl import H2OAutoMLLike
+
+        pipeline = EMPipeline(automl=H2OAutoMLLike(max_models=3))
+        assert pipeline.automl.name == "h2o"
+
+    def test_evaluate_matcher_contract(self, sda_splits):
+        pipeline = EMPipeline(
+            adapter=EMAdapter("attr", "dbert"),
+            automl="h2o",
+            budget_hours=1.0,
+            max_models=4,
+        )
+        result = evaluate_matcher(pipeline, sda_splits, system_name="test-run")
+        assert result.system == "test-run"
+        assert 0 <= result.f1 <= 100
+        assert result.dataset == "S-DA"

@@ -1,0 +1,140 @@
+"""Tests for classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy_score,
+    best_f1_threshold,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    precision_recall_curve,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+
+
+class TestBasicMetrics:
+    def test_perfect_predictions(self):
+        y = np.array([0, 1, 1, 0])
+        assert accuracy_score(y, y) == 1.0
+        assert f1_score(y, y) == 1.0
+        assert precision_score(y, y) == 1.0
+        assert recall_score(y, y) == 1.0
+
+    def test_all_wrong(self):
+        y = np.array([0, 1])
+        pred = np.array([1, 0])
+        assert accuracy_score(y, pred) == 0.0
+        assert f1_score(y, pred) == 0.0
+
+    def test_confusion_layout(self):
+        y = np.array([0, 0, 1, 1])
+        pred = np.array([0, 1, 0, 1])
+        matrix = confusion_matrix(y, pred)
+        np.testing.assert_array_equal(matrix, [[1, 1], [1, 1]])
+
+    def test_precision_zero_when_no_positives_predicted(self):
+        assert precision_score([1, 1], [0, 0]) == 0.0
+
+    def test_recall_zero_when_no_positives_exist(self):
+        assert recall_score([0, 0], [1, 1]) == 0.0
+
+    def test_known_f1(self):
+        y = np.array([1, 1, 1, 0, 0])
+        pred = np.array([1, 1, 0, 1, 0])
+        # precision 2/3, recall 2/3 -> f1 2/3.
+        assert f1_score(y, pred) == pytest.approx(2 / 3)
+
+    def test_rejects_nonbinary(self):
+        with pytest.raises(ValueError):
+            f1_score([0, 2], [0, 1])
+
+    def test_empty_accuracy(self):
+        assert accuracy_score([], []) == 0.0
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=2, max_size=30),
+        st.lists(st.integers(0, 1), min_size=2, max_size=30),
+    )
+    @settings(max_examples=50)
+    def test_f1_harmonic_mean_identity(self, y, pred):
+        n = min(len(y), len(pred))
+        y_arr = np.array(y[:n])
+        p_arr = np.array(pred[:n])
+        p = precision_score(y_arr, p_arr)
+        r = recall_score(y_arr, p_arr)
+        expected = 0.0 if p + r == 0 else 2 * p * r / (p + r)
+        assert f1_score(y_arr, p_arr) == pytest.approx(expected)
+
+
+class TestProbabilisticMetrics:
+    def test_log_loss_perfect(self):
+        y = np.array([0, 1])
+        assert log_loss(y, np.array([0.0, 1.0])) < 1e-9
+
+    def test_log_loss_accepts_two_columns(self):
+        y = np.array([0, 1])
+        proba = np.array([[0.9, 0.1], [0.2, 0.8]])
+        single = log_loss(y, proba[:, 1])
+        assert log_loss(y, proba) == pytest.approx(single)
+
+    def test_auc_perfect_ranking(self):
+        y = np.array([0, 0, 1, 1])
+        assert roc_auc_score(y, np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_auc_inverted_ranking(self):
+        y = np.array([0, 0, 1, 1])
+        assert roc_auc_score(y, np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+
+    def test_auc_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=2000)
+        scores = rng.random(2000)
+        assert roc_auc_score(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_auc_degenerate_classes(self):
+        assert roc_auc_score([1, 1], [0.1, 0.9]) == 0.5
+
+    def test_auc_handles_ties(self):
+        y = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc_score(y, scores) == pytest.approx(0.5)
+
+
+class TestThresholding:
+    def test_curve_monotone_recall(self):
+        y = np.array([0, 1, 0, 1, 1])
+        proba = np.array([0.1, 0.9, 0.4, 0.6, 0.3])
+        _p, recalls, _t = precision_recall_curve(y, proba)
+        assert (np.diff(recalls) >= -1e-12).all()
+
+    def test_best_threshold_beats_default(self):
+        # Heavily imbalanced scores where 0.5 is a bad cut.
+        y = np.array([0] * 90 + [1] * 10)
+        proba = np.concatenate([np.linspace(0, 0.30, 90),
+                                np.linspace(0.31, 0.45, 10)])
+        threshold, best = best_f1_threshold(y, proba)
+        default = f1_score(y, (proba >= 0.5).astype(int))
+        assert best > default
+        realized = f1_score(y, (proba >= threshold).astype(int))
+        assert realized == pytest.approx(best)
+
+    @given(st.integers(1, 500))
+    @settings(max_examples=25)
+    def test_best_threshold_realizable(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=40)
+        if y.sum() == 0 or y.sum() == 40:
+            y[0] = 1 - y[0]
+        proba = rng.random(40)
+        threshold, best = best_f1_threshold(y, proba)
+        assert f1_score(y, (proba >= threshold).astype(int)) == pytest.approx(
+            best
+        )

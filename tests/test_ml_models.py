@@ -1,0 +1,196 @@
+"""Tests for the classical model zoo: every family learns, clones, and
+exposes calibrated-ish probabilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.ml import (
+    DecisionTreeClassifier,
+    ExtraTreesClassifier,
+    GaussianNaiveBayes,
+    GradientBoostingClassifier,
+    KNeighborsClassifier,
+    LinearSVMClassifier,
+    LogisticRegression,
+    RandomForestClassifier,
+    clone,
+    f1_score,
+)
+from repro.ml.base import check_Xy
+
+MODEL_FACTORIES = {
+    "logreg": lambda: LogisticRegression(),
+    "svm": lambda: LinearSVMClassifier(),
+    "nb": lambda: GaussianNaiveBayes(),
+    "knn": lambda: KNeighborsClassifier(n_neighbors=7),
+    "tree": lambda: DecisionTreeClassifier(max_depth=8, seed=0),
+    "rf": lambda: RandomForestClassifier(n_estimators=20, max_depth=8, seed=0),
+    "xt": lambda: ExtraTreesClassifier(n_estimators=20, max_depth=8, seed=0),
+    "gbm": lambda: GradientBoostingClassifier(n_estimators=60, max_depth=3, seed=0),
+}
+
+
+@pytest.mark.parametrize("name", MODEL_FACTORIES, ids=str)
+class TestAllModels:
+    def test_learns_linear_problem(self, name, linear_problem):
+        X, y, X_test, y_test = linear_problem
+        model = MODEL_FACTORIES[name]()
+        model.fit(X, y)
+        assert f1_score(y_test, model.predict(X_test)) > 0.6
+
+    def test_proba_shape_and_sum(self, name, linear_problem):
+        X, y, X_test, _ = linear_problem
+        model = MODEL_FACTORIES[name]().fit(X, y)
+        proba = model.predict_proba(X_test)
+        assert proba.shape == (len(X_test), 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-6)
+        assert (proba >= 0).all()
+
+    def test_unfitted_raises(self, name, linear_problem):
+        _, _, X_test, _ = linear_problem
+        with pytest.raises(NotFittedError):
+            MODEL_FACTORIES[name]().predict(X_test)
+
+    def test_clone_is_unfitted_with_same_params(self, name, linear_problem):
+        X, y, _, _ = linear_problem
+        model = MODEL_FACTORIES[name]().fit(X, y)
+        copy = clone(model)
+        assert copy.get_params() == model.get_params()
+        assert not copy.is_fitted
+
+    def test_deterministic_given_seed(self, name, linear_problem):
+        X, y, X_test, _ = linear_problem
+        a = MODEL_FACTORIES[name]().fit(X, y).predict_proba(X_test)
+        b = MODEL_FACTORIES[name]().fit(X, y).predict_proba(X_test)
+        np.testing.assert_allclose(a, b)
+
+
+class TestValidation:
+    def test_check_xy_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_Xy(np.zeros(5), np.zeros(5))
+
+    def test_check_xy_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_Xy(np.zeros((5, 2)), np.zeros(4))
+
+    def test_logreg_rejects_bad_C(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(C=0.0)
+
+    def test_knn_rejects_nan(self):
+        X = np.array([[1.0], [np.nan]])
+        with pytest.raises(ValueError):
+            KNeighborsClassifier().fit(X, np.array([0, 1]))
+
+    def test_set_params_unknown_raises(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().set_params(bogus=1)
+
+    def test_set_params_updates(self):
+        model = LogisticRegression().set_params(C=5.0)
+        assert model.C == 5.0
+
+
+class TestTreeSpecifics:
+    def test_perfect_axis_aligned_split(self):
+        X = np.array([[0.0], [0.1], [0.9], [1.0]] * 10)
+        y = (X[:, 0] > 0.5).astype(int)
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert (tree.predict(X) == y).all()
+        assert tree.depth == 1
+
+    def test_max_depth_zero_is_stump_prior(self):
+        X = np.array([[0.0], [1.0]] * 10)
+        y = np.array([0, 1] * 10)
+        tree = DecisionTreeClassifier(max_depth=0).fit(X, y)
+        assert tree.node_count == 1
+
+    def test_min_samples_leaf_prevents_split(self):
+        X = np.array([[0.0], [1.0], [0.0], [1.0]])
+        y = np.array([0, 1, 0, 1])
+        tree = DecisionTreeClassifier(min_samples_leaf=3).fit(X, y)
+        assert tree.node_count == 1
+
+    def test_handles_nan_bins(self):
+        X = np.array([[0.0], [np.nan], [1.0], [np.nan]] * 10)
+        y = np.array([0, 0, 1, 0] * 10)
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        predictions = tree.predict(X)
+        assert predictions.shape == (40,)
+
+    def test_sample_weight_changes_tree(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 0] > 0).astype(int)
+        w = np.where(y == 1, 10.0, 0.1)
+        # Depth-0 stumps expose the (weighted) class prior directly.
+        weighted = DecisionTreeClassifier(max_depth=0).fit(X, y, sample_weight=w)
+        plain = DecisionTreeClassifier(max_depth=0).fit(X, y)
+        assert weighted._values[0][1] > plain._values[0][1]
+
+
+class TestBoostingSpecifics:
+    def test_early_stopping_limits_trees(self, linear_problem):
+        X, y, _, _ = linear_problem
+        gbm = GradientBoostingClassifier(
+            n_estimators=300, early_stopping_rounds=5, seed=0
+        ).fit(X, y)
+        assert gbm.n_trees_ < 300
+
+    def test_single_class_training(self):
+        X = np.zeros((20, 2))
+        y = np.ones(20, dtype=int)
+        gbm = GradientBoostingClassifier(n_estimators=5).fit(X, y)
+        assert (gbm.predict(X) == 1).all()
+
+    def test_subsample_and_colsample(self, linear_problem):
+        X, y, X_test, y_test = linear_problem
+        gbm = GradientBoostingClassifier(
+            n_estimators=60, subsample=0.7, colsample=0.5, seed=1
+        ).fit(X, y)
+        assert f1_score(y_test, gbm.predict(X_test)) > 0.6
+
+    def test_decision_function_monotone_with_proba(self, linear_problem):
+        X, y, X_test, _ = linear_problem
+        gbm = GradientBoostingClassifier(n_estimators=30).fit(X, y)
+        raw = gbm.decision_function(X_test)
+        proba = gbm.predict_proba(X_test)[:, 1]
+        order_raw = np.argsort(raw)
+        order_proba = np.argsort(proba)
+        np.testing.assert_array_equal(order_raw, order_proba)
+
+
+class TestForestSpecifics:
+    def test_more_trees_not_worse(self, linear_problem):
+        X, y, X_test, y_test = linear_problem
+        small = RandomForestClassifier(n_estimators=3, max_depth=6, seed=0)
+        large = RandomForestClassifier(n_estimators=40, max_depth=6, seed=0)
+        f_small = f1_score(y_test, small.fit(X, y).predict(X_test))
+        f_large = f1_score(y_test, large.fit(X, y).predict(X_test))
+        assert f_large >= f_small - 0.05
+
+    def test_class_weight_balanced_raises_recall(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(400, 5))
+        y = (X[:, 0] + 0.8 * rng.normal(size=400) > 1.3).astype(int)  # ~10% pos
+        plain = RandomForestClassifier(n_estimators=20, seed=0).fit(X, y)
+        balanced = RandomForestClassifier(
+            n_estimators=20, class_weight="balanced", seed=0
+        ).fit(X, y)
+        from repro.ml.metrics import recall_score
+
+        assert recall_score(y, balanced.predict(X)) >= recall_score(
+            y, plain.predict(X)
+        )
+
+    def test_extra_trees_differ_from_rf(self, linear_problem):
+        X, y, X_test, _ = linear_problem
+        rf = RandomForestClassifier(n_estimators=10, seed=0).fit(X, y)
+        xt = ExtraTreesClassifier(n_estimators=10, seed=0).fit(X, y)
+        assert not np.allclose(
+            rf.predict_proba(X_test), xt.predict_proba(X_test)
+        )

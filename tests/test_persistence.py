@@ -1,0 +1,66 @@
+"""Tests for model persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, split_dataset
+from repro.matching import MagellanMatcher
+from repro.persistence import PersistenceError, load_model, save_model
+
+
+@pytest.fixture(scope="module")
+def fitted_matcher():
+    splits = split_dataset(load_dataset("S-BR", scale=0.02))
+    matcher = MagellanMatcher(n_estimators=40, seed=0)
+    matcher.fit(splits.train, splits.valid)
+    return matcher, splits
+
+
+class TestPersistence:
+    def test_roundtrip_predictions_identical(self, tmp_path, fitted_matcher):
+        matcher, splits = fitted_matcher
+        path = save_model(matcher, tmp_path / "m.pkl")
+        loaded = load_model(path)
+        np.testing.assert_allclose(
+            loaded.predict_proba(splits.test), matcher.predict_proba(splits.test)
+        )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError, match="no model file"):
+            load_model(tmp_path / "absent.pkl")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(PersistenceError):
+            load_model(path)
+
+    def test_wrong_envelope(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "wrong.pkl"
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(PersistenceError, match="not a repro model"):
+            load_model(path)
+
+    def test_version_guard(self, tmp_path, fitted_matcher):
+        import pickle
+
+        matcher, _ = fitted_matcher
+        path = tmp_path / "old.pkl"
+        envelope = {
+            "magic": "repro-model",
+            "version": "0.9.0",
+            "type": "MagellanMatcher",
+            "model": matcher,
+        }
+        path.write_bytes(pickle.dumps(envelope))
+        with pytest.raises(PersistenceError, match="incompatible"):
+            load_model(path)
+
+    def test_creates_parent_directories(self, tmp_path, fitted_matcher):
+        matcher, _ = fitted_matcher
+        path = save_model(matcher, tmp_path / "deep" / "dir" / "m.pkl")
+        assert path.exists()

@@ -1,0 +1,158 @@
+"""Cross-cutting property-based tests on core invariants.
+
+Complements the per-module suites with hypothesis-driven checks on the
+seams between subsystems: deterministic seeding, binning monotonicity,
+metric consistency between implementations, and adapter-cache identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import rng_for, stable_hash
+from repro.data.generators.base import sample_words
+from repro.data.generators import wordlists
+from repro.ml._binning import BinMapper
+from repro.ml.ensemble import caruana_selection
+from repro.ml.metrics import f1_score, roc_auc_score
+
+
+class TestSeeding:
+    @given(st.text(max_size=20), st.integers(0, 10))
+    @settings(max_examples=40)
+    def test_stable_hash_is_stable(self, text, number):
+        assert stable_hash(text, number) == stable_hash(text, number)
+
+    @given(st.text(max_size=20))
+    @settings(max_examples=40)
+    def test_rng_for_reproducible(self, scope):
+        a = rng_for("test", scope).random(4)
+        b = rng_for("test", scope).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_scopes_differ(self):
+        a = rng_for("alpha").random(8)
+        b = rng_for("beta").random(8)
+        assert not np.allclose(a, b)
+
+
+class TestBinning:
+    @given(st.integers(0, 1000), st.integers(10, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_binning_is_monotone(self, seed, n):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 1))
+        mapper = BinMapper(n_bins=16).fit(X)
+        binned = mapper.transform(X)[:, 0].astype(int)
+        order = np.argsort(X[:, 0])
+        assert (np.diff(binned[order]) >= 0).all()
+
+    def test_nan_goes_to_bin_zero(self):
+        X = np.array([[1.0], [np.nan], [2.0]])
+        mapper = BinMapper(n_bins=8).fit(X)
+        assert mapper.transform(X)[1, 0] == 0
+
+    def test_finite_values_avoid_missing_bin(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        binned = BinMapper(n_bins=32).fit_transform(X)
+        assert (binned >= 1).all()
+
+    def test_bins_within_budget(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(500, 2))
+        mapper = BinMapper(n_bins=16)
+        binned = mapper.fit_transform(X)
+        assert binned.max() < 16
+
+    def test_constant_column(self):
+        X = np.full((50, 1), 3.14)
+        binned = BinMapper(n_bins=8).fit_transform(X)
+        assert (binned == 1).all()
+
+    def test_rejects_extreme_bins(self):
+        with pytest.raises(ValueError):
+            BinMapper(n_bins=2)
+        with pytest.raises(ValueError):
+            BinMapper(n_bins=1000)
+
+
+class TestMetricProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40)
+    def test_f1_invariant_under_permutation(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, 30)
+        pred = rng.integers(0, 2, 30)
+        perm = rng.permutation(30)
+        assert f1_score(y, pred) == pytest.approx(f1_score(y[perm], pred[perm]))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40)
+    def test_auc_complement_symmetry(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, 30)
+        scores = rng.random(30)
+        if 0 < y.sum() < 30:
+            assert roc_auc_score(y, scores) == pytest.approx(
+                1.0 - roc_auc_score(y, 1.0 - scores), abs=1e-9
+            )
+
+    @given(st.integers(0, 10_000), st.integers(2, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_caruana_first_round_picks_best_model(self, seed, n_models):
+        """With one round, greedy selection equals argmax single-model F1.
+
+        (The final multi-round blend can legitimately score below a
+        single model — greedy-with-replacement only maximizes stepwise —
+        so the guaranteed invariant is about round one.)
+        """
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, 40)
+        if y.sum() in (0, 40):
+            y[0] = 1 - y[0]
+        matrix = rng.random((40, n_models))
+        weights = caruana_selection(matrix, y, n_rounds=1)
+        chosen = int(np.argmax(weights))
+        best_f1 = max(
+            f1_score(y, (matrix[:, m] >= 0.5).astype(int))
+            for m in range(n_models)
+        )
+        chosen_f1 = f1_score(y, (matrix[:, chosen] >= 0.5).astype(int))
+        assert chosen_f1 == pytest.approx(best_f1)
+
+
+class TestWordSampling:
+    @given(st.integers(0, 5000), st.integers(1, 10))
+    @settings(max_examples=30)
+    def test_sample_words_distinct(self, seed, count):
+        rng = np.random.default_rng(seed)
+        words = sample_words(wordlists.CS_TITLE_WORDS, count, rng)
+        assert len(words) == min(count, len(wordlists.CS_TITLE_WORDS))
+        assert len(set(words)) == len(words)
+
+    def test_sample_words_zero(self):
+        assert sample_words(wordlists.CS_TITLE_WORDS, 0,
+                            np.random.default_rng(0)) == []
+
+
+class TestAdapterDeterminism:
+    def test_same_dataset_same_features(self, tiny_sda):
+        from repro.adapter import EMAdapter
+
+        a = EMAdapter("attr", "dbert", cache=False).transform(tiny_sda)
+        b = EMAdapter("attr", "dbert", cache=False).transform(tiny_sda)
+        np.testing.assert_allclose(a, b)
+
+    def test_split_transform_consistent_with_full(self, tiny_sda):
+        """Transforming a subset matches the corresponding full-set rows."""
+        from repro.adapter import EMAdapter
+
+        adapter = EMAdapter("attr", "dbert", cache=False)
+        full = adapter.transform(tiny_sda)
+        subset = tiny_sda.subset(list(range(0, 10)))
+        part = adapter.transform(subset)
+        np.testing.assert_allclose(part, full[:10], atol=2e-5)

@@ -1,0 +1,80 @@
+"""Additional coverage: cost model shape, evaluation harness, word2vec
+featurizer edge cases, and CLI table rendering at tiny scale."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.automl.resources import model_cost_hours
+from repro.data import load_dataset, split_dataset
+from repro.matching import MagellanMatcher, evaluate_matcher
+from repro.matching.evaluation import EvaluationResult
+
+
+class TestCostModel:
+    def test_tree_families_cost_more_than_linear(self):
+        linear = model_cost_hours("logreg", 10_000, 100)
+        forest = model_cost_hours("random_forest", 10_000, 100)
+        boost = model_cost_hours("gbm", 10_000, 100)
+        assert boost > forest > linear
+
+    def test_feature_scaling(self):
+        narrow = model_cost_hours("gbm", 5_000, 50)
+        wide = model_cost_hours("gbm", 5_000, 500)
+        assert wide == pytest.approx(10 * narrow)
+
+    def test_complexity_scaling(self):
+        base = model_cost_hours("gbm", 5_000, 100, complexity=1.0)
+        double = model_cost_hours("gbm", 5_000, 100, complexity=2.0)
+        assert double == pytest.approx(2 * base)
+
+    def test_unknown_family_gets_default_cost(self):
+        assert model_cost_hours("mystery", 1_000, 100) > 0
+
+    def test_floors_prevent_zero_cost(self):
+        assert model_cost_hours("logreg", 1, 1) > 0
+
+    def test_deepmatcher_full_scale_matches_paper_magnitude(self):
+        """Full-scale S-DG DeepMatcher should cost near the paper's 8.5h."""
+        from repro.matching.deepmatcher import _COST_PER_KROW_ATTR
+
+        train_rows = int(28_707 * 0.6)
+        n_attrs = 4 + 1  # schema + record-level path
+        hours = _COST_PER_KROW_ATTR * train_rows / 1000.0 * n_attrs
+        assert 6.0 < hours < 11.0
+
+
+class TestEvaluationHarness:
+    def test_result_string_rendering(self):
+        result = EvaluationResult(
+            system="x", dataset="S-DA", f1=91.234, precision=90.0,
+            recall=92.5, simulated_hours=1.5, wall_seconds=12.0,
+        )
+        text = str(result)
+        assert "x on S-DA" in text and "91.23" in text
+
+    def test_evaluate_magellan(self):
+        splits = split_dataset(load_dataset("S-BR", scale=0.02))
+        result = evaluate_matcher(MagellanMatcher(seed=0), splits)
+        assert result.system == "magellan"
+        assert result.dataset == "S-BR"
+        assert math.isfinite(result.f1)
+        assert result.wall_seconds > 0
+
+
+class TestWord2VecFeaturizerEdgeCases:
+    def test_all_empty_text_rows(self):
+        from repro.adapter import Word2VecFeaturizer
+        from repro.data.schema import EMDataset, PairRecord, Schema
+
+        schema = Schema.of("s", "a")
+        pairs = [
+            PairRecord(i, {"a": ""}, {"a": ""}, i % 2) for i in range(4)
+        ]
+        dataset = EMDataset("empty", schema, pairs)
+        features = Word2VecFeaturizer(dim=4, epochs=1).fit_transform(dataset)
+        assert features.shape == (4, 8)
+        assert np.allclose(features, 0.0)
