@@ -7,6 +7,8 @@ embedding throughput, GBM training, and the full adapter transform.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -97,3 +99,15 @@ def test_deepmatcher_featurization(benchmark, small_dataset):
         lambda: matcher.featurize(small_dataset), rounds=2, iterations=1
     )
     assert out.shape[0] == len(small_dataset)
+
+
+def test_static_analysis_pass(benchmark):
+    """Full-repo lint: the repro.analysis rule pack over all of src/."""
+    from repro.analysis import analyze_project
+
+    src_root = Path(__file__).resolve().parents[1] / "src"
+
+    findings = benchmark.pedantic(
+        lambda: analyze_project([src_root]), rounds=3, iterations=1
+    )
+    assert findings == []

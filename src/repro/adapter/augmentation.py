@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.config import rng_for
 from repro.data.schema import EMDataset, PairRecord
 
 __all__ = ["swap_pair", "shuffle_attribute", "balance_dataset"]
@@ -63,7 +64,8 @@ def balance_dataset(
         raise ValueError(
             f"target_match_fraction must be in (0, 1), got {target_match_fraction}"
         )
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = rng_for("augmentation", dataset.name, target_match_fraction)
     positives = [p for p in dataset if p.label == 1]
     n_total = len(dataset)
     n_pos = len(positives)

@@ -1,0 +1,57 @@
+"""Static analysis for the EM reproduction: ``repro.analysis``.
+
+A from-scratch, stdlib-``ast`` lint engine with EM-repro-specific rules:
+RNG discipline (every stream through :func:`repro.config.rng_for`),
+estimator API conformance, search-space ↔ estimator ``__init__``
+cross-validation, export hygiene, and generic pitfalls. Run it with::
+
+    python -m repro.analysis src/
+    repro-em lint --format json
+
+Findings are suppressed in place with ``# repro: noqa[RULE]`` or
+grandfathered in ``lint_baseline.json``; tier-1 gates on zero
+non-baselined findings via ``tests/test_static_analysis.py``. See
+``docs/STATIC_ANALYSIS.md``.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineResult, apply_baseline
+from repro.analysis.core import (
+    FileRule,
+    Finding,
+    Project,
+    ProjectRule,
+    Rule,
+    RULE_REGISTRY,
+    Severity,
+    SourceModule,
+    all_rules,
+    analyze_project,
+    register_rule,
+    suppressed_rules,
+)
+from repro.analysis.reporter import render_json, render_text, summarize
+
+# Importing the package registers the built-in rule pack, so that
+# RULE_REGISTRY is populated for anyone who imported repro.analysis.
+import repro.analysis.rules  # noqa: E402,F401 - registration side effect
+
+__all__ = [
+    "Baseline",
+    "BaselineResult",
+    "FileRule",
+    "Finding",
+    "Project",
+    "ProjectRule",
+    "RULE_REGISTRY",
+    "Rule",
+    "Severity",
+    "SourceModule",
+    "all_rules",
+    "analyze_project",
+    "apply_baseline",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "summarize",
+    "suppressed_rules",
+]

@@ -1,0 +1,95 @@
+"""Baseline files: grandfathered findings that don't gate.
+
+A baseline is a checked-in JSON snapshot of known findings, identified
+by line-number-free fingerprints (rule, path, message) so they survive
+unrelated edits. ``apply_baseline`` partitions a run's findings into
+*new* (gating) and *matched* (grandfathered), and also reports *stale*
+entries whose finding no longer exists — prune those when you fix debt.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+__all__ = ["Baseline", "BaselineResult", "apply_baseline"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The persisted set of grandfathered finding fingerprints."""
+
+    entries: list[dict[str, str]] = field(default_factory=list)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(
+            entries=[
+                {"rule": rule, "path": path, "message": message}
+                for rule, path, message in sorted(
+                    f.fingerprint() for f in findings
+                )
+            ]
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {path}"
+            )
+        return cls(entries=list(payload.get("findings", [])))
+
+    def save(self, path: Path | str) -> None:
+        payload = {"version": _FORMAT_VERSION, "findings": self.entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def fingerprints(self) -> Counter:
+        return Counter(
+            (e["rule"], e["path"], e["message"]) for e in self.entries
+        )
+
+
+@dataclass
+class BaselineResult:
+    """Partition of one run's findings against a baseline."""
+
+    new: list[Finding]
+    matched: list[Finding]
+    stale: list[tuple[str, str, str]]
+
+
+def apply_baseline(findings: list[Finding], baseline: Baseline) -> BaselineResult:
+    """Split findings into gating vs grandfathered, multiset-style.
+
+    Each baseline entry absorbs at most one finding with the same
+    fingerprint; duplicates beyond the baselined count still gate.
+    """
+    budget = baseline.fingerprints()
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    for finding in findings:
+        key = finding.fingerprint()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(
+        key for key, remaining in budget.items() for _ in range(remaining)
+    )
+    return BaselineResult(new=new, matched=matched, stale=stale)

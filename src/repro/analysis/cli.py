@@ -1,0 +1,126 @@
+"""Lint driver shared by ``repro-em lint`` and ``python -m repro.analysis``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline, apply_baseline
+from repro.analysis.core import all_rules, analyze_project
+from repro.analysis.reporter import render_json, render_text
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+#: Default baseline filename, resolved against the current directory.
+DEFAULT_BASELINE = "lint_baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared with repro-em)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file of grandfathered findings "
+        f"(default: ./{DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule pack and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list baselined (grandfathered) findings",
+    )
+
+
+def _selected_rules(select: str | None):
+    rules = all_rules()
+    if select is None:
+        return rules
+    wanted = {r.strip().upper() for r in select.split(",") if r.strip()}
+    known = {rule.id for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        raise SystemExit(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return tuple(rule for rule in rules if rule.id in wanted)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute one lint run; returns the process exit code."""
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  [{rule.severity.value:7s}] {rule.name}: "
+                  f"{rule.description}")
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        raise SystemExit(f"no such path(s): {', '.join(missing)}")
+
+    rules = _selected_rules(args.select)
+    findings = analyze_project(args.paths, rules=rules)
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE).exists():
+        baseline_path = DEFAULT_BASELINE
+
+    if args.update_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        Baseline.from_findings(findings).save(target)
+        print(f"baseline updated: {target} ({len(findings)} finding(s))")
+        return 0
+
+    try:
+        baseline = Baseline.load(baseline_path) if baseline_path else Baseline()
+    except ValueError as exc:
+        raise SystemExit(f"invalid baseline file {baseline_path}: {exc}")
+    result = apply_baseline(findings, baseline)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 1 if result.new else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro.analysis``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="EM-repro static analysis: AST lint rules for RNG "
+        "discipline, estimator API conformance, search-space "
+        "cross-validation, and export hygiene",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,317 @@
+"""Core of the static-analysis engine: findings, rules, and the driver.
+
+The engine is a thin, dependency-free layer over :mod:`ast`. A
+:class:`Project` is a parsed snapshot of a set of ``.py`` files; rules
+come in two shapes:
+
+* :class:`FileRule` — visits one module at a time (RNG discipline,
+  export hygiene, generic pitfalls);
+* :class:`ProjectRule` — sees the whole project at once, for checks that
+  must cross module boundaries (search-space / estimator conformance).
+
+Findings can be silenced in place with ``# repro: noqa[RULE]`` trailing
+comments, or grandfathered in a checked-in baseline file (see
+:mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "SourceModule",
+    "Project",
+    "Rule",
+    "FileRule",
+    "ProjectRule",
+    "RULE_REGISTRY",
+    "register_rule",
+    "all_rules",
+    "analyze_project",
+    "suppressed_rules",
+]
+
+
+class Severity(enum.Enum):
+    """How loud a rule is. All severities gate; the split is informational."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: Severity = field(default=Severity.ERROR, compare=False)
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-number-free identity used for baseline matching.
+
+        Dropping the position lets a baselined finding survive unrelated
+        edits above it in the same file.
+        """
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file plus the metadata rules need."""
+
+    path: Path
+    rel_path: str
+    module_name: str
+    text: str
+    lines: list[str]
+    tree: ast.Module
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "SourceModule":
+        text = path.read_text(encoding="utf-8")
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        return cls(
+            path=path,
+            rel_path=rel,
+            module_name=_module_name(path),
+            text=text,
+            lines=text.splitlines(),
+            tree=ast.parse(text, filename=str(path)),
+        )
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name, anchored at the last ``src`` dir if present."""
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    elif len(parts) > 2:
+        parts = parts[-2:]
+    return ".".join(parts)
+
+
+class Project:
+    """A parsed snapshot of every analyzed module."""
+
+    def __init__(self, root: Path, modules: Sequence[SourceModule]):
+        self.root = root
+        self.modules = list(modules)
+        self.by_module_name = {m.module_name: m for m in self.modules}
+
+    def find_module(self, dotted: str) -> SourceModule | None:
+        return self.by_module_name.get(dotted)
+
+    @classmethod
+    def load(cls, paths: Sequence[Path | str], root: Path | None = None) -> "Project":
+        """Collect and parse every ``.py`` file under ``paths``.
+
+        Files that fail to parse are skipped here; the driver reports
+        them as PARSE findings instead of crashing the run.
+        """
+        resolved = [Path(p) for p in paths]
+        if root is None:
+            root = _common_root(resolved)
+        modules = []
+        for source in sorted(_iter_sources(resolved)):
+            try:
+                modules.append(SourceModule.parse(source, root))
+            except SyntaxError:
+                continue
+        return cls(root, modules)
+
+
+def _common_root(paths: Sequence[Path]) -> Path:
+    absolutes = [p.resolve() for p in paths]
+    root = absolutes[0] if absolutes[0].is_dir() else absolutes[0].parent
+    for p in absolutes[1:]:
+        base = p if p.is_dir() else p.parent
+        while not base.is_relative_to(root) and root != root.parent:
+            root = root.parent
+    return root
+
+
+def _iter_sources(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from path.rglob("*.py")
+        elif path.suffix == ".py":
+            yield path
+
+
+# ------------------------------------------------------------------ rules
+
+
+class Rule:
+    """Base class: identity, severity, and docs for one check."""
+
+    id: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+
+class FileRule(Rule):
+    """A rule evaluated independently on every module."""
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(
+        self, module: SourceModule, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule evaluated once with the whole project in view."""
+
+    def check_project(self, project: Project) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+RULE_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of the rule to the registry."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"{rule_cls.__name__} has no rule id")
+    if rule.id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    RULE_REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, importing the built-in pack on first use."""
+    import repro.analysis.rules  # noqa: F401 - registration side effect
+
+    return tuple(RULE_REGISTRY[rule_id] for rule_id in sorted(RULE_REGISTRY))
+
+
+# ------------------------------------------------------------- suppression
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+#: Sentinel meaning "every rule is suppressed on this line".
+SUPPRESS_ALL = frozenset({"*"})
+
+
+def suppressed_rules(line: str) -> frozenset[str]:
+    """Rule ids suppressed by a ``# repro: noqa[...]`` comment on ``line``.
+
+    A bare ``# repro: noqa`` returns :data:`SUPPRESS_ALL`; no comment
+    returns the empty set.
+    """
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return frozenset()
+    rules = match.group("rules")
+    if rules is None:
+        return SUPPRESS_ALL
+    return frozenset(r.strip().upper() for r in rules.split(",") if r.strip())
+
+
+def _is_suppressed(finding: Finding, module: SourceModule | None) -> bool:
+    if module is None or not 1 <= finding.line <= len(module.lines):
+        return False
+    suppressed = suppressed_rules(module.lines[finding.line - 1])
+    return suppressed is SUPPRESS_ALL or finding.rule in suppressed
+
+
+# ------------------------------------------------------------------ driver
+
+
+def analyze_project(
+    paths: Sequence[Path | str],
+    rules: Iterable[Rule] | None = None,
+    root: Path | None = None,
+) -> list[Finding]:
+    """Run the rule pack over ``paths`` and return sorted live findings.
+
+    ``# repro: noqa`` suppressions are already applied; baseline
+    subtraction is the caller's concern (:mod:`repro.analysis.baseline`).
+    """
+    selected = tuple(rules) if rules is not None else all_rules()
+    project = Project.load(paths, root=root)
+    findings: list[Finding] = []
+    findings.extend(_parse_failures(paths, project))
+    for rule in selected:
+        if isinstance(rule, FileRule):
+            for module in project.modules:
+                findings.extend(rule.check(module))
+        elif isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(project))
+    by_path = {m.rel_path: m for m in project.modules}
+    live = [f for f in findings if not _is_suppressed(f, by_path.get(f.path))]
+    return sorted(live)
+
+
+def _parse_failures(
+    paths: Sequence[Path | str], project: Project
+) -> Iterator[Finding]:
+    """A PARSE finding for every file that failed to compile."""
+    parsed = {m.path.resolve() for m in project.modules}
+    for source in sorted(_iter_sources([Path(p) for p in paths])):
+        if source.resolve() in parsed:
+            continue
+        try:
+            rel = source.resolve().relative_to(project.root).as_posix()
+        except ValueError:
+            rel = source.as_posix()
+        try:
+            ast.parse(source.read_text(encoding="utf-8"), filename=str(source))
+        except SyntaxError as exc:
+            yield Finding(
+                path=rel,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule="PARSE",
+                message=f"syntax error: {exc.msg}",
+                severity=Severity.ERROR,
+            )

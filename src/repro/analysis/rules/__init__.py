@@ -1,0 +1,17 @@
+"""Built-in rule pack. Importing this package registers every rule.
+
+To add a rule: subclass :class:`repro.analysis.FileRule` or
+:class:`repro.analysis.ProjectRule`, decorate it with
+``@register_rule``, and import its module here. See
+``docs/STATIC_ANALYSIS.md`` for the walkthrough.
+"""
+
+from repro.analysis.rules import (  # noqa: F401 - registration side effects
+    estimator,
+    exports,
+    generic,
+    rng,
+    search_space,
+)
+
+__all__ = ["estimator", "exports", "generic", "rng", "search_space"]

@@ -1,0 +1,170 @@
+"""Estimator API conformance (the scikit-learn idiom the AutoML layer
+relies on; see ``repro.ml.base``).
+
+Two statically checkable contracts:
+
+* ``fit`` chains — every ``fit`` must return ``self`` so that
+  ``clone(est).fit(X, y).predict_proba(X)`` composes;
+* inference guards — ``predict`` / ``predict_proba`` on a fittable class
+  must fail with :class:`~repro.exceptions.NotFittedError` before
+  ``fit``, not with an arbitrary ``AttributeError`` deep in numpy.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    FileRule,
+    Severity,
+    SourceModule,
+    register_rule,
+)
+
+__all__ = ["FitReturnsSelfRule", "PredictGuardRule"]
+
+
+def _own_statements(func: ast.FunctionDef) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs/classes."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {n.name: n for n in cls.body if isinstance(n, ast.FunctionDef)}
+
+
+@register_rule
+class FitReturnsSelfRule(FileRule):
+    """EST001 — every ``fit`` method must return ``self`` on every path."""
+
+    id = "EST001"
+    name = "fit-returns-self"
+    severity = Severity.ERROR
+    description = "fit() must return self so fit/predict call chains compose"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            fit = _methods(node).get("fit")
+            if fit is None:
+                continue
+            returns = [
+                n
+                for n in _own_statements(fit)
+                if isinstance(n, ast.Return) and n.value is not None
+            ]
+            raises = any(
+                isinstance(n, ast.Raise) for n in _own_statements(fit)
+            )
+            bad = [
+                r
+                for r in returns
+                if not (isinstance(r.value, ast.Name) and r.value.id == "self")
+            ]
+            for ret in bad:
+                yield self.finding(
+                    module,
+                    ret,
+                    f"{node.name}.fit returns "
+                    f"{ast.unparse(ret.value)!r} instead of self",
+                )
+            if not returns and not raises:
+                yield self.finding(
+                    module,
+                    fit,
+                    f"{node.name}.fit never returns self (falls off the "
+                    "end returning None)",
+                )
+
+
+#: Ways a predict-family method may prove it guards on fitted state.
+_GUARD_CALL_FRAGMENT = "fitted"
+_DELEGATES = frozenset({"predict", "predict_proba", "decision_function"})
+
+
+def _has_guard(method: ast.FunctionDef) -> bool:
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = ""
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            if _GUARD_CALL_FRAGMENT in name:
+                return True
+            # Delegation inherits the delegate's guard: either a sibling
+            # inference method (self.predict_proba inside predict) or a
+            # held sub-estimator (self.final_estimator.predict(...)).
+            if isinstance(func, ast.Attribute) and func.attr in _DELEGATES:
+                receiver = func.value
+                while isinstance(receiver, ast.Attribute):
+                    receiver = receiver.value
+                if isinstance(receiver, ast.Name) and receiver.id == "self":
+                    is_sibling = isinstance(func.value, ast.Name)
+                    if not is_sibling or func.attr != method.name:
+                        return True
+        if isinstance(node, ast.Raise) and node.exc is not None:
+            exc = node.exc
+            exc_name = ""
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            if isinstance(exc, ast.Attribute):
+                exc_name = exc.attr
+            elif isinstance(exc, ast.Name):
+                exc_name = exc.id
+            if exc_name in ("NotFittedError", "NotImplementedError"):
+                return True
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "is_fitted"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return True
+    return False
+
+
+@register_rule
+class PredictGuardRule(FileRule):
+    """EST002 — inference methods of fittable public classes must guard.
+
+    A guard is any of: a ``*fitted*`` helper call (``check_is_fitted``,
+    ``self._check_fitted``), raising ``NotFittedError`` (or
+    ``NotImplementedError`` for abstract stubs), reading
+    ``self.is_fitted``, or delegating to a sibling inference method.
+    """
+
+    id = "EST002"
+    name = "predict-guards-fitted"
+    severity = Severity.ERROR
+    description = (
+        "predict/predict_proba on a class with fit must raise "
+        "NotFittedError (not AttributeError) before fitting"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or node.name.startswith("_"):
+                continue
+            methods = _methods(node)
+            if "fit" not in methods:
+                continue
+            for name in ("predict", "predict_proba"):
+                method = methods.get(name)
+                if method is not None and not _has_guard(method):
+                    yield self.finding(
+                        module,
+                        method,
+                        f"{node.name}.{name} has no fitted-state guard "
+                        "(call check_is_fitted / raise NotFittedError)",
+                    )

@@ -1,0 +1,162 @@
+"""Export hygiene: ``__all__`` must agree with what a module defines.
+
+Undefined exports break ``from pkg import *`` and make the documented
+API lie; re-exports imported in a package ``__init__`` but left out of
+``__all__`` drift invisibly out of the public surface.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    FileRule,
+    Severity,
+    SourceModule,
+    register_rule,
+)
+
+__all__ = ["UndefinedExportRule", "MissingExportRule"]
+
+
+def _top_level_bindings(tree: ast.Module) -> set[str]:
+    """Names bound at module top level (defs, imports, assignments)."""
+    bound: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name in ast.walk(target):
+                    if isinstance(name, ast.Name):
+                        bound.add(name.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            bound.add(node.target.id)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # Conditional imports / defs still bind optimistically.
+            for sub in ast.walk(node):
+                if isinstance(
+                    sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    bound.add(sub.name)
+                elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    for alias in sub.names:
+                        bound.add((alias.asname or alias.name).split(".")[0])
+    return bound
+
+
+def _exported(tree: ast.Module) -> tuple[list[tuple[str, ast.AST]], ast.AST] | None:
+    """``(name, node)`` pairs of a literal top-level ``__all__``, if any."""
+    for node in tree.body:
+        value = None
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            value = node.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == "__all__"
+        ):
+            value = node.value
+        if value is None:
+            continue
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return None  # dynamically built __all__ — out of scope
+        names = []
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                names.append((element.value, element))
+            else:
+                return None
+        return names, node
+    return None
+
+
+@register_rule
+class UndefinedExportRule(FileRule):
+    """EXP001 — every ``__all__`` entry must be bound in the module."""
+
+    id = "EXP001"
+    name = "undefined-export"
+    severity = Severity.ERROR
+    description = "__all__ names a symbol the module never defines or imports"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        exported = _exported(module.tree)
+        if exported is None:
+            return
+        names, _ = exported
+        bound = _top_level_bindings(module.tree) | {"__version__", "__all__"}
+        for name, node in names:
+            if name not in bound:
+                yield self.finding(
+                    module,
+                    node,
+                    f"__all__ exports {name!r} but the module does not "
+                    "define or import it",
+                )
+
+
+@register_rule
+class MissingExportRule(FileRule):
+    """EXP002 — package re-exports must be listed in ``__all__``.
+
+    Applies to ``__init__.py`` only: a public name imported from inside
+    the same top-level package, or defined in the ``__init__`` itself, is
+    a deliberate re-export and belongs in ``__all__``.
+    """
+
+    id = "EXP002"
+    name = "missing-export"
+    severity = Severity.WARNING
+    description = (
+        "public name re-exported by a package __init__ is missing from __all__"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.path.name != "__init__.py":
+            return
+        exported = _exported(module.tree)
+        if exported is None:
+            return
+        names = {name for name, _ in exported[0]}
+        package_root = module.module_name.split(".")[0]
+        for node in module.tree.body:
+            if isinstance(node, ast.ImportFrom):
+                if not node.module or node.module.split(".")[0] != package_root:
+                    continue
+                for alias in node.names:
+                    public = alias.asname or alias.name
+                    if not public.startswith("_") and public not in names:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"re-export {public!r} (from {node.module}) is "
+                            "missing from __all__",
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if not node.name.startswith("_") and node.name not in names:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"public name {node.name!r} defined in __init__ is "
+                        "missing from __all__",
+                    )
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                name = node.target.id
+                if not name.startswith("_") and name not in names and name != "__all__":
+                    yield self.finding(
+                        module,
+                        node,
+                        f"public name {name!r} defined in __init__ is "
+                        "missing from __all__",
+                    )

@@ -1,0 +1,182 @@
+"""Generic correctness pitfalls: mutable defaults, silent excepts,
+shadowed builtins. Small rules, but each one has produced real EM-repro
+bugs elsewhere (a shared default list in a featurizer is cross-dataset
+state leakage; a bare except hides BudgetExhaustedError).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    FileRule,
+    Severity,
+    SourceModule,
+    register_rule,
+)
+
+__all__ = ["MutableDefaultRule", "BareExceptRule", "ShadowedBuiltinRule"]
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "Counter"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+@register_rule
+class MutableDefaultRule(FileRule):
+    """GEN001 — mutable default arguments are shared across calls."""
+
+    id = "GEN001"
+    name = "mutable-default-argument"
+    severity = Severity.ERROR
+    description = "default argument values are evaluated once and shared"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"{node.name}() has a mutable default "
+                        f"({ast.unparse(default)}); use None and build "
+                        "inside the body",
+                    )
+
+
+@register_rule
+class BareExceptRule(FileRule):
+    """GEN002/GEN003 are split so broad-but-typed handlers gate softer."""
+
+    id = "GEN002"
+    name = "bare-except"
+    severity = Severity.ERROR
+    description = "bare except catches SystemExit/KeyboardInterrupt"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare except: catches everything including "
+                    "KeyboardInterrupt; name the exception types",
+                )
+
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+@register_rule
+class BroadExceptRule(FileRule):
+    """GEN003 — ``except Exception`` swallows the repro error taxonomy."""
+
+    id = "GEN003"
+    name = "broad-except"
+    severity = Severity.WARNING
+    description = "except Exception hides typed repro.exceptions failures"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue
+            types = (
+                node.type.elts
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            for exc_type in types:
+                if isinstance(exc_type, ast.Name) and exc_type.id in _BROAD:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"except {exc_type.id} is too broad; catch the "
+                        "specific repro.exceptions types",
+                    )
+
+
+def _class_attribute_targets(tree: ast.Module) -> set[ast.Name]:
+    """Name targets of class-body attribute assignments.
+
+    ``class Rule: id = "RNG001"`` is attribute definition in the
+    dataclass idiom, not shadowing — the name lives on the class, and
+    the builtin stays reachable everywhere that matters.
+    """
+    exempt: set[ast.Name] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    exempt.add(target)
+    return exempt
+
+
+#: Builtins whose shadowing has bitten this codebase's style of numeric
+#: code; deliberately curated rather than the full builtins list.
+_SHADOWABLE = frozenset(
+    {
+        "list", "dict", "set", "tuple", "str", "int", "float", "bool",
+        "bytes", "object", "type", "id", "input", "filter", "map", "zip",
+        "sum", "min", "max", "len", "abs", "round", "hash", "next",
+        "iter", "range", "vars", "sorted", "all", "any", "open", "format",
+    }
+)
+
+
+@register_rule
+class ShadowedBuiltinRule(FileRule):
+    """GEN004 — don't rebind load-bearing builtins."""
+
+    id = "GEN004"
+    name = "shadowed-builtin"
+    severity = Severity.WARNING
+    description = "argument or variable shadows a python builtin"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        exempt = _class_attribute_targets(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in (
+                    *args.posonlyargs,
+                    *args.args,
+                    *args.kwonlyargs,
+                    *([args.vararg] if args.vararg else []),
+                    *([args.kwarg] if args.kwarg else []),
+                ):
+                    if arg.arg in _SHADOWABLE:
+                        yield self.finding(
+                            module,
+                            arg,
+                            f"argument {arg.arg!r} of {node.name}() shadows "
+                            "a builtin",
+                        )
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                if node.id in _SHADOWABLE and node not in exempt:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"assignment to {node.id!r} shadows a builtin",
+                    )

@@ -1,0 +1,135 @@
+"""RNG discipline: every random stream must flow through ``repro.config``.
+
+EM results are acutely sensitive to seeding drift (DITTO, AdapterEM), so
+the reproduction bans both the legacy numpy global RNG and ad-hoc
+constant-seeded generators. The one blessed construction site is
+:func:`repro.config.rng_for`, which scopes sub-seeds with
+:func:`repro.config.stable_hash` off the master seed.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    FileRule,
+    Severity,
+    SourceModule,
+    register_rule,
+)
+
+__all__ = ["LegacyGlobalRngRule", "HardcodedGeneratorSeedRule"]
+
+#: Modules allowed to call ``np.random.default_rng`` directly: the scoped
+#: seed helper itself lives there.
+_EXEMPT_MODULES = frozenset({"repro.config"})
+
+#: ``np.random`` attributes that do *not* touch the legacy global state.
+_GENERATOR_SAFE = frozenset({"default_rng", "Generator", "SeedSequence", "PCG64"})
+
+
+def _is_np_random(node: ast.AST) -> bool:
+    """True for ``np.random`` / ``numpy.random`` attribute chains."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+def _constant_seed(node: ast.expr) -> bool:
+    """True when an argument expression is a compile-time constant seed."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _constant_seed(node.operand)
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return all(_constant_seed(e) for e in node.elts)
+    return False
+
+
+@register_rule
+class LegacyGlobalRngRule(FileRule):
+    """RNG001 — ban the legacy mutable-global numpy RNG entirely."""
+
+    id = "RNG001"
+    name = "legacy-global-rng"
+    severity = Severity.ERROR
+    description = (
+        "np.random.seed() / legacy np.random.* draws mutate hidden global "
+        "state; use repro.config.rng_for(...) streams instead"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or not _is_np_random(func.value):
+                continue
+            if func.attr == "RandomState":
+                yield self.finding(
+                    module,
+                    node,
+                    "np.random.RandomState is the legacy RNG; build a "
+                    "Generator with repro.config.rng_for(...)",
+                )
+            elif func.attr not in _GENERATOR_SAFE:
+                yield self.finding(
+                    module,
+                    node,
+                    f"np.random.{func.attr}(...) uses the process-global "
+                    "RNG; draw from a repro.config.rng_for(...) stream",
+                )
+
+
+@register_rule
+class HardcodedGeneratorSeedRule(FileRule):
+    """RNG002 — default_rng must not be unseeded or literally seeded.
+
+    ``np.random.default_rng()`` is entropy-seeded (non-reproducible) and
+    ``np.random.default_rng(0)`` silently reuses one stream across every
+    call site. Outside ``repro.config`` itself, seeds must arrive through
+    a variable fed by :func:`repro.config.rng_for` scoping.
+    """
+
+    id = "RNG002"
+    name = "hardcoded-generator-seed"
+    severity = Severity.ERROR
+    description = (
+        "default_rng() with no argument or a literal constant bypasses "
+        "repro.config seed scoping"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.module_name in _EXEMPT_MODULES:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_default_rng = (
+                isinstance(func, ast.Attribute)
+                and func.attr == "default_rng"
+                and _is_np_random(func.value)
+            ) or (isinstance(func, ast.Name) and func.id == "default_rng")
+            if not is_default_rng:
+                continue
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    "unseeded default_rng() is non-reproducible; use "
+                    "repro.config.rng_for(<scope parts>)",
+                )
+            elif len(node.args) == 1 and _constant_seed(node.args[0]):
+                yield self.finding(
+                    module,
+                    node,
+                    f"default_rng({ast.unparse(node.args[0])}) hardcodes a "
+                    "seed, bypassing repro.config scoping; use "
+                    "repro.config.rng_for(<scope parts>)",
+                )

@@ -1,0 +1,332 @@
+"""Search-space ↔ estimator conformance (cross-module, fully static).
+
+``repro.automl.search_space`` declares, per model family, a
+:class:`ConfigSpace` of hyper-parameter dimensions plus a
+``_build_model`` factory that forwards sampled values into estimator
+constructors across ``repro.ml``. A typo in either place — a dimension
+named ``learn_rate`` when the estimator takes ``learning_rate`` — is
+silently swallowed at runtime by ``params.get(..., default)`` and turns
+every tuning run for that family into noise. This rule re-derives the
+family → estimator-class mapping from the AST of ``_build_model``,
+resolves each class to its defining module, and verifies every dimension
+name, default key, and forwarded keyword against the estimator's real
+``__init__`` signature.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    ProjectRule,
+    Severity,
+    SourceModule,
+    register_rule,
+)
+
+__all__ = ["SearchSpaceConformanceRule"]
+
+_SEARCH_SPACE_MODULE = "repro.automl.search_space"
+_DIMENSION_CALLS = frozenset({"CategoricalDim", "IntDim", "FloatDim", "Dimension"})
+
+
+@dataclass
+class _FamilySpace:
+    """Statically extracted view of one family's ConfigSpace entry."""
+
+    family: str
+    dimensions: dict[str, ast.AST] = field(default_factory=dict)
+    defaults: dict[str, ast.AST] = field(default_factory=dict)
+    space_node: ast.AST | None = None
+
+
+def _dim_name(node: ast.expr, aliases: dict[str, str]) -> tuple[str, ast.AST] | None:
+    """Resolve one element of a ConfigSpace dimensions tuple to its name."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        callee = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        if callee in _DIMENSION_CALLS and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                return first.value, node
+    if isinstance(node, ast.Name) and node.id in aliases:
+        return aliases[node.id], node
+    return None
+
+
+def _collect_dim_aliases(tree: ast.Module) -> dict[str, str]:
+    """Module-level ``_SHARED = CategoricalDim("name", ...)`` assignments."""
+    aliases: dict[str, str] = {}
+    for stmt in tree.body:
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+            continue
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        resolved = _dim_name(stmt.value, {})
+        if resolved is not None:
+            aliases[target.id] = resolved[0]
+    return aliases
+
+
+def _collect_family_spaces(tree: ast.Module) -> dict[str, _FamilySpace]:
+    """Parse the ``FAMILY_SPACES`` dict literal into per-family views."""
+    aliases = _collect_dim_aliases(tree)
+    spaces: dict[str, _FamilySpace] = {}
+    for stmt in tree.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        named = [t for t in targets if isinstance(t, ast.Name)]
+        if not any(t.id == "FAMILY_SPACES" for t in named):
+            continue
+        if not isinstance(value, ast.Dict):
+            continue
+        for key, entry in zip(value.keys, value.values):
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                continue
+            space = _FamilySpace(family=key.value, space_node=entry)
+            if isinstance(entry, ast.Call):
+                dims = next(
+                    (a for a in entry.args if isinstance(a, (ast.Tuple, ast.List))),
+                    None,
+                )
+                if dims is not None:
+                    for element in dims.elts:
+                        resolved = _dim_name(element, aliases)
+                        if resolved is not None:
+                            space.dimensions[resolved[0]] = resolved[1]
+                for kw in entry.keywords:
+                    if kw.arg == "defaults" and isinstance(kw.value, ast.Dict):
+                        for dkey, dval in zip(kw.value.keys, kw.value.values):
+                            if isinstance(dkey, ast.Constant) and isinstance(
+                                dkey.value, str
+                            ):
+                                space.defaults[dkey.value] = dkey
+            spaces[key.value] = space
+    return spaces
+
+
+@dataclass
+class _FactoryBranch:
+    """One ``if family == "x": return Cls(...)`` branch of _build_model."""
+
+    family: str
+    class_name: str
+    keywords: dict[str, ast.AST]
+    consumed_params: set[str]
+    node: ast.AST
+
+
+def _branch_families(test: ast.expr) -> list[str]:
+    """Family literals matched by one if-test (== or `in` tuple)."""
+    if not isinstance(test, ast.Compare) or len(test.comparators) != 1:
+        return []
+    if not (isinstance(test.left, ast.Name) and test.left.id == "family"):
+        return []
+    comparator = test.comparators[0]
+    op = test.ops[0]
+    if isinstance(op, ast.Eq) and isinstance(comparator, ast.Constant):
+        return [comparator.value] if isinstance(comparator.value, str) else []
+    if isinstance(op, ast.In) and isinstance(comparator, (ast.Tuple, ast.List)):
+        return [
+            e.value
+            for e in comparator.elts
+            if isinstance(e, ast.Constant) and isinstance(e.value, str)
+        ]
+    return []
+
+
+def _collect_factory(tree: ast.Module) -> dict[str, _FactoryBranch]:
+    """Parse ``_build_model`` into family → constructed-class branches."""
+    factory = next(
+        (
+            n
+            for n in tree.body
+            if isinstance(n, ast.FunctionDef) and n.name == "_build_model"
+        ),
+        None,
+    )
+    branches: dict[str, _FactoryBranch] = {}
+    if factory is None:
+        return branches
+    for node in ast.walk(factory):
+        if not isinstance(node, ast.If):
+            continue
+        families = _branch_families(node.test)
+        if not families:
+            continue
+        returned = next(
+            (
+                s.value
+                for s in ast.walk(node)
+                if isinstance(s, ast.Return) and isinstance(s.value, ast.Call)
+            ),
+            None,
+        )
+        if returned is None or not isinstance(returned.func, ast.Name):
+            continue
+        keywords = {
+            kw.arg: kw for kw in returned.keywords if kw.arg is not None
+        }
+        # Hyper-parameter names the branch reads out of the params dict,
+        # e.g. p.get("max_depth", 12) — these are the names sampling must
+        # produce for the value to take effect.
+        consumed = {
+            call.args[0].value
+            for call in ast.walk(node)
+            if isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr == "get"
+            and call.args
+            and isinstance(call.args[0], ast.Constant)
+            and isinstance(call.args[0].value, str)
+        }
+        for family in families:
+            branches[family] = _FactoryBranch(
+                family=family,
+                class_name=returned.func.id,
+                keywords=keywords,
+                consumed_params=consumed,
+                node=returned,
+            )
+    return branches
+
+
+def _import_map(tree: ast.Module) -> dict[str, str]:
+    """Imported name → source module, for ``from x import y`` statements."""
+    imports: dict[str, str] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ImportFrom) and stmt.module:
+            for alias in stmt.names:
+                imports[alias.asname or alias.name] = stmt.module
+    return imports
+
+
+def _init_params(cls: ast.ClassDef) -> tuple[set[str], bool] | None:
+    """(accepted kwarg names, has **kwargs) of a class ``__init__``."""
+    init = next(
+        (
+            n
+            for n in cls.body
+            if isinstance(n, ast.FunctionDef) and n.name == "__init__"
+        ),
+        None,
+    )
+    if init is None:
+        return None
+    args = init.args
+    names = {
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        if a.arg != "self"
+    }
+    return names, args.kwarg is not None
+
+
+def _find_class(project: Project, dotted: str, name: str) -> ast.ClassDef | None:
+    module = project.find_module(dotted)
+    if module is None:
+        return None
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+@register_rule
+class SearchSpaceConformanceRule(ProjectRule):
+    """SSP001 — every search-space hyper-parameter must reach its estimator."""
+
+    id = "SSP001"
+    name = "search-space-conformance"
+    severity = Severity.ERROR
+    description = (
+        "FAMILY_SPACES dimension names, defaults, and _build_model keywords "
+        "must all match the target estimator's __init__ signature"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        module = project.find_module(_SEARCH_SPACE_MODULE)
+        if module is None:
+            return
+        spaces = _collect_family_spaces(module.tree)
+        branches = _collect_factory(module.tree)
+        imports = _import_map(module.tree)
+        if not spaces:
+            yield self._finding(
+                module, module.tree, "no FAMILY_SPACES dict literal found"
+            )
+            return
+
+        for family, space in sorted(spaces.items()):
+            branch = branches.get(family)
+            if branch is None:
+                yield self._finding(
+                    module,
+                    space.space_node or module.tree,
+                    f"family {family!r} has a ConfigSpace but no "
+                    "_build_model branch constructs it",
+                )
+                continue
+            source_module = imports.get(branch.class_name)
+            if source_module is None:
+                continue
+            cls = _find_class(project, source_module, branch.class_name)
+            if cls is None:
+                # Partial lint run: the estimator module is outside the
+                # analyzed paths, so there is nothing to check against.
+                continue
+            signature = _init_params(cls)
+            if signature is None:
+                continue
+            accepted, has_var_kw = signature
+            if has_var_kw:
+                continue
+            for name, node in {**space.dimensions, **space.defaults}.items():
+                if name not in accepted:
+                    yield self._finding(
+                        module,
+                        node,
+                        f"family {family!r}: hyper-parameter {name!r} is "
+                        f"not an __init__ keyword of {branch.class_name} "
+                        f"({source_module}); accepted: "
+                        f"{', '.join(sorted(accepted))}",
+                    )
+                elif name not in branch.consumed_params and branch.consumed_params:
+                    yield self._finding(
+                        module,
+                        node,
+                        f"family {family!r}: sampled hyper-parameter "
+                        f"{name!r} is never read by the _build_model "
+                        "branch, so tuned values are silently dropped",
+                    )
+            for name, node in sorted(branch.keywords.items()):
+                if name not in accepted:
+                    yield self._finding(
+                        module,
+                        node,
+                        f"family {family!r}: _build_model passes keyword "
+                        f"{name!r} but {branch.class_name}.__init__ only "
+                        f"accepts: {', '.join(sorted(accepted))}",
+                    )
+
+    def _finding(
+        self, module: SourceModule, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+            severity=self.severity,
+        )

@@ -13,6 +13,7 @@ from scipy import linalg
 from scipy.stats import norm as normal_dist
 
 from repro.automl.search_space import FAMILY_SPACES, Configuration
+from repro.exceptions import NotFittedError
 
 __all__ = ["GaussianProcessSurrogate", "SMBOProposer"]
 
@@ -49,7 +50,7 @@ class GaussianProcessSurrogate:
     def predict(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Posterior mean and standard deviation at query points."""
         if self._X is None or self._alpha is None or self._chol is None:
-            raise RuntimeError("surrogate must be fitted first")
+            raise NotFittedError("surrogate must be fitted first")
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
         K_star = self._kernel(X, self._X)
         mean = self._y_mean + K_star @ self._alpha

@@ -5,6 +5,7 @@ Subcommands::
     repro-em table <1|2|3|4|5> [--scale S] [--datasets A,B] Render a table
     repro-em datasets                                       List benchmarks
     repro-em match --dataset S-DA [--automl autosklearn]    Run one pipeline
+    repro-em lint [paths] [--format json] [--baseline F]    Static analysis
 
 Experiment results are cached under ``.repro_cache/`` (see
 ``repro.experiments.config``), so repeated invocations are incremental.
@@ -108,6 +109,12 @@ def _cmd_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro-em`` console script."""
     parser = argparse.ArgumentParser(
@@ -144,6 +151,14 @@ def main(argv: list[str] | None = None) -> int:
     p_match.add_argument("--budget", type=float, default=1.0)
     _add_scale(p_match)
     p_match.set_defaults(func=_cmd_match)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the repro.analysis static-analysis rule pack"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.config import rng_for
 from repro.data.schema import AttributeKind, EMDataset, PairRecord
 
 __all__ = ["make_dirty", "DEFAULT_MOVE_PROBABILITY"]
@@ -75,7 +76,7 @@ def make_dirty(
         Name of the new dataset, defaulting to ``"D-" + source suffix``.
     """
     if rng is None:
-        rng = np.random.default_rng(0)
+        rng = rng_for("corruption", dataset.name, move_probability)
     schema = dataset.schema
     anchor = schema.attributes[0].name
     movable = tuple(a.name for a in schema.attributes[1:])

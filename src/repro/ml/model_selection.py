@@ -6,6 +6,7 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from repro.config import rng_for
 from repro.ml.base import Estimator, clone
 
 __all__ = [
@@ -31,7 +32,8 @@ def train_test_split(
     """
     if not 0.0 < test_size < 1.0:
         raise ValueError(f"test_size must be in (0, 1), got {test_size}")
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = rng_for("model-selection", "train-test-split", test_size)
     y = np.asarray(y)
     n = len(y)
     test_mask = np.zeros(n, dtype=bool)

@@ -1,0 +1,604 @@
+"""The repro.analysis engine: per-rule unit tests, suppression, baseline,
+reporters, CLI — and the tier-1 self-lint gate over ``src/``."""
+
+from __future__ import annotations
+
+import json
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    Severity,
+    all_rules,
+    analyze_project,
+    apply_baseline,
+    render_json,
+    render_text,
+    suppressed_rules,
+)
+from repro.analysis.core import RULE_REGISTRY, SUPPRESS_ALL
+from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src"
+BASELINE_PATH = REPO_ROOT / "lint_baseline.json"
+
+
+def lint_snippet(tmp_path, code, rules=None, filename="mod.py"):
+    """Write one snippet and run selected rules over it."""
+    target = tmp_path / filename
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(code))
+    if rules is not None:
+        rules = [RULE_REGISTRY[r] for r in rules]
+    return analyze_project([tmp_path], rules=rules)
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+class TestRngRules:
+    def test_np_random_seed_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            np.random.seed(42)
+            """,
+            rules=["RNG001"],
+        )
+        assert rule_ids(findings) == ["RNG001"]
+        assert "global" in findings[0].message
+
+    def test_legacy_global_draw_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            x = np.random.rand(3)
+            state = np.random.RandomState(0)
+            """,
+            rules=["RNG001"],
+        )
+        assert rule_ids(findings) == ["RNG001", "RNG001"]
+
+    def test_hardcoded_default_rng_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            a = np.random.default_rng(0)
+            b = np.random.default_rng()
+            c = np.random.default_rng(-7)
+            """,
+            rules=["RNG002"],
+        )
+        assert rule_ids(findings) == ["RNG002"] * 3
+        assert findings[0].severity is Severity.ERROR
+
+    def test_variable_and_scoped_seeds_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            from repro.config import rng_for, stable_hash
+
+            def f(seed, cfg):
+                a = np.random.default_rng(seed)
+                b = np.random.default_rng(cfg.seed)
+                c = np.random.default_rng(stable_hash("scope", seed))
+                d = rng_for("scope", 3)
+                return a, b, c, d
+            """,
+            rules=["RNG001", "RNG002"],
+        )
+        assert findings == []
+
+    def test_repro_config_is_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            RNG = np.random.default_rng(0)
+            """,
+            rules=["RNG002"],
+            filename="src/repro/config.py",
+        )
+        assert findings == []
+
+
+class TestEstimatorRules:
+    def test_fit_returning_non_self_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class Model:
+                def fit(self, X, y):
+                    self.coef_ = X.mean()
+                    return self.coef_
+            """,
+            rules=["EST001"],
+        )
+        assert rule_ids(findings) == ["EST001"]
+
+    def test_fit_falling_off_the_end_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class Model:
+                def fit(self, X, y):
+                    self.coef_ = X.mean()
+            """,
+            rules=["EST001"],
+        )
+        assert rule_ids(findings) == ["EST001"]
+
+    def test_fit_nested_function_returns_ignored(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class Model:
+                def fit(self, X, y):
+                    def objective(w):
+                        return w * 2
+                    self.w_ = objective(1.0)
+                    return self
+            """,
+            rules=["EST001"],
+        )
+        assert findings == []
+
+    def test_abstract_fit_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class Base:
+                def fit(self, X, y):
+                    raise NotImplementedError
+            """,
+            rules=["EST001"],
+        )
+        assert findings == []
+
+    def test_unguarded_predict_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class Model:
+                def fit(self, X, y):
+                    self.coef_ = X.mean()
+                    return self
+
+                def predict(self, X):
+                    return X @ self.coef_
+            """,
+            rules=["EST002"],
+        )
+        assert rule_ids(findings) == ["EST002"]
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "check_is_fitted(self); return X",
+            "self._check_fitted(); return X",
+            "if not self.is_fitted: raise NotFittedError('unfitted')",
+            "return self.predict_proba(X)",
+            "return self.final_estimator.predict(X)",
+        ],
+    )
+    def test_guarded_predict_clean(self, tmp_path, body):
+        findings = lint_snippet(
+            tmp_path,
+            f"""
+            class Model:
+                def fit(self, X, y):
+                    return self
+
+                def predict(self, X):
+                    {body}
+            """,
+            rules=["EST002"],
+        )
+        assert findings == []
+
+    def test_private_class_skipped(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class _Internal:
+                def fit(self, X, y):
+                    return self
+
+                def predict(self, X):
+                    return X
+            """,
+            rules=["EST002"],
+        )
+        assert findings == []
+
+
+MINI_ESTIMATOR = """
+class GoodModel:
+    def __init__(self, depth: int = 3, rate: float = 0.1, seed: int = 0):
+        self.depth = depth
+        self.rate = rate
+        self.seed = seed
+"""
+
+MINI_SEARCH_SPACE = """
+from repro.ml.mini import GoodModel
+
+_SHARED = CategoricalDim("rate", (0.1, 0.2))
+
+FAMILY_SPACES = {{
+    "good": ConfigSpace(
+        "good",
+        (IntDim("{dim}", 1, 8), _SHARED),
+        defaults={{"{dim}": 3, "rate": 0.1}},
+    ),
+}}
+
+
+def _build_model(family, params, seed):
+    p = dict(params)
+    if family == "good":
+        return GoodModel(
+            depth=int(p.get("{dim}", 3)),
+            rate=float(p.get("rate", 0.1)),
+            seed=seed,
+        )
+    raise ValueError(family)
+"""
+
+
+class TestSearchSpaceRule:
+    def _mini_project(self, tmp_path, dim):
+        automl = tmp_path / "src" / "repro" / "automl"
+        ml = tmp_path / "src" / "repro" / "ml"
+        automl.mkdir(parents=True)
+        ml.mkdir(parents=True)
+        (automl / "search_space.py").write_text(
+            MINI_SEARCH_SPACE.format(dim=dim)
+        )
+        (ml / "mini.py").write_text(MINI_ESTIMATOR)
+        return analyze_project([tmp_path], rules=[RULE_REGISTRY["SSP001"]])
+
+    def test_conforming_space_clean(self, tmp_path):
+        assert self._mini_project(tmp_path, "depth") == []
+
+    def test_misnamed_hyperparameter_flagged(self, tmp_path):
+        findings = self._mini_project(tmp_path, "depht")
+        assert findings, "misnamed dimension must be flagged"
+        assert all(f.rule == "SSP001" for f in findings)
+        assert any("'depht'" in f.message for f in findings)
+
+    def test_misnaming_in_real_search_space_fails_gate(self, tmp_path):
+        """Acceptance: a typo'd hyperparameter in the real search_space.py
+        must fail the lint gate."""
+        root = tmp_path / "src" / "repro"
+        shutil.copytree(SRC_ROOT / "repro" / "automl", root / "automl")
+        shutil.copytree(SRC_ROOT / "repro" / "ml", root / "ml")
+        space = root / "automl" / "search_space.py"
+        text = space.read_text()
+        assert 'FloatDim("learning_rate"' in text
+        space.write_text(
+            text.replace('FloatDim("learning_rate"', 'FloatDim("learn_rate"')
+        )
+        findings = analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["SSP001"]]
+        )
+        assert [f.rule for f in findings] == ["SSP001"]
+        assert "learn_rate" in findings[0].message
+        # And the gate (exit code) fails for the same tree.
+        code = cli_main(
+            ["lint", str(tmp_path), "--select", "SSP001", "--baseline",
+             str(tmp_path / "absent.json")]
+        )
+        assert code == 1
+
+    def test_real_search_space_is_conformant(self):
+        findings = analyze_project(
+            [SRC_ROOT], rules=[RULE_REGISTRY["SSP001"]]
+        )
+        assert findings == []
+
+
+class TestExportRules:
+    def test_undefined_export_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            __all__ = ["present", "absent"]
+
+            def present():
+                return 1
+            """,
+            rules=["EXP001"],
+        )
+        assert rule_ids(findings) == ["EXP001"]
+        assert "'absent'" in findings[0].message
+
+    def test_missing_reexport_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.sub.mod import exported, forgotten
+
+            __all__ = ["exported"]
+            """,
+            rules=["EXP002"],
+            filename="src/repro/sub/__init__.py",
+        )
+        assert rule_ids(findings) == ["EXP002"]
+        assert "'forgotten'" in findings[0].message
+        assert findings[0].severity is Severity.WARNING
+
+    def test_plain_module_not_checked_for_missing(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.sub.mod import exported, forgotten
+
+            __all__ = ["exported"]
+            """,
+            rules=["EXP002"],
+            filename="src/repro/sub/mod2.py",
+        )
+        assert findings == []
+
+    def test_dynamic_all_skipped(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            names = ["a", "b"]
+            __all__ = sorted(names)
+            """,
+            rules=["EXP001", "EXP002"],
+        )
+        assert findings == []
+
+
+class TestGenericRules:
+    def test_mutable_default_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def f(items=[], lookup={}, seen=set(), ok=None, n=3):
+                return items, lookup, seen, ok, n
+            """,
+            rules=["GEN001"],
+        )
+        assert rule_ids(findings) == ["GEN001"] * 3
+
+    def test_bare_and_broad_except_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            try:
+                x = 1
+            except:
+                pass
+            try:
+                y = 2
+            except Exception:
+                pass
+            except (ValueError, BaseException):
+                pass
+            """,
+            rules=["GEN002", "GEN003"],
+        )
+        assert sorted(rule_ids(findings)) == ["GEN002", "GEN003", "GEN003"]
+
+    def test_shadowed_builtin_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def f(list, id=3):
+                type = "x"
+                return list, id, type
+            """,
+            rules=["GEN004"],
+        )
+        assert rule_ids(findings) == ["GEN004"] * 3
+
+    def test_class_attribute_named_like_builtin_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class Rule:
+                id = "RNG001"
+                format: str = "text"
+            """,
+            rules=["GEN004"],
+        )
+        assert findings == []
+
+
+class TestSuppression:
+    def test_bare_noqa_suppresses_everything(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            rng = np.random.default_rng(0)  # repro: noqa
+            """,
+            rules=["RNG002"],
+        )
+        assert findings == []
+
+    def test_rule_scoped_noqa(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            a = np.random.default_rng(0)  # repro: noqa[RNG002]
+            b = np.random.default_rng(0)  # repro: noqa[GEN001]
+            """,
+            rules=["RNG002"],
+        )
+        # Only the line whose noqa names a different rule still fires.
+        assert len(findings) == 1
+        assert findings[0].line == 4
+
+    def test_suppressed_rules_parsing(self):
+        assert suppressed_rules("x = 1") == frozenset()
+        assert suppressed_rules("x = 1  # repro: noqa") is SUPPRESS_ALL
+        assert suppressed_rules(
+            "x = 1  # repro: noqa[RNG001, est002]"
+        ) == {"RNG001", "EST002"}
+
+
+class TestBaseline:
+    def _findings(self, tmp_path):
+        return lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            rng = np.random.default_rng(0)
+            """,
+            rules=["RNG002"],
+        )
+
+    def test_round_trip(self, tmp_path):
+        findings = self._findings(tmp_path)
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(path)
+        loaded = Baseline.load(path)
+        result = apply_baseline(findings, loaded)
+        assert result.new == []
+        assert len(result.matched) == 1
+        assert result.stale == []
+
+    def test_unbaselined_finding_gates(self, tmp_path):
+        findings = self._findings(tmp_path)
+        result = apply_baseline(findings, Baseline())
+        assert len(result.new) == 1
+
+    def test_stale_entries_reported(self, tmp_path):
+        findings = self._findings(tmp_path)
+        baseline = Baseline.from_findings(findings)
+        result = apply_baseline([], baseline)
+        assert result.new == []
+        assert len(result.stale) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == []
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+class TestReporters:
+    def _result(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            rng = np.random.default_rng(0)
+            """,
+            rules=["RNG002"],
+        )
+        return apply_baseline(findings, Baseline())
+
+    def test_json_reporter_structure(self, tmp_path):
+        payload = json.loads(render_json(self._result(tmp_path)))
+        assert payload["summary"]["new"] == 1
+        assert payload["summary"]["errors"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "RNG002"
+        assert finding["path"].endswith("mod.py")
+        assert finding["line"] == 3
+
+    def test_text_reporter_is_compiler_style(self, tmp_path):
+        text = render_text(self._result(tmp_path))
+        assert "mod.py:3:" in text
+        assert "RNG002" in text
+        assert "1 finding(s)" in text
+
+    def test_clean_run_summary(self):
+        text = render_text(apply_baseline([], Baseline()))
+        assert "clean" in text
+
+
+class TestCliIntegration:
+    def test_lint_clean_tree_exits_zero(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert cli_main(["lint", str(tmp_path)]) == 0
+
+    def test_lint_dirty_tree_exits_one(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import numpy as np\nnp.random.seed(1)\n"
+        )
+        assert cli_main(["lint", str(tmp_path)]) == 1
+        assert "RNG001" in capsys.readouterr().out
+
+    def test_select_unknown_rule_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["lint", str(tmp_path), "--select", "NOPE99"])
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.id in out
+
+    def test_update_baseline_writes_file(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import numpy as np\nnp.random.seed(1)\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        assert cli_main(
+            ["lint", str(tmp_path), "--baseline", str(baseline),
+             "--update-baseline"]
+        ) == 0
+        assert len(Baseline.load(baseline).entries) == 1
+        # With the baseline in place the same tree now gates clean.
+        assert cli_main(
+            ["lint", str(tmp_path), "--baseline", str(baseline)]
+        ) == 0
+
+    def test_nonexistent_path_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such path"):
+            cli_main(["lint", str(tmp_path / "no_such_dir")])
+
+    def test_corrupt_baseline_rejected(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{not json")
+        with pytest.raises(SystemExit, match="invalid baseline"):
+            cli_main(
+                ["lint", str(tmp_path), "--baseline", str(baseline)]
+            )
+
+
+class TestSelfLintGate:
+    """Tier-1 gate: the repo's own src/ must lint clean vs the baseline."""
+
+    def test_src_has_zero_nonbaselined_findings(self):
+        findings = analyze_project([SRC_ROOT])
+        baseline = Baseline.load(BASELINE_PATH)
+        result = apply_baseline(findings, baseline)
+        assert result.new == [], "\n" + "\n".join(
+            f.render() for f in result.new
+        )
+
+    def test_baseline_has_no_stale_entries(self):
+        findings = analyze_project([SRC_ROOT])
+        result = apply_baseline(findings, Baseline.load(BASELINE_PATH))
+        assert result.stale == []
+
+    def test_rng_rules_ship_with_empty_baseline(self):
+        """The RNG findings were fixed, not grandfathered."""
+        baseline = Baseline.load(BASELINE_PATH)
+        rng_entries = [
+            e for e in baseline.entries if e["rule"].startswith("RNG")
+        ]
+        assert rng_entries == []
