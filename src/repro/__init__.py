@@ -28,6 +28,7 @@ Quickstart::
 from repro.adapter import EMAdapter
 from repro.data import DATASET_NAMES, load_dataset, split_dataset
 from repro.matching import DeepMatcherHybrid, EMPipeline
+from repro.persistence import PersistenceError, load_model, save_model
 
 __version__ = "1.0.0"
 
@@ -36,7 +37,10 @@ __all__ = [
     "DeepMatcherHybrid",
     "EMAdapter",
     "EMPipeline",
+    "PersistenceError",
     "__version__",
     "load_dataset",
+    "load_model",
+    "save_model",
     "split_dataset",
 ]

@@ -16,12 +16,14 @@ provides the *no-adapter* featurizations of Section 5.1
 extension (:mod:`repro.adapter.augmentation`).
 """
 
+from repro.adapter.augmentation import balance_dataset, shuffle_attribute, swap_pair
 from repro.adapter.combiner import Combiner, ConcatCombiner, MeanCombiner, make_combiner
 from repro.adapter.embedder import TransformerEmbedder
 from repro.adapter.features import (
     NativeTabularFeaturizer,
     Word2VecFeaturizer,
 )
+from repro.adapter.local_embedder import LocalWord2VecEmbedder
 from repro.adapter.pipeline import EMAdapter, clear_adapter_cache
 from repro.adapter.tokenizer import (
     TOKENIZER_NAMES,
@@ -38,6 +40,7 @@ __all__ = [
     "ConcatCombiner",
     "EMAdapter",
     "HybridTokenizer",
+    "LocalWord2VecEmbedder",
     "MeanCombiner",
     "NativeTabularFeaturizer",
     "PairTokenizer",
@@ -45,7 +48,10 @@ __all__ = [
     "TransformerEmbedder",
     "UnstructuredTokenizer",
     "Word2VecFeaturizer",
+    "balance_dataset",
     "clear_adapter_cache",
     "make_combiner",
     "make_tokenizer",
+    "shuffle_attribute",
+    "swap_pair",
 ]

@@ -3,10 +3,15 @@
 A from-scratch, stdlib-``ast`` lint engine with EM-repro-specific rules:
 RNG discipline (every stream through :func:`repro.config.rng_for`),
 estimator API conformance, search-space ↔ estimator ``__init__``
-cross-validation, export hygiene, and generic pitfalls. Run it with::
+cross-validation, export hygiene, and generic pitfalls — plus a
+whole-program layer (import/call graphs, layering contracts, RNG-flow
+tracking, dead-symbol detection) backed by an mtime+size parse cache.
+Run it with::
 
     python -m repro.analysis src/
     repro-em lint --format json
+    repro-em lint --graph dot          # dump the import graph
+    repro-em lint --changed            # pre-commit: git-changed files only
 
 Findings are suppressed in place with ``# repro: noqa[RULE]`` or
 grandfathered in ``lint_baseline.json``; tier-1 gates on zero
@@ -15,6 +20,7 @@ non-baselined findings via ``tests/test_static_analysis.py``. See
 """
 
 from repro.analysis.baseline import Baseline, BaselineResult, apply_baseline
+from repro.analysis.cache import AnalysisCache
 from repro.analysis.core import (
     FileRule,
     Finding,
@@ -25,9 +31,24 @@ from repro.analysis.core import (
     Severity,
     SourceModule,
     all_rules,
+    analyze,
     analyze_project,
     register_rule,
     suppressed_rules,
+)
+from repro.analysis.flow import RngFlowViolation, iter_rng_flow_violations
+from repro.analysis.graph import (
+    CallGraph,
+    CallResolver,
+    CallSite,
+    ContractError,
+    FunctionInfo,
+    ImportEdge,
+    ImportGraph,
+    ImportRecord,
+    LayeringContract,
+    ModuleSummary,
+    summarize_module,
 )
 from repro.analysis.reporter import render_json, render_text, summarize
 
@@ -36,22 +57,37 @@ from repro.analysis.reporter import render_json, render_text, summarize
 import repro.analysis.rules  # noqa: E402,F401 - registration side effect
 
 __all__ = [
+    "AnalysisCache",
     "Baseline",
     "BaselineResult",
+    "CallGraph",
+    "CallResolver",
+    "CallSite",
+    "ContractError",
     "FileRule",
     "Finding",
+    "FunctionInfo",
+    "ImportEdge",
+    "ImportGraph",
+    "ImportRecord",
+    "LayeringContract",
+    "ModuleSummary",
     "Project",
     "ProjectRule",
     "RULE_REGISTRY",
+    "RngFlowViolation",
     "Rule",
     "Severity",
     "SourceModule",
     "all_rules",
+    "analyze",
     "analyze_project",
     "apply_baseline",
+    "iter_rng_flow_violations",
     "register_rule",
     "render_json",
     "render_text",
     "summarize",
+    "summarize_module",
     "suppressed_rules",
 ]

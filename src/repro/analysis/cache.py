@@ -1,0 +1,163 @@
+"""On-disk parse/summary/findings cache for the analysis engine.
+
+The cache lives in one JSON file under ``.repro-analysis-cache/`` and is
+keyed by the absolute path of each analyzed file, validated by
+``(st_mtime_ns, st_size)``. A valid entry lets a warm run skip the
+expensive work entirely: the parse (entries remember syntax errors), the
+:class:`~repro.analysis.graph.ModuleSummary` extraction that feeds every
+whole-program graph, and the per-rule findings of the file-scoped rules.
+Modules are then only re-parsed on demand, for the few project rules
+that genuinely need an AST.
+
+Corruption is never fatal — an unreadable or version-mismatched cache
+file degrades to a cold run. Writes are atomic (temp file + rename) so
+an interrupted lint cannot leave a truncated cache behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["AnalysisCache", "DEFAULT_CACHE_DIR"]
+
+#: Default cache directory, resolved against the current directory.
+DEFAULT_CACHE_DIR = ".repro-analysis-cache"
+
+#: Bump when the entry schema or any rule's semantics change; mismatched
+#: versions are discarded wholesale rather than migrated.
+CACHE_VERSION = 1
+
+_CACHE_FILENAME = "analysis-cache.json"
+
+
+class AnalysisCache:
+    """Mtime+size-validated cache of parse results, summaries, findings.
+
+    Entries are plain dicts::
+
+        {"mtime_ns": ..., "size": ..., "rel_path": "src/repro/x.py",
+         "parse_error": null | {"lineno", "offset", "msg"},
+         "summary": null | ModuleSummary.to_dict(),
+         "findings": {rule_id: [Finding.to_dict(), ...]}}
+
+    ``rel_path`` participates in validation: the same file analyzed from
+    a different root produces different finding paths, so such an entry
+    must miss rather than replay stale fingerprints.
+    """
+
+    def __init__(self, directory: Path | str = DEFAULT_CACHE_DIR):
+        self.directory = Path(directory)
+        self.path = self.directory / _CACHE_FILENAME
+        self._entries: dict[str, dict] | None = None
+        self.dirty = False
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------- loading
+
+    def _load(self) -> dict[str, dict]:
+        if self._entries is not None:
+            return self._entries
+        entries: dict[str, dict] = {}
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            payload = None
+        if (
+            isinstance(payload, dict)
+            and payload.get("version") == CACHE_VERSION
+            and isinstance(payload.get("files"), dict)
+        ):
+            entries = payload["files"]
+        self._entries = entries
+        return entries
+
+    @staticmethod
+    def _stat_key(path: Path) -> tuple[int, int]:
+        stat = path.stat()
+        return stat.st_mtime_ns, stat.st_size
+
+    def lookup(self, path: Path, rel_path: str) -> dict | None:
+        """The entry for ``path`` if still valid, else None (a miss)."""
+        entry = self._load().get(str(path.resolve()))
+        if entry is not None:
+            try:
+                mtime_ns, size = self._stat_key(path)
+            except OSError:
+                entry = None
+            else:
+                if (
+                    entry.get("mtime_ns") != mtime_ns
+                    or entry.get("size") != size
+                    or entry.get("rel_path") != rel_path
+                ):
+                    entry = None
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    # ------------------------------------------------------------- storing
+
+    def store(
+        self,
+        path: Path,
+        rel_path: str,
+        parse_error: dict | None = None,
+        summary: dict | None = None,
+    ) -> dict | None:
+        """Create a fresh entry for ``path``; returns it for mutation."""
+        try:
+            mtime_ns, size = self._stat_key(path)
+        except OSError:
+            return None
+        entry = {
+            "mtime_ns": mtime_ns,
+            "size": size,
+            "rel_path": rel_path,
+            "parse_error": parse_error,
+            "summary": summary,
+            "findings": {},
+        }
+        self._load()[str(path.resolve())] = entry
+        self.dirty = True
+        return entry
+
+    def record_findings(
+        self, entry: dict, rule_id: str, findings: list[dict]
+    ) -> None:
+        """Attach one rule's (pre-suppression) findings to an entry."""
+        entry.setdefault("findings", {})[rule_id] = findings
+        self.dirty = True
+
+    # -------------------------------------------------------------- saving
+
+    def save(self) -> None:
+        """Atomically persist the cache; a pure-hit run writes nothing."""
+        if not self.dirty or self._entries is None:
+            return
+        live = {
+            key: entry
+            for key, entry in self._entries.items()
+            if Path(key).exists()
+        }
+        payload = {"version": CACHE_VERSION, "files": live}
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            handle, tmp_name = tempfile.mkstemp(
+                dir=str(self.directory), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                    json.dump(payload, stream, sort_keys=True)
+                os.replace(tmp_name, self.path)
+            finally:
+                if os.path.exists(tmp_name):
+                    os.unlink(tmp_name)
+        except OSError:
+            return  # caching is best-effort; never fail the lint run
+        self.dirty = False

@@ -1,13 +1,26 @@
-"""Lint driver shared by ``repro-em lint`` and ``python -m repro.analysis``."""
+"""Lint driver shared by ``repro-em lint`` and ``python -m repro.analysis``.
+
+Exit codes follow the usual linter protocol: 0 for a clean run, 1 when
+there are new (non-baselined) findings, and 2 for usage/target errors —
+a nonexistent path, or a target containing no Python files at all.
+"""
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
 from repro.analysis.baseline import Baseline, apply_baseline
-from repro.analysis.core import all_rules, analyze_project
+from repro.analysis.cache import DEFAULT_CACHE_DIR, AnalysisCache
+from repro.analysis.core import (
+    FileRule,
+    Project,
+    _common_root,
+    all_rules,
+    analyze,
+)
 from repro.analysis.reporter import render_json, render_text
 
 __all__ = ["add_lint_arguments", "run_lint", "main"]
@@ -56,6 +69,34 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="also list baselined (grandfathered) findings",
     )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files changed per git, with file-scoped rules "
+        "only (falls back to a full run outside a git repository)",
+    )
+    parser.add_argument(
+        "--graph",
+        choices=("json", "dot"),
+        default=None,
+        help="dump the import graph in this format instead of linting",
+    )
+    parser.add_argument(
+        "--graph-level",
+        choices=("module", "package"),
+        default="module",
+        help="granularity of --graph output (default: module)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk analysis cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"analysis cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
 
 
 def _selected_rules(select: str | None):
@@ -73,6 +114,67 @@ def _selected_rules(select: str | None):
     return tuple(rule for rule in rules if rule.id in wanted)
 
 
+def _git_changed_files() -> list[Path] | None:
+    """Changed + untracked ``.py`` files per git, or None outside a repo.
+
+    Paths come back repo-root-relative from git; they are re-rooted and,
+    when possible, made relative to the current directory so that
+    finding paths (and therefore baseline fingerprints) match a plain
+    full run launched from the same place.
+    """
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError:
+        return None
+    if top.returncode != 0:
+        return None
+    repo_root = Path(top.stdout.strip())
+    names: set[str] = set()
+    for command in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(
+            command, capture_output=True, text=True, check=False
+        )
+        if proc.returncode != 0:
+            return None  # e.g. a repo with no commits yet — run full
+        names.update(proc.stdout.splitlines())
+    files = []
+    cwd = Path.cwd()
+    for name in sorted(names):
+        if not name.endswith(".py"):
+            continue
+        path = repo_root / name
+        if not path.exists():
+            continue  # deleted in the working tree
+        try:
+            files.append(path.relative_to(cwd))
+        except ValueError:
+            files.append(path)
+    return files
+
+
+def _scope_to_paths(files: list[Path], requested: list[Path]) -> list[Path]:
+    """The subset of ``files`` lying under any of the requested paths."""
+    anchors = [p.resolve() for p in requested]
+    scoped = []
+    for path in files:
+        resolved = path.resolve()
+        for anchor in anchors:
+            if resolved == anchor or (
+                anchor.is_dir() and resolved.is_relative_to(anchor)
+            ):
+                scoped.append(path)
+                break
+    return scoped
+
+
 def run_lint(args: argparse.Namespace) -> int:
     """Execute one lint run; returns the process exit code."""
     if args.list_rules:
@@ -83,10 +185,55 @@ def run_lint(args: argparse.Namespace) -> int:
 
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
-        raise SystemExit(f"no such path(s): {', '.join(missing)}")
+        print(
+            f"error: no such path(s): {', '.join(missing)}", file=sys.stderr
+        )
+        return 2
 
     rules = _selected_rules(args.select)
-    findings = analyze_project(args.paths, rules=rules)
+    requested = [Path(p) for p in args.paths]
+    root = _common_root(requested)
+    cache = None if args.no_cache else AnalysisCache(args.cache_dir)
+
+    paths: list[Path] = requested
+    if args.changed:
+        if args.update_baseline:
+            print(
+                "error: --changed cannot update the baseline (it sees only "
+                "a slice of the project)",
+                file=sys.stderr,
+            )
+            return 2
+        changed = _git_changed_files()
+        if changed is not None:
+            paths = _scope_to_paths(changed, requested)
+            if not paths:
+                print("no changed python files under the requested paths")
+                return 0
+            # Whole-program rules over a partial file set over-report by
+            # construction; the pre-commit slice runs file rules only.
+            rules = tuple(r for r in rules if isinstance(r, FileRule))
+
+    project = Project.load(paths, root=root, cache=cache)
+
+    if not project.modules and not project.parse_failures:
+        print(
+            "error: no python files found under: "
+            f"{', '.join(str(p) for p in args.paths)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.graph is not None:
+        graph = project.import_graph()
+        if args.graph == "dot":
+            sys.stdout.write(graph.to_dot(args.graph_level))
+        else:
+            print(graph.to_json(args.graph_level))
+        project.save_cache()  # the graph build warms the cache too
+        return 0
+
+    findings = analyze(project, rules)
 
     baseline_path = args.baseline
     if baseline_path is None and Path(DEFAULT_BASELINE).exists():
@@ -116,7 +263,8 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.analysis",
         description="EM-repro static analysis: AST lint rules for RNG "
         "discipline, estimator API conformance, search-space "
-        "cross-validation, and export hygiene",
+        "cross-validation, export hygiene, plus whole-program "
+        "layering, RNG-flow, and dead-symbol checks",
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

@@ -1,13 +1,21 @@
 """Core of the static-analysis engine: findings, rules, and the driver.
 
 The engine is a thin, dependency-free layer over :mod:`ast`. A
-:class:`Project` is a parsed snapshot of a set of ``.py`` files; rules
-come in two shapes:
+:class:`Project` is a snapshot of a set of ``.py`` files; rules come in
+two shapes:
 
 * :class:`FileRule` — visits one module at a time (RNG discipline,
   export hygiene, generic pitfalls);
 * :class:`ProjectRule` — sees the whole project at once, for checks that
-  must cross module boundaries (search-space / estimator conformance).
+  must cross module boundaries (search-space / estimator conformance,
+  layering contracts, import cycles, RNG-flow, dead symbols).
+
+Cross-module rules work on :class:`~repro.analysis.graph.ModuleSummary`
+extracts rather than raw trees; a project therefore lazily exposes
+``summaries``, an ``import_graph()``, and a ``call_resolver()``. Paired
+with the :class:`~repro.analysis.cache.AnalysisCache`, a warm run can
+serve summaries and per-file findings from disk and parse a module only
+when a rule actually touches its ``tree``.
 
 Findings can be silenced in place with ``# repro: noqa[RULE]`` trailing
 comments, or grandfathered in a checked-in baseline file (see
@@ -23,6 +31,14 @@ from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.graph import (
+    CallResolver,
+    ImportGraph,
+    ModuleSummary,
+    summarize_module,
+)
+
 __all__ = [
     "Severity",
     "Finding",
@@ -34,6 +50,7 @@ __all__ = [
     "RULE_REGISTRY",
     "register_rule",
     "all_rules",
+    "analyze",
     "analyze_project",
     "suppressed_rules",
 ]
@@ -78,6 +95,17 @@ class Finding:
             "message": self.message,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            rule=str(payload["rule"]),
+            message=str(payload["message"]),
+            severity=Severity(payload["severity"]),
+        )
+
     def render(self) -> str:
         return (
             f"{self.path}:{self.line}:{self.col}: "
@@ -85,32 +113,65 @@ class Finding:
         )
 
 
-@dataclass
 class SourceModule:
-    """One parsed source file plus the metadata rules need."""
+    """One source file plus the metadata rules need.
 
-    path: Path
-    rel_path: str
-    module_name: str
-    text: str
-    lines: list[str]
-    tree: ast.Module
+    The AST is parsed lazily: summaries served from the cache keep most
+    warm-run modules tree-free, and only the rules that dereference
+    ``module.tree`` pay for a parse.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        rel_path: str,
+        module_name: str,
+        text: str,
+        lines: list[str],
+        tree: ast.Module | None = None,
+    ):
+        self.path = path
+        self.rel_path = rel_path
+        self.module_name = module_name
+        self.text = text
+        self.lines = lines
+        self._tree = tree
+
+    @property
+    def tree(self) -> ast.Module:
+        if self._tree is None:
+            self._tree = ast.parse(self.text, filename=str(self.path))
+        return self._tree
+
+    @property
+    def is_init(self) -> bool:
+        return self.path.name == "__init__.py"
 
     @classmethod
     def parse(cls, path: Path, root: Path) -> "SourceModule":
+        """Read and parse eagerly; raises :class:`SyntaxError`."""
+        module = cls.load(path, root)
+        module._tree = ast.parse(module.text, filename=str(path))
+        return module
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "SourceModule":
+        """Read the file but defer parsing until ``tree`` is touched."""
         text = path.read_text(encoding="utf-8")
-        try:
-            rel = path.relative_to(root).as_posix()
-        except ValueError:
-            rel = path.as_posix()
         return cls(
             path=path,
-            rel_path=rel,
+            rel_path=_relative(path, root),
             module_name=_module_name(path),
             text=text,
             lines=text.splitlines(),
-            tree=ast.parse(text, filename=str(path)),
         )
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
 
 
 def _module_name(path: Path) -> str:
@@ -126,33 +187,153 @@ def _module_name(path: Path) -> str:
 
 
 class Project:
-    """A parsed snapshot of every analyzed module."""
+    """A snapshot of every analyzed module, plus its derived graphs."""
 
-    def __init__(self, root: Path, modules: Sequence[SourceModule]):
+    def __init__(
+        self,
+        root: Path,
+        modules: Sequence[SourceModule],
+        parse_failures: Sequence[Finding] = (),
+        cache: AnalysisCache | None = None,
+    ):
         self.root = root
         self.modules = list(modules)
         self.by_module_name = {m.module_name: m for m in self.modules}
+        self.parse_failures = list(parse_failures)
+        self._cache = cache
+        self._cache_entries: dict[str, dict] = {}
+        self._summaries: dict[str, ModuleSummary] = {}
+        self._import_graph: ImportGraph | None = None
+        self._call_resolver: CallResolver | None = None
 
     def find_module(self, dotted: str) -> SourceModule | None:
         return self.by_module_name.get(dotted)
 
-    @classmethod
-    def load(cls, paths: Sequence[Path | str], root: Path | None = None) -> "Project":
-        """Collect and parse every ``.py`` file under ``paths``.
+    @property
+    def summaries(self) -> dict[str, ModuleSummary]:
+        """One :class:`ModuleSummary` per module, computed or cached."""
+        for module in self.modules:
+            if module.module_name not in self._summaries:
+                self._summaries[module.module_name] = summarize_module(
+                    module.tree,
+                    module.module_name,
+                    module.rel_path,
+                    module.is_init,
+                )
+        return self._summaries
 
-        Files that fail to parse are skipped here; the driver reports
-        them as PARSE findings instead of crashing the run.
+    def import_graph(self) -> ImportGraph:
+        if self._import_graph is None:
+            self._import_graph = ImportGraph.build(self.summaries)
+        return self._import_graph
+
+    def call_resolver(self) -> CallResolver:
+        if self._call_resolver is None:
+            self._call_resolver = CallResolver(self.summaries)
+        return self._call_resolver
+
+    # --------------------------------------------------- cache integration
+
+    def cached_findings(self, module: SourceModule, rule_id: str) -> list[Finding] | None:
+        """Replay one rule's findings for a cache-valid module, if stored."""
+        entry = self._cache_entries.get(module.rel_path)
+        if entry is None:
+            return None
+        payload = entry.get("findings", {}).get(rule_id)
+        if payload is None:
+            return None
+        return [Finding.from_dict(item) for item in payload]
+
+    def store_findings(
+        self, module: SourceModule, rule_id: str, findings: Sequence[Finding]
+    ) -> None:
+        entry = self._cache_entries.get(module.rel_path)
+        if self._cache is None or entry is None:
+            return
+        self._cache.record_findings(
+            entry, rule_id, [f.to_dict() for f in findings]
+        )
+
+    def save_cache(self) -> None:
+        if self._cache is not None:
+            self._cache.save()
+
+    # -------------------------------------------------------------- loading
+
+    @classmethod
+    def load(
+        cls,
+        paths: Sequence[Path | str],
+        root: Path | None = None,
+        cache: AnalysisCache | None = None,
+    ) -> "Project":
+        """Collect every ``.py`` file under ``paths``.
+
+        Files that fail to parse become PARSE findings in
+        ``parse_failures`` instead of crashing the run. With a cache,
+        unchanged files skip the parse entirely and replay their stored
+        summary; their ASTs are rebuilt lazily only if a rule asks.
         """
         resolved = [Path(p) for p in paths]
         if root is None:
             root = _common_root(resolved)
-        modules = []
+        modules: list[SourceModule] = []
+        failures: list[Finding] = []
+        summaries: dict[str, ModuleSummary] = {}
+        entries: dict[str, dict] = {}
         for source in sorted(_iter_sources(resolved)):
-            try:
-                modules.append(SourceModule.parse(source, root))
-            except SyntaxError:
+            rel = _relative(source, root)
+            entry = cache.lookup(source, rel) if cache is not None else None
+            if entry is not None:
+                error = entry.get("parse_error")
+                if error:
+                    failures.append(_parse_finding(rel, error))
+                    continue
+                module = SourceModule.load(source, root)
+                modules.append(module)
+                summary_payload = entry.get("summary")
+                if summary_payload is not None:
+                    summaries[module.module_name] = ModuleSummary.from_dict(
+                        summary_payload
+                    )
+                entries[rel] = entry
                 continue
-        return cls(root, modules)
+            try:
+                module = SourceModule.parse(source, root)
+            except SyntaxError as exc:
+                error = {
+                    "lineno": exc.lineno or 1,
+                    "offset": exc.offset or 0,
+                    "msg": exc.msg or "invalid syntax",
+                }
+                failures.append(_parse_finding(rel, error))
+                if cache is not None:
+                    cache.store(source, rel, parse_error=error)
+                continue
+            modules.append(module)
+            summary = summarize_module(
+                module.tree, module.module_name, rel, module.is_init
+            )
+            summaries[module.module_name] = summary
+            if cache is not None:
+                fresh = cache.store(source, rel, summary=summary.to_dict())
+                if fresh is not None:
+                    entries[rel] = fresh
+        project = cls(root, modules, failures, cache)
+        project._summaries.update(summaries)
+        project._cache_entries = entries
+        return project
+
+
+def _parse_finding(rel_path: str, error: dict) -> Finding:
+    return Finding(
+        path=rel_path,
+        line=int(error.get("lineno") or 1),
+        col=int(error.get("offset") or 0),
+        rule="PARSE",
+        message=f"syntax error: {error.get('msg')}",
+        severity=Severity.ERROR,
+    )
 
 
 def _common_root(paths: Sequence[Path]) -> Path:
@@ -209,6 +390,22 @@ class ProjectRule(Rule):
 
     def check_project(self, project: Project) -> Iterator[Finding]:  # pragma: no cover
         raise NotImplementedError
+
+    def project_finding(
+        self,
+        rel_path: str,
+        message: str,
+        lineno: int = 1,
+        col: int = 0,
+    ) -> Finding:
+        return Finding(
+            path=rel_path,
+            line=lineno,
+            col=col,
+            rule=self.id,
+            message=message,
+            severity=self.severity,
+        )
 
 
 RULE_REGISTRY: dict[str, Rule] = {}
@@ -267,51 +464,42 @@ def _is_suppressed(finding: Finding, module: SourceModule | None) -> bool:
 # ------------------------------------------------------------------ driver
 
 
-def analyze_project(
-    paths: Sequence[Path | str],
-    rules: Iterable[Rule] | None = None,
-    root: Path | None = None,
+def analyze(
+    project: Project, rules: Iterable[Rule] | None = None
 ) -> list[Finding]:
-    """Run the rule pack over ``paths`` and return sorted live findings.
+    """Run the rule pack over a loaded project; sorted live findings.
 
-    ``# repro: noqa`` suppressions are already applied; baseline
-    subtraction is the caller's concern (:mod:`repro.analysis.baseline`).
+    File-rule results replay from the project's cache for unchanged
+    modules; project rules always run (their inputs span files, but the
+    summaries they consume are themselves cache-served).
     """
     selected = tuple(rules) if rules is not None else all_rules()
-    project = Project.load(paths, root=root)
-    findings: list[Finding] = []
-    findings.extend(_parse_failures(paths, project))
+    findings: list[Finding] = list(project.parse_failures)
     for rule in selected:
         if isinstance(rule, FileRule):
             for module in project.modules:
-                findings.extend(rule.check(module))
+                cached = project.cached_findings(module, rule.id)
+                if cached is None:
+                    cached = list(rule.check(module))
+                    project.store_findings(module, rule.id, cached)
+                findings.extend(cached)
         elif isinstance(rule, ProjectRule):
             findings.extend(rule.check_project(project))
     by_path = {m.rel_path: m for m in project.modules}
     live = [f for f in findings if not _is_suppressed(f, by_path.get(f.path))]
+    project.save_cache()
     return sorted(live)
 
 
-def _parse_failures(
-    paths: Sequence[Path | str], project: Project
-) -> Iterator[Finding]:
-    """A PARSE finding for every file that failed to compile."""
-    parsed = {m.path.resolve() for m in project.modules}
-    for source in sorted(_iter_sources([Path(p) for p in paths])):
-        if source.resolve() in parsed:
-            continue
-        try:
-            rel = source.resolve().relative_to(project.root).as_posix()
-        except ValueError:
-            rel = source.as_posix()
-        try:
-            ast.parse(source.read_text(encoding="utf-8"), filename=str(source))
-        except SyntaxError as exc:
-            yield Finding(
-                path=rel,
-                line=exc.lineno or 1,
-                col=exc.offset or 0,
-                rule="PARSE",
-                message=f"syntax error: {exc.msg}",
-                severity=Severity.ERROR,
-            )
+def analyze_project(
+    paths: Sequence[Path | str],
+    rules: Iterable[Rule] | None = None,
+    root: Path | None = None,
+    cache: AnalysisCache | None = None,
+) -> list[Finding]:
+    """Load ``paths`` and run the rule pack; sorted live findings.
+
+    ``# repro: noqa`` suppressions are already applied; baseline
+    subtraction is the caller's concern (:mod:`repro.analysis.baseline`).
+    """
+    return analyze(Project.load(paths, root=root, cache=cache), rules)

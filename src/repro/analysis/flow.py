@@ -1,0 +1,109 @@
+"""Inter-procedural RNG-flow analysis: is seeded state forwarded?
+
+The file-scoped RNG rules (RNG001/002) police how generators are
+*constructed*; this module polices how they *travel*. The reproduction's
+determinism contract is that one master seed fans out through explicit
+``rng``/``seed`` parameters — so a function that holds seeded state and
+calls a callee that accepts such a parameter must pass it on. Dropping
+it silently re-seeds the downstream component from its own default,
+which is exactly the pipeline-wiring drift that breaks run-to-run
+reproducibility three calls deep where no per-file rule can see it.
+
+The analysis runs on :class:`~repro.analysis.graph.ModuleSummary` data:
+for every function whose scope holds an rng-ish name (a parameter, a
+local binding, or a closure over an enclosing function's parameter), it
+resolves each statically-resolvable call through
+:class:`~repro.analysis.graph.CallResolver` and checks whether any of
+the callee's rng-ish parameters receives a value — positionally, by
+keyword, or via ``*``/``**`` splats (splats are assumed to cover).
+
+Calls into :data:`EXEMPT_CALLEE_MODULES` never count: ``repro.config``
+is where seeded state is legitimately *created* (the blessed
+``rng = rng if rng is not None else rng_for(...)`` fallback), not a
+consumer that a generator should be threaded into.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+
+from repro.analysis.graph import (
+    CallResolver,
+    CallSite,
+    FunctionInfo,
+    ModuleSummary,
+)
+
+__all__ = ["RngFlowViolation", "iter_rng_flow_violations"]
+
+#: Modules whose callables create seeded state rather than consume it.
+EXEMPT_CALLEE_MODULES = frozenset({"repro.config"})
+
+
+@dataclass(frozen=True)
+class RngFlowViolation:
+    """One call site that drops seeded state on the floor."""
+
+    module: str
+    rel_path: str
+    lineno: int
+    col: int
+    caller: str  #: caller qualname within ``module``
+    held: tuple[str, ...]  #: rng-ish names in the caller's scope
+    callee_module: str
+    callee_qualname: str
+    dropped: tuple[str, ...]  #: callee rng-ish params left to default
+
+    @property
+    def callee_display(self) -> str:
+        """Human name of the callee; constructors show as ``Class()``."""
+        if self.callee_qualname.endswith(".__init__"):
+            return self.callee_qualname[: -len(".__init__")] + "()"
+        return self.callee_qualname + "()"
+
+
+def _covers(callee: FunctionInfo, site: CallSite, param: str) -> bool:
+    """Does the call site pass a value for the callee's ``param``?"""
+    if site.has_star_args:
+        return True  # splats are opaque; assume they thread the state
+    if param in site.keywords:
+        return True
+    position = callee.positional_index(param)
+    return position is not None and position < site.num_positional
+
+
+def iter_rng_flow_violations(
+    summaries: Mapping[str, ModuleSummary],
+) -> Iterator[RngFlowViolation]:
+    """Yield every dropped-rng call site, in deterministic order."""
+    resolver = CallResolver(summaries)
+    for module in sorted(summaries):
+        summary = summaries[module]
+        for qualname in sorted(summary.functions):
+            info = summary.functions[qualname]
+            if not info.rng_in_scope:
+                continue
+            for site in info.calls:
+                key = resolver.resolve(module, qualname, site)
+                if key is None or key[0] in EXEMPT_CALLEE_MODULES:
+                    continue
+                callee = resolver.function_info(key)
+                if callee is None:
+                    continue
+                rng_params = callee.rng_params()
+                if not rng_params:
+                    continue
+                if any(_covers(callee, site, p) for p in rng_params):
+                    continue
+                yield RngFlowViolation(
+                    module=module,
+                    rel_path=summary.rel_path,
+                    lineno=site.lineno,
+                    col=site.col,
+                    caller=qualname,
+                    held=info.rng_in_scope,
+                    callee_module=key[0],
+                    callee_qualname=key[1],
+                    dropped=rng_params,
+                )

@@ -1,0 +1,870 @@
+"""Whole-program graphs: module summaries, import graph, call graph.
+
+This module is the substrate for the cross-module rule packs (layering
+contracts, import cycles, RNG-flow tracking, dead-symbol detection). It
+deliberately works on *summaries* — small, JSON-serializable extracts of
+each module's AST — rather than on the trees themselves, so that a warm
+run can rebuild every graph from the analysis cache without re-parsing a
+single file (see :mod:`repro.analysis.cache`).
+
+Three layers:
+
+* :class:`ModuleSummary` / :func:`summarize_module` — one walk over a
+  parsed module collecting imports, top-level definitions, ``__all__``,
+  referenced names, and per-function call sites;
+* :class:`ImportGraph` — module-level dependency edges with
+  ``from pkg import submodule`` resolved to the submodule (the actual
+  dependency), strongly-connected-component cycle detection, and
+  DOT / JSON dumps at module or package granularity;
+* :class:`CallResolver` / :class:`CallGraph` — name-resolution-based
+  call edges: local functions, ``self.method``, imported symbols
+  (re-export chains are chased through package ``__init__`` modules),
+  and class constructors resolved to ``__init__``.
+
+:class:`LayeringContract` parses the declarative layer stack in
+``docs/ARCHITECTURE_CONTRACT`` that rule ARC001 checks import edges
+against.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "CallGraph",
+    "CallResolver",
+    "CallSite",
+    "ContractError",
+    "FunctionInfo",
+    "ImportEdge",
+    "ImportGraph",
+    "ImportRecord",
+    "LayeringContract",
+    "ModuleSummary",
+    "summarize_module",
+]
+
+#: Parameter names treated as carriers of seeded randomness. A function
+#: with one of these in its signature participates in RNG-flow tracking.
+RNG_PARAM_NAMES = ("rng", "seed")
+
+
+# ----------------------------------------------------------------- summaries
+
+
+@dataclass
+class ImportRecord:
+    """One ``import`` / ``from ... import`` statement, unresolved."""
+
+    module: str  #: dotted source module ("" for pure-relative imports)
+    names: tuple[str, ...]  #: imported names; ("*",) for star imports
+    level: int  #: relative-import level (0 = absolute)
+    lineno: int
+    col: int
+    top_level: bool  #: directly in the module body (not inside a def/if)
+    is_from: bool  #: ``from x import y`` rather than ``import x``
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "module": self.module,
+            "names": list(self.names),
+            "level": self.level,
+            "lineno": self.lineno,
+            "col": self.col,
+            "top_level": self.top_level,
+            "is_from": self.is_from,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ImportRecord":
+        return cls(
+            module=str(payload["module"]),
+            names=tuple(payload["names"]),  # type: ignore[arg-type]
+            level=int(payload["level"]),  # type: ignore[arg-type]
+            lineno=int(payload["lineno"]),  # type: ignore[arg-type]
+            col=int(payload["col"]),  # type: ignore[arg-type]
+            top_level=bool(payload["top_level"]),
+            is_from=bool(payload["is_from"]),
+        )
+
+
+@dataclass
+class CallSite:
+    """One resolvable call expression inside a function body.
+
+    ``callee`` is a shape-tagged tuple:
+
+    * ``("name", f)`` — a bare-name call ``f(...)``;
+    * ``("self", m)`` — a method call ``self.m(...)``;
+    * ``("attr", base, a)`` — an attribute call ``base.a(...)`` where
+      ``base`` is a plain name (typically a module alias).
+    """
+
+    callee: tuple[str, ...]
+    num_positional: int
+    keywords: tuple[str, ...]
+    has_star_args: bool  #: ``*args`` or ``**kwargs`` present at the call
+    lineno: int
+    col: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "callee": list(self.callee),
+            "num_positional": self.num_positional,
+            "keywords": list(self.keywords),
+            "has_star_args": self.has_star_args,
+            "lineno": self.lineno,
+            "col": self.col,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "CallSite":
+        return cls(
+            callee=tuple(payload["callee"]),  # type: ignore[arg-type]
+            num_positional=int(payload["num_positional"]),  # type: ignore[arg-type]
+            keywords=tuple(payload["keywords"]),  # type: ignore[arg-type]
+            has_star_args=bool(payload["has_star_args"]),
+            lineno=int(payload["lineno"]),  # type: ignore[arg-type]
+            col=int(payload["col"]),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class FunctionInfo:
+    """Signature and call sites of one function or method.
+
+    ``qualname`` is dotted within the module (``Class.method``,
+    ``outer.inner``). ``params`` keeps declaration order and includes
+    ``self``/``cls`` for methods; ``optional`` holds the subset of
+    parameter names that carry a default value.
+    """
+
+    qualname: str
+    params: tuple[str, ...]
+    kwonly: tuple[str, ...]
+    optional: tuple[str, ...]
+    is_method: bool
+    has_varargs: bool
+    has_kwargs: bool
+    lineno: int
+    calls: tuple[CallSite, ...] = ()
+    rng_in_scope: tuple[str, ...] = ()  #: rng-ish names visible in the body
+
+    def accepts(self) -> frozenset[str]:
+        names = frozenset(self.params) | frozenset(self.kwonly)
+        return names - frozenset(("self", "cls"))
+
+    def rng_params(self) -> tuple[str, ...]:
+        accepted = self.accepts()
+        return tuple(n for n in RNG_PARAM_NAMES if n in accepted)
+
+    def positional_index(self, name: str) -> int | None:
+        """Index of ``name`` among caller-visible positional slots."""
+        params = list(self.params)
+        if self.is_method and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        if name in params:
+            return params.index(name)
+        return None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "qualname": self.qualname,
+            "params": list(self.params),
+            "kwonly": list(self.kwonly),
+            "optional": list(self.optional),
+            "is_method": self.is_method,
+            "has_varargs": self.has_varargs,
+            "has_kwargs": self.has_kwargs,
+            "lineno": self.lineno,
+            "calls": [c.to_dict() for c in self.calls],
+            "rng_in_scope": list(self.rng_in_scope),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "FunctionInfo":
+        return cls(
+            qualname=str(payload["qualname"]),
+            params=tuple(payload["params"]),  # type: ignore[arg-type]
+            kwonly=tuple(payload["kwonly"]),  # type: ignore[arg-type]
+            optional=tuple(payload["optional"]),  # type: ignore[arg-type]
+            is_method=bool(payload["is_method"]),
+            has_varargs=bool(payload["has_varargs"]),
+            has_kwargs=bool(payload["has_kwargs"]),
+            lineno=int(payload["lineno"]),  # type: ignore[arg-type]
+            calls=tuple(
+                CallSite.from_dict(c) for c in payload["calls"]  # type: ignore[union-attr]
+            ),
+            rng_in_scope=tuple(payload.get("rng_in_scope", ())),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """The whole-program-relevant extract of one module."""
+
+    module: str
+    rel_path: str
+    is_init: bool
+    imports: tuple[ImportRecord, ...]
+    #: top-level def/class name -> {"kind", "lineno", "col", "decorated"}
+    symbols: dict[str, dict[str, object]]
+    exports: tuple[str, ...] | None  #: literal ``__all__``, if any
+    exports_lineno: int
+    #: every name the module mentions: Name loads/stores, attribute
+    #: accesses, and imported aliases — the currency of dead-symbol checks
+    refs: frozenset[str]
+    #: local alias -> (source module, symbol or None for module imports)
+    import_aliases: dict[str, tuple[str, str | None]]
+    functions: dict[str, FunctionInfo]
+    classes: frozenset[str]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "module": self.module,
+            "rel_path": self.rel_path,
+            "is_init": self.is_init,
+            "imports": [r.to_dict() for r in self.imports],
+            "symbols": self.symbols,
+            "exports": None if self.exports is None else list(self.exports),
+            "exports_lineno": self.exports_lineno,
+            "refs": sorted(self.refs),
+            "import_aliases": {
+                k: list(v) for k, v in sorted(self.import_aliases.items())
+            },
+            "functions": {
+                k: v.to_dict() for k, v in sorted(self.functions.items())
+            },
+            "classes": sorted(self.classes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ModuleSummary":
+        exports = payload["exports"]
+        return cls(
+            module=str(payload["module"]),
+            rel_path=str(payload["rel_path"]),
+            is_init=bool(payload["is_init"]),
+            imports=tuple(
+                ImportRecord.from_dict(r) for r in payload["imports"]  # type: ignore[union-attr]
+            ),
+            symbols=dict(payload["symbols"]),  # type: ignore[arg-type]
+            exports=None if exports is None else tuple(exports),  # type: ignore[arg-type]
+            exports_lineno=int(payload["exports_lineno"]),  # type: ignore[arg-type]
+            refs=frozenset(payload["refs"]),  # type: ignore[arg-type]
+            import_aliases={
+                k: (v[0], v[1])
+                for k, v in payload["import_aliases"].items()  # type: ignore[union-attr]
+            },
+            functions={
+                k: FunctionInfo.from_dict(v)
+                for k, v in payload["functions"].items()  # type: ignore[union-attr]
+            },
+            classes=frozenset(payload["classes"]),  # type: ignore[arg-type]
+        )
+
+
+def _literal_exports(tree: ast.Module) -> tuple[tuple[str, ...] | None, int]:
+    """A literal top-level ``__all__`` list, or None when absent/dynamic."""
+    for node in tree.body:
+        value = None
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            value = node.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == "__all__"
+        ):
+            value = node.value
+        if value is None:
+            continue
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return None, node.lineno
+        names = []
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                names.append(element.value)
+            else:
+                return None, node.lineno
+        return tuple(names), node.lineno
+    return None, 1
+
+
+def _call_site(node: ast.Call) -> CallSite | None:
+    """Extract a resolvable call shape, or None for dynamic callees."""
+    func = node.func
+    callee: tuple[str, ...] | None = None
+    if isinstance(func, ast.Name):
+        callee = ("name", func.id)
+    elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id == "self":
+            callee = ("self", func.attr)
+        else:
+            callee = ("attr", func.value.id, func.attr)
+    if callee is None:
+        return None
+    has_star = any(isinstance(a, ast.Starred) for a in node.args) or any(
+        kw.arg is None for kw in node.keywords
+    )
+    return CallSite(
+        callee=callee,
+        num_positional=sum(
+            1 for a in node.args if not isinstance(a, ast.Starred)
+        ),
+        keywords=tuple(kw.arg for kw in node.keywords if kw.arg is not None),
+        has_star_args=has_star,
+        lineno=node.lineno,
+        col=node.col_offset,
+    )
+
+
+def _function_info(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    qualname: str,
+    is_method: bool,
+    enclosing_rng: tuple[str, ...],
+) -> FunctionInfo:
+    args = node.args
+    params = tuple(a.arg for a in (*args.posonlyargs, *args.args))
+    kwonly = tuple(a.arg for a in args.kwonlyargs)
+    optional = set(params[len(params) - len(args.defaults):])
+    optional.update(
+        a.arg
+        for a, d in zip(args.kwonlyargs, args.kw_defaults)
+        if d is not None
+    )
+    own_rng = [
+        n for n in RNG_PARAM_NAMES if n in params or n in kwonly
+    ]
+    # Locals named like an rng carrier also put seeded state in scope
+    # (e.g. ``rng = rng_for("scope", seed)`` followed by helper calls).
+    local_rng = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            )
+            for target in targets:
+                for name in ast.walk(target):
+                    if isinstance(name, ast.Name) and name.id in RNG_PARAM_NAMES:
+                        local_rng.add(name.id)
+    in_scope = tuple(
+        n
+        for n in RNG_PARAM_NAMES
+        if n in own_rng or n in local_rng or n in enclosing_rng
+    )
+    calls = []
+    for sub in _walk_own_body(node):
+        if isinstance(sub, ast.Call):
+            site = _call_site(sub)
+            if site is not None:
+                calls.append(site)
+    return FunctionInfo(
+        qualname=qualname,
+        params=params,
+        kwonly=kwonly,
+        optional=tuple(sorted(optional)),
+        is_method=is_method,
+        has_varargs=args.vararg is not None,
+        has_kwargs=args.kwarg is not None,
+        lineno=node.lineno,
+        calls=tuple(calls),
+        rng_in_scope=in_scope,
+    )
+
+
+def _walk_own_body(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested functions."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def summarize_module(
+    tree: ast.Module, module: str, rel_path: str, is_init: bool
+) -> ModuleSummary:
+    """One pass over ``tree`` collecting everything the graphs need."""
+    imports: list[ImportRecord] = []
+    aliases: dict[str, tuple[str, str | None]] = {}
+    refs: set[str] = set()
+    top_level_ids = {id(n) for n in tree.body}
+    for node in tree.body:
+        if isinstance(node, (ast.If, ast.Try)):
+            # Guarded imports at module scope still execute at import time.
+            top_level_ids.update(id(sub) for sub in ast.walk(node))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports.append(
+                    ImportRecord(
+                        module=alias.name,
+                        names=(),
+                        level=0,
+                        lineno=node.lineno,
+                        col=node.col_offset,
+                        top_level=id(node) in top_level_ids,
+                        is_from=False,
+                    )
+                )
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name,
+                    None,
+                )
+        elif isinstance(node, ast.ImportFrom):
+            imports.append(
+                ImportRecord(
+                    module=node.module or "",
+                    names=tuple(a.name for a in node.names),
+                    level=node.level,
+                    lineno=node.lineno,
+                    col=node.col_offset,
+                    top_level=id(node) in top_level_ids,
+                    is_from=True,
+                )
+            )
+            for alias in node.names:
+                refs.add(alias.name)
+                if node.module and node.level == 0:
+                    aliases[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+        elif isinstance(node, ast.Name):
+            refs.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            refs.add(node.attr)
+
+    symbols: dict[str, dict[str, object]] = {}
+    classes: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            symbols[node.name] = {
+                "kind": "class" if isinstance(node, ast.ClassDef) else "function",
+                "lineno": node.lineno,
+                "col": node.col_offset,
+                "decorated": bool(node.decorator_list),
+            }
+            if isinstance(node, ast.ClassDef):
+                classes.add(node.name)
+
+    functions: dict[str, FunctionInfo] = {}
+
+    def collect(body: Sequence[ast.stmt], prefix: str, in_class: bool,
+                enclosing_rng: tuple[str, ...]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = prefix + node.name
+                info = _function_info(node, qual, in_class, enclosing_rng)
+                functions[qual] = info
+                collect(node.body, qual + ".", False, info.rng_in_scope)
+            elif isinstance(node, ast.ClassDef):
+                collect(node.body, prefix + node.name + ".", True, enclosing_rng)
+
+    collect(tree.body, "", False, ())
+
+    exports, exports_lineno = _literal_exports(tree)
+    return ModuleSummary(
+        module=module,
+        rel_path=rel_path,
+        is_init=is_init,
+        imports=tuple(imports),
+        symbols=symbols,
+        exports=exports,
+        exports_lineno=exports_lineno,
+        refs=frozenset(refs),
+        import_aliases=aliases,
+        functions=functions,
+        classes=frozenset(classes),
+    )
+
+
+# --------------------------------------------------------------- import graph
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One resolved module-level dependency."""
+
+    source: str
+    target: str
+    lineno: int
+    top_level: bool
+    internal: bool  #: target is among the analyzed modules
+
+
+def _resolve_relative(record: ImportRecord, module: str, is_init: bool) -> str:
+    """Absolute dotted target of a possibly-relative import record."""
+    if record.level == 0:
+        return record.module
+    parts = module.split(".")
+    # level 1 from a package __init__ means the package itself.
+    drop = record.level - 1 if is_init else record.level
+    if drop >= len(parts):
+        return record.module
+    base = parts[: len(parts) - drop]
+    return ".".join(base + ([record.module] if record.module else []))
+
+
+class ImportGraph:
+    """Module-level import dependencies across one analyzed project."""
+
+    def __init__(self, modules: Iterable[str], edges: Sequence[ImportEdge]):
+        self.modules = frozenset(modules)
+        self.edges = tuple(edges)
+
+    @classmethod
+    def build(cls, summaries: Mapping[str, ModuleSummary]) -> "ImportGraph":
+        modules = frozenset(summaries)
+        edges: dict[tuple[str, str, bool], ImportEdge] = {}
+
+        def add(source: str, target: str, lineno: int, top: bool) -> None:
+            if not target or target == source:
+                return
+            key = (source, target, top)
+            if key not in edges:
+                edges[key] = ImportEdge(
+                    source=source,
+                    target=target,
+                    lineno=lineno,
+                    top_level=top,
+                    internal=target in modules,
+                )
+
+        for name, summary in summaries.items():
+            for record in summary.imports:
+                base = _resolve_relative(record, name, summary.is_init)
+                if not record.is_from:
+                    add(name, base, record.lineno, record.top_level)
+                    continue
+                targeted_submodule = False
+                for imported in record.names:
+                    submodule = f"{base}.{imported}" if base else imported
+                    if submodule in modules:
+                        # ``from pkg import submodule`` depends on the
+                        # submodule, not on the package facade.
+                        add(name, submodule, record.lineno, record.top_level)
+                        targeted_submodule = True
+                if not targeted_submodule:
+                    add(name, base, record.lineno, record.top_level)
+        ordered = sorted(
+            edges.values(), key=lambda e: (e.source, e.target, not e.top_level)
+        )
+        return cls(modules, ordered)
+
+    def internal_edges(self, top_level_only: bool = False) -> list[ImportEdge]:
+        return [
+            e
+            for e in self.edges
+            if e.internal and (e.top_level or not top_level_only)
+        ]
+
+    def cycles(self) -> list[list[str]]:
+        """Import cycles (SCCs of size > 1) over top-level internal edges.
+
+        Function-scoped (lazy) imports are excluded: deferring an import
+        to call time is the sanctioned way to break a cycle.
+        """
+        adjacency: dict[str, list[str]] = {m: [] for m in sorted(self.modules)}
+        for edge in self.internal_edges(top_level_only=True):
+            adjacency[edge.source].append(edge.target)
+
+        # Iterative Tarjan: recursion depth is unbounded on deep chains.
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = [0]
+        sccs: list[list[str]] = []
+
+        for root in adjacency:
+            if root in index:
+                continue
+            work = [(root, iter(adjacency[root]))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in index:
+                        index[child] = low[child] = counter[0]
+                        counter[0] += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(adjacency[child])))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        sccs.append(sorted(component))
+        return sorted(sccs)
+
+    def _aggregated(self, level: str) -> tuple[list[str], list[tuple[str, str]]]:
+        if level not in ("module", "package"):
+            raise ValueError(f"unknown graph level {level!r}")
+
+        def group(module: str) -> str:
+            if level == "module":
+                return module
+            parts = module.split(".")
+            return ".".join(parts[:2]) if len(parts) > 1 else parts[0]
+
+        nodes = sorted({group(m) for m in self.modules})
+        pairs = sorted(
+            {
+                (group(e.source), group(e.target))
+                for e in self.edges
+                if e.internal and group(e.source) != group(e.target)
+            }
+        )
+        return nodes, pairs
+
+    def to_json(self, level: str = "module") -> str:
+        nodes, pairs = self._aggregated(level)
+        payload = {
+            "level": level,
+            "nodes": nodes,
+            "edges": [{"source": s, "target": t} for s, t in pairs],
+            "cycles": self.cycles() if level == "module" else [],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def to_dot(self, level: str = "module") -> str:
+        nodes, pairs = self._aggregated(level)
+        lines = [f"digraph repro_imports_{level} {{", "  rankdir=LR;"]
+        lines.extend(f'  "{node}";' for node in nodes)
+        lines.extend(f'  "{source}" -> "{target}";' for source, target in pairs)
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------- call graph
+
+
+class CallResolver:
+    """Resolve call sites to ``(module, qualname)`` function keys."""
+
+    #: Re-export chains are chased through at most this many hops.
+    MAX_HOPS = 8
+
+    def __init__(self, summaries: Mapping[str, ModuleSummary]):
+        self.summaries = summaries
+
+    def _chase(self, module: str, symbol: str) -> tuple[str, str] | None:
+        """Follow ``from a import b`` re-exports to the defining module."""
+        for _ in range(self.MAX_HOPS):
+            summary = self.summaries.get(module)
+            if summary is None:
+                return None
+            if symbol in summary.symbols or symbol in summary.functions:
+                return module, symbol
+            hop = summary.import_aliases.get(symbol)
+            if hop is None:
+                # ``from pkg import submodule`` style access.
+                if f"{module}.{symbol}" in self.summaries:
+                    return None  # a module, not a callable symbol
+                return None
+            next_module, next_symbol = hop
+            if next_symbol is None:
+                return None
+            module, symbol = next_module, next_symbol
+        return None
+
+    def _function_key(
+        self, module: str, symbol: str
+    ) -> tuple[str, str] | None:
+        """Map a defining-module symbol to a concrete FunctionInfo key."""
+        summary = self.summaries.get(module)
+        if summary is None:
+            return None
+        if symbol in summary.classes:
+            init = f"{symbol}.__init__"
+            return (module, init) if init in summary.functions else None
+        if symbol in summary.functions:
+            return (module, symbol)
+        return None
+
+    def resolve(
+        self, module: str, caller_qualname: str, site: CallSite
+    ) -> tuple[str, str] | None:
+        """The ``(module, qualname)`` a call site lands on, if static."""
+        summary = self.summaries.get(module)
+        if summary is None:
+            return None
+        shape = site.callee[0]
+        if shape == "name":
+            name = site.callee[1]
+            if name in summary.functions or name in summary.classes:
+                return self._function_key(module, name)
+            alias = summary.import_aliases.get(name)
+            if alias is not None and alias[1] is not None:
+                landed = self._chase(*alias)
+                if landed is not None:
+                    return self._function_key(*landed)
+            return None
+        if shape == "self":
+            if "." not in caller_qualname:
+                return None
+            class_prefix = caller_qualname.rsplit(".", 1)[0]
+            candidate = f"{class_prefix}.{site.callee[1]}"
+            if candidate in summary.functions:
+                return (module, candidate)
+            return None
+        if shape == "attr":
+            base, attr = site.callee[1], site.callee[2]
+            alias = summary.import_aliases.get(base)
+            if alias is None:
+                return None
+            target_module, symbol = alias
+            if symbol is not None:
+                # attribute access on an imported symbol — dynamic.
+                return None
+            landed = self._chase(target_module, attr)
+            if landed is not None:
+                return self._function_key(*landed)
+            return None
+        return None
+
+    def function_info(self, key: tuple[str, str]) -> FunctionInfo | None:
+        summary = self.summaries.get(key[0])
+        if summary is None:
+            return None
+        return summary.functions.get(key[1])
+
+
+class CallGraph:
+    """Resolved call edges: ``(module, qual) -> {(module, qual), ...}``."""
+
+    def __init__(self, edges: Mapping[tuple[str, str], frozenset[tuple[str, str]]]):
+        self.edges = dict(edges)
+
+    @classmethod
+    def build(cls, summaries: Mapping[str, ModuleSummary]) -> "CallGraph":
+        resolver = CallResolver(summaries)
+        edges: dict[tuple[str, str], set[tuple[str, str]]] = {}
+        for module, summary in summaries.items():
+            for qualname, info in summary.functions.items():
+                caller = (module, qualname)
+                for site in info.calls:
+                    callee = resolver.resolve(module, qualname, site)
+                    if callee is not None:
+                        edges.setdefault(caller, set()).add(callee)
+        return cls({k: frozenset(v) for k, v in edges.items()})
+
+    def callees(self, module: str, qualname: str) -> frozenset[tuple[str, str]]:
+        return self.edges.get((module, qualname), frozenset())
+
+
+# ----------------------------------------------------------- layering contract
+
+#: Contract filename searched for under ``docs/`` above the project root.
+CONTRACT_FILENAME = "ARCHITECTURE_CONTRACT"
+
+
+class ContractError(ValueError):
+    """Raised when the layering-contract file cannot be parsed."""
+
+
+@dataclass
+class LayeringContract:
+    """An ordered stack of layers, lowest (most foundational) first.
+
+    The contract file format is line-based::
+
+        # comments and blank lines are ignored
+        layer foundation: repro.config repro.exceptions
+        layer kernels: repro.ml repro.data
+
+    A module belongs to the layer of its *longest* matching package
+    prefix; modules matching no layer are unconstrained. A module may
+    import its own layer and every layer below it — importing a higher
+    layer is an inversion (rule ARC001).
+    """
+
+    layers: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    source: str = "<memory>"
+
+    @classmethod
+    def parse(cls, text: str, source: str = "<memory>") -> "LayeringContract":
+        layers: list[tuple[str, tuple[str, ...]]] = []
+        seen_packages: dict[str, str] = {}
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if not line.startswith("layer "):
+                raise ContractError(
+                    f"{source}:{lineno}: expected 'layer <name>: pkg ...', "
+                    f"got {raw.strip()!r}"
+                )
+            head, _, tail = line[len("layer "):].partition(":")
+            layer_name = head.strip()
+            packages = tuple(tail.split())
+            if not layer_name or not packages:
+                raise ContractError(
+                    f"{source}:{lineno}: layer needs a name and at least "
+                    "one package"
+                )
+            for package in packages:
+                if package in seen_packages:
+                    raise ContractError(
+                        f"{source}:{lineno}: package {package!r} already "
+                        f"assigned to layer {seen_packages[package]!r}"
+                    )
+                seen_packages[package] = layer_name
+            layers.append((layer_name, packages))
+        return cls(layers=tuple(layers), source=source)
+
+    @classmethod
+    def load(cls, path: Path) -> "LayeringContract":
+        return cls.parse(path.read_text(encoding="utf-8"), source=str(path))
+
+    @classmethod
+    def find(cls, root: Path) -> "LayeringContract | None":
+        """Locate ``docs/ARCHITECTURE_CONTRACT`` at or above ``root``."""
+        root = root.resolve()
+        for base in (root, *root.parents):
+            candidate = base / "docs" / CONTRACT_FILENAME
+            if candidate.is_file():
+                return cls.load(candidate)
+        return None
+
+    def layer_of(self, module: str) -> tuple[int, str] | None:
+        """(index, name) of the layer owning ``module``, longest prefix."""
+        best: tuple[int, int, str] | None = None  # (prefix_len, idx, name)
+        for idx, (layer_name, packages) in enumerate(self.layers):
+            for package in packages:
+                if module == package or module.startswith(package + "."):
+                    if best is None or len(package) > best[0]:
+                        best = (len(package), idx, layer_name)
+        if best is None:
+            return None
+        return best[1], best[2]

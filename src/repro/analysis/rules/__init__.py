@@ -7,11 +7,53 @@ To add a rule: subclass :class:`repro.analysis.FileRule` or
 """
 
 from repro.analysis.rules import (  # noqa: F401 - registration side effects
+    architecture,
+    deadcode,
     estimator,
     exports,
     generic,
     rng,
     search_space,
 )
+from repro.analysis.rules.architecture import ImportCycleRule, LayeringContractRule
+from repro.analysis.rules.deadcode import UnreachableExportRule, UnusedSymbolRule
+from repro.analysis.rules.estimator import FitReturnsSelfRule, PredictGuardRule
+from repro.analysis.rules.exports import MissingExportRule, UndefinedExportRule
+from repro.analysis.rules.generic import (
+    BareExceptRule,
+    BroadExceptRule,
+    MutableDefaultRule,
+    ShadowedBuiltinRule,
+)
+from repro.analysis.rules.rng import (
+    DroppedRngThreadingRule,
+    HardcodedGeneratorSeedRule,
+    LegacyGlobalRngRule,
+)
+from repro.analysis.rules.search_space import SearchSpaceConformanceRule
 
-__all__ = ["estimator", "exports", "generic", "rng", "search_space"]
+__all__ = [
+    "BareExceptRule",
+    "BroadExceptRule",
+    "DroppedRngThreadingRule",
+    "FitReturnsSelfRule",
+    "HardcodedGeneratorSeedRule",
+    "ImportCycleRule",
+    "LayeringContractRule",
+    "LegacyGlobalRngRule",
+    "MissingExportRule",
+    "MutableDefaultRule",
+    "PredictGuardRule",
+    "SearchSpaceConformanceRule",
+    "ShadowedBuiltinRule",
+    "UndefinedExportRule",
+    "UnreachableExportRule",
+    "UnusedSymbolRule",
+    "architecture",
+    "deadcode",
+    "estimator",
+    "exports",
+    "generic",
+    "rng",
+    "search_space",
+]

@@ -1,0 +1,109 @@
+"""Architecture rules: the layering contract and import-cycle bans.
+
+The paper's pipeline discipline (Tokenizer → Embedder → Combiner →
+AutoML backend) is encoded structurally as module layering — data
+generation below adapters, adapters below search, search below
+experiment drivers. The contract is data, not code: an ordered layer
+stack in ``docs/ARCHITECTURE_CONTRACT`` (located by searching upward
+from the analysis root), parsed by
+:class:`repro.analysis.graph.LayeringContract`. ARC001 checks every
+import edge against it; ARC002 bans top-level import cycles outright.
+Projects without a contract file simply skip ARC001 — the contract is
+opt-in per repository.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    ProjectRule,
+    Severity,
+    register_rule,
+)
+from repro.analysis.graph import ContractError, LayeringContract
+
+__all__ = ["LayeringContractRule", "ImportCycleRule"]
+
+
+@register_rule
+class LayeringContractRule(ProjectRule):
+    """ARC001 — a module may import only its own layer and layers below."""
+
+    id = "ARC001"
+    name = "layering-inversion"
+    severity = Severity.ERROR
+    description = (
+        "import edge points from a lower architectural layer to a higher "
+        "one, violating docs/ARCHITECTURE_CONTRACT"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        try:
+            contract = LayeringContract.find(project.root)
+        except ContractError as exc:
+            yield self.project_finding(
+                "docs/ARCHITECTURE_CONTRACT",
+                f"unparseable layering contract: {exc}",
+            )
+            return
+        if contract is None:
+            return
+        summaries = project.summaries
+        for edge in project.import_graph().edges:
+            source_layer = contract.layer_of(edge.source)
+            target_layer = contract.layer_of(edge.target)
+            if source_layer is None or target_layer is None:
+                continue
+            if target_layer[0] <= source_layer[0]:
+                continue
+            source_summary = summaries.get(edge.source)
+            rel_path = (
+                source_summary.rel_path if source_summary else edge.source
+            )
+            yield self.project_finding(
+                rel_path,
+                f"layering inversion: {edge.source} (layer "
+                f"'{source_layer[1]}') imports {edge.target} (layer "
+                f"'{target_layer[1]}'); a layer may only import itself "
+                "and layers below it",
+                lineno=edge.lineno,
+            )
+
+
+@register_rule
+class ImportCycleRule(ProjectRule):
+    """ARC002 — no top-level import cycles between analyzed modules.
+
+    Function-scoped (lazy) imports are the sanctioned escape hatch and
+    are excluded from the cycle search, so a flagged cycle is always
+    fixable by deferring one of its edges to call time.
+    """
+
+    id = "ARC002"
+    name = "import-cycle"
+    severity = Severity.ERROR
+    description = "modules form a top-level import cycle"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = project.import_graph()
+        summaries = project.summaries
+        for cycle in graph.cycles():
+            members = set(cycle)
+            anchor = cycle[0]
+            lineno = 1
+            for edge in graph.internal_edges(top_level_only=True):
+                if edge.source == anchor and edge.target in members:
+                    lineno = edge.lineno
+                    break
+            anchor_summary = summaries.get(anchor)
+            rel_path = anchor_summary.rel_path if anchor_summary else anchor
+            chain = " -> ".join((*cycle, cycle[0]))
+            yield self.project_finding(
+                rel_path,
+                f"import cycle: {chain}; break it by inverting a "
+                "dependency or deferring one import to call time",
+                lineno=lineno,
+            )

@@ -1,0 +1,138 @@
+"""Dead-symbol detection driven by the whole-program reference graphs.
+
+Dead code in a reproduction is not just clutter: an unreferenced
+``__all__`` export is a public-API promise nobody keeps, and an unused
+module-level function is usually the residue of a refactor that the
+per-file rules could never see. Both checks are name-based and
+deliberately conservative — any textual reference anywhere in the
+project (a ``Name`` load, an attribute access, an import alias) keeps a
+symbol alive, so dynamic dispatch and test-only callers never produce
+false removals as long as the name appears somewhere.
+
+DEAD001 (unused symbol) considers a top-level function or class a
+candidate only when the module's own ``__all__`` does not claim it (or,
+in modules without ``__all__``, when it is private) and no decorator is
+attached — decorators are registration points (``@register_rule``,
+pytest fixtures) whose callers are invisible to static analysis.
+
+DEAD002 (unreachable export) checks that each ``__all__`` entry of a
+non-``__init__`` module actually escapes: some other module references
+the name, or the parent package ``__init__`` re-exports it as part of
+the public facade. Package ``__init__`` modules themselves are exempt —
+they *are* the API boundary whose consumers live outside the analyzed
+tree.
+
+Both rules assume whole-program visibility; running them on a subset of
+the tree over-reports by construction (``--changed`` therefore runs
+file-scoped rules only).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    ProjectRule,
+    Severity,
+    register_rule,
+)
+from repro.analysis.graph import ModuleSummary
+
+__all__ = ["UnusedSymbolRule", "UnreachableExportRule"]
+
+
+def _dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+def _referencing_modules(
+    summaries: Mapping[str, ModuleSummary],
+) -> dict[str, set[str]]:
+    """name -> set of modules whose source references that name."""
+    owners: dict[str, set[str]] = {}
+    for module, summary in summaries.items():
+        for name in summary.refs:
+            owners.setdefault(name, set()).add(module)
+    return owners
+
+
+@register_rule
+class UnusedSymbolRule(ProjectRule):
+    """DEAD001 — module-level symbols nobody references anywhere."""
+
+    id = "DEAD001"
+    name = "unused-symbol"
+    severity = Severity.WARNING
+    description = (
+        "module-level function/class is neither exported via __all__ nor "
+        "referenced anywhere in the project"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        summaries = project.summaries
+        referencing = _referencing_modules(summaries)
+        for module in sorted(summaries):
+            summary = summaries[module]
+            for name in sorted(summary.symbols):
+                info = summary.symbols[name]
+                if info["decorated"] or _dunder(name):
+                    continue
+                if summary.exports is not None:
+                    if name in summary.exports:
+                        continue
+                elif not name.startswith("_"):
+                    # No __all__ means the whole public surface is
+                    # implicitly exported; only private names qualify.
+                    continue
+                if referencing.get(name):
+                    continue
+                yield self.project_finding(
+                    summary.rel_path,
+                    f"{info['kind']} '{name}' in {module} is never "
+                    "referenced anywhere in the project; delete it or "
+                    "export it via __all__",
+                    lineno=int(info["lineno"]),
+                    col=int(info["col"]),
+                )
+
+
+@register_rule
+class UnreachableExportRule(ProjectRule):
+    """DEAD002 — ``__all__`` entries that never escape their module."""
+
+    id = "DEAD002"
+    name = "unreachable-export"
+    severity = Severity.WARNING
+    description = (
+        "__all__ export of a non-package module is neither referenced by "
+        "another module nor re-exported by its parent package"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        summaries = project.summaries
+        referencing = _referencing_modules(summaries)
+        for module in sorted(summaries):
+            summary = summaries[module]
+            if summary.is_init or summary.exports is None:
+                continue
+            if any(part.startswith("_") for part in module.split(".")):
+                continue  # private modules have no public-API obligation
+            parent = module.rsplit(".", 1)[0] if "." in module else ""
+            parent_summary = summaries.get(parent)
+            parent_exports = (
+                parent_summary.exports or () if parent_summary else ()
+            )
+            for name in summary.exports:
+                if referencing.get(name, set()) - {module}:
+                    continue
+                if name in parent_exports:
+                    continue
+                yield self.project_finding(
+                    summary.rel_path,
+                    f"__all__ export '{name}' never escapes {module}: no "
+                    "other module references it and the parent package "
+                    "does not re-export it",
+                    lineno=summary.exports_lineno,
+                )

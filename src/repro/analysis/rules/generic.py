@@ -17,7 +17,12 @@ from repro.analysis.core import (
     register_rule,
 )
 
-__all__ = ["MutableDefaultRule", "BareExceptRule", "ShadowedBuiltinRule"]
+__all__ = [
+    "MutableDefaultRule",
+    "BareExceptRule",
+    "BroadExceptRule",
+    "ShadowedBuiltinRule",
+]
 
 _MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "Counter"})
 

@@ -15,12 +15,19 @@ from collections.abc import Iterator
 from repro.analysis.core import (
     Finding,
     FileRule,
+    Project,
+    ProjectRule,
     Severity,
     SourceModule,
     register_rule,
 )
+from repro.analysis.flow import iter_rng_flow_violations
 
-__all__ = ["LegacyGlobalRngRule", "HardcodedGeneratorSeedRule"]
+__all__ = [
+    "LegacyGlobalRngRule",
+    "HardcodedGeneratorSeedRule",
+    "DroppedRngThreadingRule",
+]
 
 #: Modules allowed to call ``np.random.default_rng`` directly: the scoped
 #: seed helper itself lives there.
@@ -133,3 +140,37 @@ class HardcodedGeneratorSeedRule(FileRule):
                     "seed, bypassing repro.config scoping; use "
                     "repro.config.rng_for(<scope parts>)",
                 )
+
+
+@register_rule
+class DroppedRngThreadingRule(ProjectRule):
+    """RNG010 — seeded state in scope must be forwarded to callees.
+
+    The inter-procedural generalization of RNG001/002: a function that
+    holds an ``rng``/``seed`` (as a parameter, a local binding, or a
+    closure) and calls a project-internal callee accepting such a
+    parameter must pass it on. Omitting it lets the callee fall back to
+    its own seeding, silently forking the reproduction's single seed
+    fan-out. Analysis details live in :mod:`repro.analysis.flow`.
+    """
+
+    id = "RNG010"
+    name = "dropped-rng-threading"
+    severity = Severity.ERROR
+    description = (
+        "a function holding rng/seed state calls a callee that accepts "
+        "one without forwarding it, silently re-seeding downstream"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for violation in iter_rng_flow_violations(project.summaries):
+            dropped = ", ".join(violation.dropped)
+            held = ", ".join(violation.held)
+            yield self.project_finding(
+                violation.rel_path,
+                f"{violation.caller} holds seeded state ({held}) but calls "
+                f"{violation.callee_display} without forwarding {dropped}; "
+                "the callee will fall back to its own seeding",
+                lineno=violation.lineno,
+                col=violation.col,
+            )

@@ -20,19 +20,34 @@ from repro.automl.autokeras_like import AutoKerasLike
 from repro.automl.autosklearn_like import AutoSklearnLike
 from repro.automl.base import AutoMLSystem, FitReport, LeaderboardEntry
 from repro.automl.h2o_like import H2OAutoMLLike
-from repro.automl.resources import SimulatedClock, TimeBudget
+from repro.automl.random_search import RandomSearchProposer
+from repro.automl.resources import SimulatedClock, TimeBudget, model_cost_hours
+from repro.automl.search_space import (
+    CategoricalDim,
+    ConfigSpace,
+    Dimension,
+    FloatDim,
+    IntDim,
+)
 
 __all__ = [
     "AutoGluonLike",
     "AutoKerasLike",
     "AutoMLSystem",
     "AutoSklearnLike",
+    "CategoricalDim",
+    "ConfigSpace",
+    "Dimension",
     "FitReport",
+    "FloatDim",
     "H2OAutoMLLike",
+    "IntDim",
     "LeaderboardEntry",
+    "RandomSearchProposer",
     "SimulatedClock",
     "TimeBudget",
     "make_automl",
+    "model_cost_hours",
     "AUTOML_NAMES",
 ]
 

@@ -19,7 +19,7 @@ import numpy as np
 from repro.config import rng_for
 from repro.data.schema import AttributeKind, EMDataset, PairRecord
 
-__all__ = ["make_dirty", "DEFAULT_MOVE_PROBABILITY"]
+__all__ = ["make_dirty"]
 
 #: Probability that any given non-anchor attribute value is displaced,
 #: matching the published procedure for the Magellan dirty variants.

@@ -178,10 +178,3 @@ class RetailProductGenerator(DomainGenerator):
         if rng.random() < 0.35:  # ... or categories named differently.
             right["category"] = str(rng.choice(wordlists.CATEGORIES))
         return left, right
-
-
-def price_as_text(value: float | None) -> str:
-    """Helper shared with tests: price rendering used in denormalized text."""
-    if value is None:
-        return ""
-    return format_price(float(value))

@@ -6,19 +6,30 @@ The benchmark suite under ``benchmarks/`` calls straight into these.
 """
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import collect_cached_results, write_report
 from repro.experiments.runner import ExperimentRunner
-from repro.experiments.table1 import run_table1
-from repro.experiments.table2 import run_table2
-from repro.experiments.table3 import run_table3
-from repro.experiments.table4 import run_table4
-from repro.experiments.table5 import run_table5
+from repro.experiments.table1 import run_table1, table1_rows
+from repro.experiments.table2 import run_table2, table2_rows
+from repro.experiments.table3 import run_table3, table3_rows
+from repro.experiments.table4 import average_deltas, run_table4, table4_rows
+from repro.experiments.table5 import run_table5, table5_rows
+from repro.experiments.tables import format_value
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentRunner",
+    "average_deltas",
+    "collect_cached_results",
+    "format_value",
     "run_table1",
     "run_table2",
     "run_table3",
     "run_table4",
     "run_table5",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows",
+    "table5_rows",
+    "write_report",
 ]

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 
-__all__ = ["collect_cached_results", "build_report"]
+__all__ = ["collect_cached_results", "build_report", "write_report"]
 
 
 def collect_cached_results(

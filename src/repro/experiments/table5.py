@@ -16,7 +16,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.tables import render_table
 
-__all__ = ["run_table5", "table5_rows", "BEST_TOKENIZER", "BEST_EMBEDDER"]
+__all__ = ["run_table5", "table5_rows"]
 
 #: The winning adapter configuration from Table 3 (paper Section 5.3).
 BEST_TOKENIZER = "hybrid"

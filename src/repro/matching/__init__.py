@@ -8,12 +8,15 @@
   a benchmark dataset's splits and reports the paper's metrics.
 """
 
+from repro.matching.active import ActiveLearningLoop, ActiveLearningRound
 from repro.matching.deepmatcher import DeepMatcherHybrid
 from repro.matching.evaluation import EvaluationResult, evaluate_matcher
 from repro.matching.magellan import MagellanMatcher
 from repro.matching.pipeline import EMPipeline
 
 __all__ = [
+    "ActiveLearningLoop",
+    "ActiveLearningRound",
     "DeepMatcherHybrid",
     "EMPipeline",
     "EvaluationResult",

@@ -10,6 +10,11 @@ AutoML layer composes them with.
 
 from repro.ml.base import Estimator, clone
 from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.calibration import (
+    IsotonicCalibrator,
+    PlattCalibrator,
+    expected_calibration_error,
+)
 from repro.ml.ensemble import (
     EnsembleSelectionClassifier,
     StackingClassifier,
@@ -22,18 +27,21 @@ from repro.ml.metrics import (
     confusion_matrix,
     f1_score,
     log_loss,
+    precision_recall_curve,
     precision_score,
     recall_score,
     roc_auc_score,
 )
 from repro.ml.model_selection import (
+    KFold,
     StratifiedKFold,
+    cross_val_f1,
     cross_val_predict_proba,
     train_test_split,
 )
 from repro.ml.naive_bayes import GaussianNaiveBayes
 from repro.ml.neighbors import KNeighborsClassifier
-from repro.ml.preprocessing import SimpleImputer, StandardScaler
+from repro.ml.preprocessing import MinMaxScaler, SimpleImputer, StandardScaler
 from repro.ml.tree import DecisionTreeClassifier
 
 __all__ = [
@@ -43,9 +51,13 @@ __all__ = [
     "ExtraTreesClassifier",
     "GaussianNaiveBayes",
     "GradientBoostingClassifier",
+    "IsotonicCalibrator",
+    "KFold",
     "KNeighborsClassifier",
     "LinearSVMClassifier",
     "LogisticRegression",
+    "MinMaxScaler",
+    "PlattCalibrator",
     "RandomForestClassifier",
     "SimpleImputer",
     "StackingClassifier",
@@ -55,9 +67,12 @@ __all__ = [
     "accuracy_score",
     "clone",
     "confusion_matrix",
+    "cross_val_f1",
     "cross_val_predict_proba",
+    "expected_calibration_error",
     "f1_score",
     "log_loss",
+    "precision_recall_curve",
     "precision_score",
     "recall_score",
     "roc_auc_score",

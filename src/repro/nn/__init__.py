@@ -8,10 +8,13 @@ are built from; ``optim`` the SGD/Adam optimizers for those.
 """
 
 from repro.nn.functional import gelu, layer_norm, relu, sigmoid, softmax
+from repro.nn.optim import SGD, Adam
 from repro.nn.transformer import EncoderConfig, TransformerEncoder
 
 __all__ = [
+    "Adam",
     "EncoderConfig",
+    "SGD",
     "TransformerEncoder",
     "gelu",
     "layer_norm",

@@ -99,7 +99,10 @@ class MLPClassifier:
                 optimizer.step(self._params, grads)
 
             if X_valid is not None and y_valid is not None and len(y_valid):
-                proba = self._forward(np.asarray(X_valid, dtype=np.float64))
+                # Validation pass: rng=None switches dropout off.
+                proba = self._forward(
+                    np.asarray(X_valid, dtype=np.float64), rng=None
+                )
                 eps = 1e-9
                 yv = np.asarray(y_valid, dtype=np.float64)
                 loss = float(

@@ -7,8 +7,10 @@ dataset generators and magellan-style feature builders, and a from-scratch
 Word2Vec used for the no-adapter AutoSklearn baseline of Section 5.1.
 """
 
+from repro.text.phonetic import metaphone, phonetic_equal, soundex
 from repro.text.similarity import (
     cosine_similarity,
+    dice,
     jaccard,
     jaro,
     jaro_winkler,
@@ -34,13 +36,17 @@ __all__ = [
     "Vocabulary",
     "Word2Vec",
     "cosine_similarity",
+    "dice",
     "jaccard",
     "jaro",
     "jaro_winkler",
     "levenshtein",
     "levenshtein_ratio",
+    "metaphone",
     "monge_elkan",
     "normalize_text",
     "overlap_coefficient",
+    "phonetic_equal",
+    "soundex",
     "token_sort_ratio",
 ]

@@ -31,7 +31,7 @@ from repro.nn.transformer import EncoderConfig, TransformerEncoder
 from repro.text.similarity import ngrams
 from repro.text.tokenization import BasicTokenizer
 
-__all__ = ["ArchitectureSpec", "PretrainedEncoder", "load_pretrained", "EMBEDDER_NAMES"]
+__all__ = ["PretrainedEncoder", "load_pretrained", "EMBEDDER_NAMES"]
 
 _HASH_BUCKETS = 8192
 

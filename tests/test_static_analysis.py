@@ -1,26 +1,31 @@
 """The repro.analysis engine: per-rule unit tests, suppression, baseline,
-reporters, CLI — and the tier-1 self-lint gate over ``src/``."""
+reporters, graphs, cache, CLI — and the tier-1 self-lint gate over ``src/``."""
 
 from __future__ import annotations
 
 import json
 import shutil
+import subprocess
 import textwrap
 from pathlib import Path
 
 import pytest
 
 from repro.analysis import (
+    AnalysisCache,
     Baseline,
+    ContractError,
+    LayeringContract,
     Severity,
     all_rules,
     analyze_project,
     apply_baseline,
+    iter_rng_flow_violations,
     render_json,
     render_text,
     suppressed_rules,
 )
-from repro.analysis.core import RULE_REGISTRY, SUPPRESS_ALL
+from repro.analysis.core import RULE_REGISTRY, SUPPRESS_ALL, Project
 from repro.cli import main as cli_main
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -40,6 +45,15 @@ def lint_snippet(tmp_path, code, rules=None, filename="mod.py"):
 
 def rule_ids(findings):
     return [f.rule for f in findings]
+
+
+def write_tree(root, files):
+    """Materialize a {relative_path: source} mapping under ``root``."""
+    for rel, code in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(code))
+    return root
 
 
 class TestRngRules:
@@ -527,6 +541,46 @@ class TestReporters:
         text = render_text(apply_baseline([], Baseline()))
         assert "clean" in text
 
+    def test_json_reporter_is_schema_shaped(self, tmp_path):
+        """The JSON payload exposes exactly the documented keys/types,
+        with findings in stable (path, line, col) order."""
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            rng = np.random.default_rng(0)
+            np.random.seed(1)
+            """,
+            rules=["RNG001", "RNG002"],
+        )
+        payload = json.loads(render_json(apply_baseline(findings, Baseline())))
+        assert set(payload) == {
+            "findings", "baselined", "stale_baseline_entries", "summary"
+        }
+        assert set(payload["summary"]) == {
+            "new", "baselined", "stale_baseline_entries",
+            "errors", "warnings",
+        }
+        assert all(
+            isinstance(value, int) for value in payload["summary"].values()
+        )
+        for section in ("findings", "baselined"):
+            for finding in payload[section]:
+                assert set(finding) == {
+                    "path", "line", "col", "rule", "severity", "message"
+                }
+                assert isinstance(finding["line"], int)
+                assert isinstance(finding["col"], int)
+                assert finding["severity"] in {"error", "warning"}
+                assert finding["rule"] and finding["message"]
+        for stale in payload["stale_baseline_entries"]:
+            assert set(stale) == {"rule", "path", "message"}
+        keys = [
+            (f["path"], f["line"], f["col"]) for f in payload["findings"]
+        ]
+        assert len(keys) == 2
+        assert keys == sorted(keys)
+
 
 class TestCliIntegration:
     def test_lint_clean_tree_exits_zero(self, tmp_path):
@@ -565,9 +619,25 @@ class TestCliIntegration:
             ["lint", str(tmp_path), "--baseline", str(baseline)]
         ) == 0
 
-    def test_nonexistent_path_rejected(self, tmp_path):
-        with pytest.raises(SystemExit, match="no such path"):
-            cli_main(["lint", str(tmp_path / "no_such_dir")])
+    def test_nonexistent_path_exits_two(self, tmp_path, capsys):
+        code = cli_main(["lint", str(tmp_path / "no_such_dir")])
+        assert code == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_empty_target_exits_two(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = cli_main(["lint", str(empty), "--no-cache"])
+        assert code == 2
+        assert "no python files" in capsys.readouterr().err
+
+    def test_exit_two_is_distinct_from_findings_exit(self, tmp_path):
+        """Usage errors (2) never collide with lint failures (1)."""
+        (tmp_path / "bad.py").write_text(
+            "import numpy as np\nnp.random.seed(1)\n"
+        )
+        assert cli_main(["lint", str(tmp_path), "--no-cache"]) == 1
+        assert cli_main(["lint", str(tmp_path / "gone")]) == 2
 
     def test_corrupt_baseline_rejected(self, tmp_path):
         (tmp_path / "ok.py").write_text("x = 1\n")
@@ -602,3 +672,669 @@ class TestSelfLintGate:
             e for e in baseline.entries if e["rule"].startswith("RNG")
         ]
         assert rng_entries == []
+
+
+class TestImportGraphs:
+    def _graph(self, tmp_path, files):
+        write_tree(tmp_path, files)
+        return Project.load([tmp_path]).import_graph()
+
+    def test_plain_and_from_imports_become_edges(self, tmp_path):
+        graph = self._graph(tmp_path, {
+            "src/repro/pkg/__init__.py": """
+                from repro.pkg.mod import helper
+
+                __all__ = ["helper"]
+                """,
+            "src/repro/pkg/mod.py": """
+                def helper():
+                    return 1
+                """,
+            "src/repro/use.py": """
+                import repro.pkg
+
+                X = repro.pkg.helper()
+                """,
+        })
+        edges = {(e.source, e.target) for e in graph.internal_edges()}
+        assert ("repro.pkg", "repro.pkg.mod") in edges
+        assert ("repro.use", "repro.pkg") in edges
+
+    def test_from_import_of_submodule_resolves_to_it(self, tmp_path):
+        """``from pkg import mod`` targets the submodule, not the package —
+        otherwise every facade import would look like a package cycle."""
+        graph = self._graph(tmp_path, {
+            "src/repro/pkg/__init__.py": "",
+            "src/repro/pkg/mod.py": "def f():\n    return 1\n",
+            "src/repro/use.py": """
+                from repro.pkg import mod
+
+                Y = mod.f()
+                """,
+        })
+        edges = {(e.source, e.target) for e in graph.internal_edges()}
+        assert ("repro.use", "repro.pkg.mod") in edges
+        assert ("repro.use", "repro.pkg") not in edges
+
+    def test_external_imports_are_not_internal_edges(self, tmp_path):
+        graph = self._graph(tmp_path, {
+            "src/repro/solo.py": "import numpy as np\nZ = np.zeros(1)\n",
+        })
+        assert graph.internal_edges() == []
+
+    def test_top_level_cycle_detected(self, tmp_path):
+        graph = self._graph(tmp_path, {
+            "src/repro/a.py": "import repro.b\n",
+            "src/repro/b.py": "import repro.a\n",
+        })
+        assert graph.cycles() == [["repro.a", "repro.b"]]
+
+    def test_lazy_import_breaks_the_cycle(self, tmp_path):
+        graph = self._graph(tmp_path, {
+            "src/repro/a.py": "import repro.b\n",
+            "src/repro/b.py": """
+                def late():
+                    import repro.a
+                    return repro.a
+                """,
+        })
+        assert graph.cycles() == []
+
+    def test_to_dot_is_valid_graphviz(self, tmp_path):
+        dot = self._graph(tmp_path, {
+            "src/repro/a.py": "import repro.b\n",
+            "src/repro/b.py": "x = 1\n",
+        }).to_dot()
+        lines = dot.splitlines()
+        assert lines[0] == "digraph repro_imports_module {"
+        assert lines[-1] == "}"
+        assert '  "repro.a" -> "repro.b";' in lines
+        assert dot.count("{") == dot.count("}") == 1
+
+    def test_to_json_shape(self, tmp_path):
+        payload = json.loads(self._graph(tmp_path, {
+            "src/repro/a.py": "import repro.b\n",
+            "src/repro/b.py": "x = 1\n",
+        }).to_json())
+        assert set(payload) == {"level", "nodes", "edges", "cycles"}
+        assert payload["level"] == "module"
+        assert payload["nodes"] == ["repro.a", "repro.b"]
+        assert payload["edges"] == [
+            {"source": "repro.a", "target": "repro.b"}
+        ]
+        assert payload["cycles"] == []
+
+    def test_package_level_aggregation(self, tmp_path):
+        payload = json.loads(self._graph(tmp_path, {
+            "src/repro/pkg/__init__.py": "",
+            "src/repro/pkg/inner.py": "import repro.other.mod\n",
+            "src/repro/other/__init__.py": "",
+            "src/repro/other/mod.py": "x = 1\n",
+        }).to_json(level="package"))
+        assert payload["nodes"] == ["repro.other", "repro.pkg"]
+        assert payload["edges"] == [
+            {"source": "repro.pkg", "target": "repro.other"}
+        ]
+
+    def test_module_summary_round_trips_through_json(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/m.py": """
+                import numpy as np
+                from repro.other import thing
+
+                __all__ = ["run"]
+
+                def run(data, rng=None):
+                    out = thing(data, rng=rng)
+                    return np.asarray(out)
+                """,
+        })
+        summary = Project.load([tmp_path]).summaries["repro.m"]
+        clone = type(summary).from_dict(
+            json.loads(json.dumps(summary.to_dict()))
+        )
+        assert clone == summary
+
+
+class TestLayeringContract:
+    def test_parse_and_longest_prefix_wins(self):
+        contract = LayeringContract.parse(
+            "# comment\n"
+            "layer low: repro.base\n"
+            "layer high: repro.base.special repro.top\n"
+        )
+        assert contract.layer_of("repro.base.mod") == (0, "low")
+        assert contract.layer_of("repro.base.special.mod") == (1, "high")
+        assert contract.layer_of("repro.top") == (1, "high")
+        assert contract.layer_of("unrelated.mod") is None
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ContractError, match="expected 'layer"):
+            LayeringContract.parse("stratum low: repro.base\n")
+
+    def test_duplicate_package_rejected(self):
+        with pytest.raises(ContractError, match="already assigned"):
+            LayeringContract.parse(
+                "layer a: repro.x\nlayer b: repro.x\n"
+            )
+
+    def test_find_walks_upward(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "ARCHITECTURE_CONTRACT").write_text(
+            "layer only: repro\n"
+        )
+        nested = tmp_path / "src" / "repro"
+        nested.mkdir(parents=True)
+        contract = LayeringContract.find(nested)
+        assert contract is not None
+        assert contract.layer_of("repro.mod") == (0, "only")
+        assert LayeringContract.find(Path("/nonexistent-root")) is None
+
+    def test_real_contract_covers_every_module(self):
+        """Every module under src/ must belong to some declared layer."""
+        contract = LayeringContract.find(REPO_ROOT)
+        assert contract is not None
+        for module in Project.load([SRC_ROOT]).summaries:
+            assert contract.layer_of(module) is not None, module
+
+
+class TestArchitectureRules:
+    CONTRACT = "layer low: repro.base\nlayer high: repro.top\n"
+
+    def _lint(self, tmp_path, files, rule):
+        write_tree(tmp_path, files)
+        return analyze_project([tmp_path], rules=[RULE_REGISTRY[rule]])
+
+    def test_layering_inversion_flagged(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": self.CONTRACT,
+            "src/repro/base.py": "import repro.top\n",
+            "src/repro/top.py": "x = 1\n",
+        }, "ARC001")
+        assert rule_ids(findings) == ["ARC001"]
+        assert "layering inversion" in findings[0].message
+        assert "repro.base" in findings[0].message
+        assert findings[0].severity is Severity.ERROR
+
+    def test_downward_import_conforms(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": self.CONTRACT,
+            "src/repro/base.py": "x = 1\n",
+            "src/repro/top.py": "import repro.base\n",
+        }, "ARC001")
+        assert findings == []
+
+    def test_missing_contract_skips_arc001(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "src/repro/base.py": "import repro.top\n",
+            "src/repro/top.py": "x = 1\n",
+        }, "ARC001")
+        assert findings == []
+
+    def test_unparseable_contract_is_a_finding(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": "not a layer line\n",
+            "src/repro/base.py": "x = 1\n",
+        }, "ARC001")
+        assert rule_ids(findings) == ["ARC001"]
+        assert "unparseable layering contract" in findings[0].message
+
+    def test_import_cycle_flagged_once_per_scc(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "src/repro/a.py": "import repro.b\n",
+            "src/repro/b.py": "import repro.a\n",
+        }, "ARC002")
+        assert rule_ids(findings) == ["ARC002"]
+        assert "repro.a -> repro.b -> repro.a" in findings[0].message
+
+    def test_lazy_import_cycle_not_flagged(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "src/repro/a.py": "import repro.b\n",
+            "src/repro/b.py": (
+                "def late():\n    import repro.a\n    return repro.a\n"
+            ),
+        }, "ARC002")
+        assert findings == []
+
+
+CONSUMER_MODULE = """
+def consume(data, rng=None):
+    return data
+"""
+
+
+class TestRngFlow:
+    def _violations(self, tmp_path, files):
+        write_tree(tmp_path, files)
+        return list(
+            iter_rng_flow_violations(Project.load([tmp_path]).summaries)
+        )
+
+    def test_dropped_rng_across_modules_flagged(self, tmp_path):
+        violations = self._violations(tmp_path, {
+            "src/repro/maker.py": CONSUMER_MODULE,
+            "src/repro/driver.py": """
+                from repro.maker import consume
+
+                def run(rng):
+                    return consume([1])
+                """,
+        })
+        (violation,) = violations
+        assert violation.caller == "run"
+        assert violation.callee_module == "repro.maker"
+        assert violation.callee_qualname == "consume"
+        assert violation.held == ("rng",)
+        assert violation.dropped == ("rng",)
+
+    def test_forwarded_rng_clean(self, tmp_path):
+        assert self._violations(tmp_path, {
+            "src/repro/maker.py": CONSUMER_MODULE,
+            "src/repro/driver.py": """
+                from repro.maker import consume
+
+                def run(rng):
+                    return consume([1], rng=rng)
+                """,
+        }) == []
+
+    def test_positional_forwarding_counts(self, tmp_path):
+        assert self._violations(tmp_path, {
+            "src/repro/maker.py": CONSUMER_MODULE,
+            "src/repro/driver.py": """
+                from repro.maker import consume
+
+                def run(rng):
+                    return consume([1], rng)
+                """,
+        }) == []
+
+    def test_explicit_rng_none_counts_as_a_decision(self, tmp_path):
+        assert self._violations(tmp_path, {
+            "src/repro/maker.py": CONSUMER_MODULE,
+            "src/repro/driver.py": """
+                from repro.maker import consume
+
+                def run(rng):
+                    return consume([1], rng=None)
+                """,
+        }) == []
+
+    def test_local_seeded_state_is_held(self, tmp_path):
+        violations = self._violations(tmp_path, {
+            "src/repro/maker.py": CONSUMER_MODULE,
+            "src/repro/driver.py": """
+                import numpy as np
+                from repro.maker import consume
+
+                def run(seed):
+                    rng = np.random.default_rng(seed)
+                    return consume([1])
+                """,
+        })
+        assert len(violations) == 1
+        assert set(violations[0].held) == {"rng", "seed"}
+
+    def test_self_method_call_resolved(self, tmp_path):
+        violations = self._violations(tmp_path, {
+            "src/repro/sampler.py": """
+                class Sampler:
+                    def draw(self, n, rng=None):
+                        return n
+
+                    def run(self, rng):
+                        return self.draw(3)
+                """,
+        })
+        (violation,) = violations
+        assert violation.caller == "Sampler.run"
+        assert violation.callee_qualname == "Sampler.draw"
+
+    def test_constructor_call_resolves_to_init(self, tmp_path):
+        violations = self._violations(tmp_path, {
+            "src/repro/maker.py": """
+                class Gen:
+                    def __init__(self, seed=0):
+                        self.seed = seed
+                """,
+            "src/repro/driver.py": """
+                from repro.maker import Gen
+
+                def build(seed):
+                    return Gen()
+                """,
+        })
+        (violation,) = violations
+        assert violation.callee_qualname == "Gen.__init__"
+        assert violation.callee_display == "Gen()"
+
+    def test_repro_config_callees_exempt(self, tmp_path):
+        assert self._violations(tmp_path, {
+            "src/repro/config.py": """
+                def rng_for(scope, seed=None):
+                    return (scope, seed)
+                """,
+            "src/repro/driver.py": """
+                from repro.config import rng_for
+
+                def run(seed):
+                    return rng_for("scope")
+                """,
+        }) == []
+
+    def test_rng010_fires_through_the_rule_pack(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/maker.py": CONSUMER_MODULE,
+            "src/repro/driver.py": """
+                from repro.maker import consume
+
+                def run(rng):
+                    return consume([1])
+                """,
+        })
+        findings = analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["RNG010"]]
+        )
+        assert rule_ids(findings) == ["RNG010"]
+        assert findings[0].severity is Severity.ERROR
+        assert "without forwarding" in findings[0].message
+
+
+class TestDeadCodeRules:
+    def _lint(self, tmp_path, files, rule):
+        write_tree(tmp_path, files)
+        return analyze_project([tmp_path], rules=[RULE_REGISTRY[rule]])
+
+    def test_unreferenced_private_function_flagged(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "src/repro/util.py": """
+                def _orphan():
+                    return 1
+
+                def public():
+                    return 2
+                """,
+        }, "DEAD001")
+        assert rule_ids(findings) == ["DEAD001"]
+        assert "'_orphan'" in findings[0].message
+
+    def test_unclaimed_public_symbol_flagged_with_all(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "src/repro/util.py": """
+                __all__ = ["keep"]
+
+                def keep():
+                    return 1
+
+                def gone():
+                    return 2
+                """,
+        }, "DEAD001")
+        assert rule_ids(findings) == ["DEAD001"]
+        assert "'gone'" in findings[0].message
+
+    def test_reference_from_any_module_keeps_alive(self, tmp_path):
+        assert self._lint(tmp_path, {
+            "src/repro/util.py": "def _helper():\n    return 1\n",
+            "src/repro/use.py": """
+                from repro.util import _helper
+
+                X = _helper()
+                """,
+        }, "DEAD001") == []
+
+    def test_decorated_symbols_exempt(self, tmp_path):
+        assert self._lint(tmp_path, {
+            "src/repro/util.py": """
+                import functools
+
+                @functools.cache
+                def _registered():
+                    return 1
+                """,
+        }, "DEAD001") == []
+
+    def test_unreachable_export_flagged(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "src/repro/pkg/__init__.py": """
+                from repro.pkg.mod import shared
+
+                __all__ = ["shared"]
+                """,
+            "src/repro/pkg/mod.py": """
+                __all__ = ["lonely", "shared"]
+
+                def lonely():
+                    return 1
+
+                def shared():
+                    return 2
+                """,
+        }, "DEAD002")
+        assert rule_ids(findings) == ["DEAD002"]
+        assert "'lonely'" in findings[0].message
+
+    def test_parent_reexport_makes_export_reachable(self, tmp_path):
+        assert self._lint(tmp_path, {
+            "src/repro/pkg/__init__.py": """
+                from repro.pkg.mod import shared
+
+                __all__ = ["shared"]
+                """,
+            "src/repro/pkg/mod.py": """
+                __all__ = ["shared"]
+
+                def shared():
+                    return 2
+                """,
+        }, "DEAD002") == []
+
+    def test_package_init_exports_exempt(self, tmp_path):
+        assert self._lint(tmp_path, {
+            "src/repro/pkg/__init__.py": """
+                __all__ = ["facade_only"]
+
+                def facade_only():
+                    return 1
+                """,
+        }, "DEAD002") == []
+
+    def test_private_module_exports_exempt(self, tmp_path):
+        assert self._lint(tmp_path, {
+            "src/repro/pkg/__init__.py": "",
+            "src/repro/pkg/_impl.py": """
+                __all__ = ["internal"]
+
+                def internal():
+                    return 1
+                """,
+        }, "DEAD002") == []
+
+
+class TestAnalysisCacheBehavior:
+    BAD = "import numpy as np\nnp.random.seed(1)\n"
+
+    def _run(self, src, cache_dir, rules=("RNG001",)):
+        cache = AnalysisCache(cache_dir)
+        findings = analyze_project(
+            [src],
+            rules=[RULE_REGISTRY[r] for r in rules],
+            cache=cache,
+        )
+        return findings, cache
+
+    def test_warm_run_replays_identical_findings(self, tmp_path):
+        src = write_tree(tmp_path / "proj", {"src/mod.py": self.BAD})
+        cache_dir = tmp_path / "cache"
+        cold, first = self._run(src, cache_dir)
+        assert first.misses > 0
+        assert (cache_dir / "analysis-cache.json").is_file()
+        warm, second = self._run(src, cache_dir)
+        assert second.hits == 1
+        assert second.misses == 0
+        assert [f.to_dict() for f in warm] == [f.to_dict() for f in cold]
+
+    def test_pure_hit_run_does_not_rewrite_cache(self, tmp_path):
+        src = write_tree(tmp_path / "proj", {"src/mod.py": self.BAD})
+        cache_dir = tmp_path / "cache"
+        self._run(src, cache_dir)
+        payload = (cache_dir / "analysis-cache.json").read_bytes()
+        _, second = self._run(src, cache_dir)
+        assert second.dirty is False
+        assert (cache_dir / "analysis-cache.json").read_bytes() == payload
+
+    def test_edited_file_invalidates_entry(self, tmp_path):
+        src = write_tree(tmp_path / "proj", {"src/mod.py": self.BAD})
+        cache_dir = tmp_path / "cache"
+        cold, _ = self._run(src, cache_dir)
+        assert len(cold) == 1
+        (src / "src" / "mod.py").write_text(
+            self.BAD + "np.random.seed(2)  # second offense\n"
+        )
+        warm, cache = self._run(src, cache_dir)
+        assert cache.misses == 1
+        assert len(warm) == 2
+
+    def test_corrupt_cache_degrades_to_cold_run(self, tmp_path):
+        src = write_tree(tmp_path / "proj", {"src/mod.py": self.BAD})
+        cache_dir = tmp_path / "cache"
+        self._run(src, cache_dir)
+        (cache_dir / "analysis-cache.json").write_text("{not json")
+        findings, cache = self._run(src, cache_dir)
+        assert cache.hits == 0
+        assert len(findings) == 1
+
+    def test_cached_summaries_rebuild_whole_program_rules(self, tmp_path):
+        """Project rules must see identical graphs from cache-served
+        summaries — no reparse, same findings."""
+        src = write_tree(tmp_path / "proj", {
+            "src/repro/a.py": "import repro.b\n",
+            "src/repro/b.py": "import repro.a\n",
+        })
+        cache_dir = tmp_path / "cache"
+        cold, _ = self._run(src, cache_dir, rules=("ARC002",))
+        warm, cache = self._run(src, cache_dir, rules=("ARC002",))
+        assert cache.hits == 2 and cache.misses == 0
+        assert [f.to_dict() for f in warm] == [f.to_dict() for f in cold]
+        assert rule_ids(warm) == ["ARC002"]
+
+
+GIT_ENV = ["git", "-c", "user.email=em@repro.test", "-c", "user.name=repro"]
+
+
+class TestChangedMode:
+    def _git(self, cwd, *argv):
+        proc = subprocess.run(
+            [*GIT_ENV, *argv], cwd=cwd, capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    def _repo(self, tmp_path):
+        self._git(tmp_path, "init", "-q")
+        (tmp_path / "committed.py").write_text(
+            "import numpy as np\nnp.random.seed(1)\n"
+        )
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-qm", "seed")
+        return tmp_path
+
+    def test_untouched_findings_out_of_scope(self, tmp_path, monkeypatch,
+                                             capsys):
+        """A committed, unchanged offender is invisible to --changed but
+        still caught by a full run."""
+        repo = self._repo(tmp_path)
+        monkeypatch.chdir(repo)
+        assert cli_main(["lint", ".", "--changed", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert cli_main(["lint", ".", "--no-cache"]) == 1
+        assert "RNG001" in capsys.readouterr().out
+
+    def test_changed_file_is_linted(self, tmp_path, monkeypatch, capsys):
+        repo = self._repo(tmp_path)
+        (repo / "fresh.py").write_text(
+            "import numpy as np\nnp.random.seed(2)\n"
+        )
+        monkeypatch.chdir(repo)
+        assert cli_main(["lint", ".", "--changed", "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+        assert "committed.py" not in out
+
+    def test_changed_scopes_to_requested_paths(self, tmp_path, monkeypatch,
+                                               capsys):
+        repo = self._repo(tmp_path)
+        write_tree(repo, {
+            "inside/bad.py": "import numpy as np\nnp.random.seed(3)\n",
+            "outside/bad.py": "import numpy as np\nnp.random.seed(4)\n",
+        })
+        monkeypatch.chdir(repo)
+        assert cli_main(["lint", "inside", "--changed", "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "inside" in out and "outside" not in out
+
+    def test_changed_update_baseline_rejected(self, tmp_path, monkeypatch,
+                                              capsys):
+        repo = self._repo(tmp_path)
+        monkeypatch.chdir(repo)
+        code = cli_main(
+            ["lint", ".", "--changed", "--update-baseline", "--no-cache"]
+        )
+        assert code == 2
+        assert "cannot update the baseline" in capsys.readouterr().err
+
+    def test_outside_git_falls_back_to_full_run(self, tmp_path, monkeypatch,
+                                                capsys):
+        (tmp_path / "bad.py").write_text(
+            "import numpy as np\nnp.random.seed(1)\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", ".", "--changed", "--no-cache"]) == 1
+        assert "RNG001" in capsys.readouterr().out
+
+
+class TestGraphCli:
+    FILES = {
+        "src/repro/a.py": "import repro.b\n",
+        "src/repro/b.py": "x = 1\n",
+    }
+
+    def test_graph_dot_emits_valid_graphviz(self, tmp_path, capsys):
+        write_tree(tmp_path, self.FILES)
+        code = cli_main(["lint", str(tmp_path), "--graph", "dot",
+                         "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph repro_imports_module {")
+        assert '"repro.a" -> "repro.b";' in out
+        assert out.rstrip().endswith("}")
+
+    def test_graph_json_parses(self, tmp_path, capsys):
+        write_tree(tmp_path, self.FILES)
+        code = cli_main(["lint", str(tmp_path), "--graph", "json",
+                         "--no-cache"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["edges"] == [
+            {"source": "repro.a", "target": "repro.b"}
+        ]
+
+    def test_graph_package_level(self, tmp_path, capsys):
+        write_tree(tmp_path, {
+            "src/repro/pkg/__init__.py": "",
+            "src/repro/pkg/inner.py": "import repro.other.mod\n",
+            "src/repro/other/__init__.py": "",
+            "src/repro/other/mod.py": "x = 1\n",
+        })
+        code = cli_main(["lint", str(tmp_path), "--graph", "json",
+                         "--graph-level", "package", "--no-cache"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["level"] == "package"
+        assert payload["nodes"] == ["repro.other", "repro.pkg"]
+
+    def test_committed_dot_diagram_is_current(self, capsys):
+        """docs/import_graph.dot must match the graph the code produces."""
+        committed = (REPO_ROOT / "docs" / "import_graph.dot").read_text()
+        graph = Project.load([SRC_ROOT]).import_graph()
+        assert committed == graph.to_dot(level="package")
