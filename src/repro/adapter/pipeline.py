@@ -17,6 +17,7 @@ import numpy as np
 import os
 from pathlib import Path
 
+from repro import telemetry
 from repro.adapter.combiner import Combiner, MeanCombiner, make_combiner
 from repro.adapter.embedder import TransformerEmbedder
 from repro.adapter.tokenizer import PairTokenizer, make_tokenizer
@@ -104,48 +105,81 @@ class EMAdapter:
         """
         from repro.config import stable_hash
 
-        # The pair-id fingerprint keeps two different same-length subsets
-        # of one dataset (e.g. active-learning rounds) from colliding.
-        fingerprint = stable_hash(tuple(p.pair_id for p in dataset))
-        key = (
-            dataset.name,
-            len(dataset),
-            dataset.dataset_type,
-            fingerprint,
-            self.name,
-        )
-        if self.cache and key in _CACHE:
-            return _CACHE[key]
-        disk_dir = _disk_cache_dir() if self.cache else None
-        disk_path = None
-        if disk_dir is not None:
-            from repro.config import DATA_VERSION
+        with telemetry.span(
+            "adapter.transform",
+            adapter=self.name,
+            dataset=dataset.name,
+            pairs=len(dataset),
+        ) as root:
+            # The pair-id fingerprint keeps two different same-length
+            # subsets of one dataset (e.g. active-learning rounds) from
+            # colliding.
+            fingerprint = stable_hash(tuple(p.pair_id for p in dataset))
+            key = (
+                dataset.name,
+                len(dataset),
+                dataset.dataset_type,
+                fingerprint,
+                self.name,
+            )
+            if self.cache and key in _CACHE:
+                telemetry.counter("adapter.cache.memory.hits").inc()
+                root.set(cache="memory")
+                return _CACHE[key]
+            if self.cache:
+                telemetry.counter("adapter.cache.memory.misses").inc()
+            disk_dir = _disk_cache_dir() if self.cache else None
+            disk_path = None
+            if disk_dir is not None:
+                from repro.config import DATA_VERSION
 
-            file_name = (
-                f"v{DATA_VERSION}_" + "_".join(str(p) for p in key)
-            ).replace("/", "-") + ".npy"
-            disk_path = disk_dir / file_name
-            if disk_path.exists():
-                try:
-                    features = np.load(disk_path)
-                except (OSError, ValueError):
-                    features = None  # Half-written by a concurrent worker.
-                if features is not None:
-                    _CACHE[key] = features
-                    return features
+                file_name = (
+                    f"v{DATA_VERSION}_" + "_".join(str(p) for p in key)
+                ).replace("/", "-") + ".npy"
+                disk_path = disk_dir / file_name
+                if disk_path.exists():
+                    try:
+                        features = np.load(disk_path)
+                    except (OSError, ValueError):
+                        features = None  # Half-written by a concurrent worker.
+                    if features is not None:
+                        telemetry.counter("adapter.cache.disk.hits").inc()
+                        root.set(cache="disk")
+                        _CACHE[key] = features
+                        return features
+                telemetry.counter("adapter.cache.disk.misses").inc()
 
-        n_sequences = self.tokenizer.sequence_count(dataset.schema)
-        # Embed position-by-position so each batch holds sequences of
-        # similar length (position i sequences share structure).
-        per_position: list[np.ndarray] = []
-        for position in range(n_sequences):
-            couples = [
-                self.tokenizer.sequences(pair, dataset.schema)[position]
-                for pair in dataset
-            ]
-            per_position.append(self.embedder.embed_pairs(couples))
-        features = self.combiner.combine_dataset(per_position)
+            n_sequences = self.tokenizer.sequence_count(dataset.schema)
+            # Tokenize every position up front, then embed
+            # position-by-position so each batch holds sequences of
+            # similar length (position i sequences share structure).
+            with telemetry.span(
+                "adapter.tokenize",
+                tokenizer=self.tokenizer.name,
+                positions=n_sequences,
+            ):
+                couples_by_position = [
+                    [
+                        self.tokenizer.sequences(pair, dataset.schema)[position]
+                        for pair in dataset
+                    ]
+                    for position in range(n_sequences)
+                ]
+            per_position: list[np.ndarray] = []
+            for position, couples in enumerate(couples_by_position):
+                with telemetry.span(
+                    "adapter.embed",
+                    embedder=self.embedder.name,
+                    position=position,
+                    sequences=len(couples),
+                ):
+                    per_position.append(self.embedder.embed_pairs(couples))
+            with telemetry.span("adapter.combine", combiner=self.combiner.name):
+                features = self.combiner.combine_dataset(per_position)
+            return self._store_cache(key, disk_path, features)
 
+    def _store_cache(self, key: tuple, disk_path, features: np.ndarray) -> np.ndarray:
+        """Memoize a freshly computed matrix (memory, then disk)."""
         if self.cache:
             _CACHE[key] = features
             if disk_path is not None:

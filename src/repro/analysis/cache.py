@@ -21,6 +21,8 @@ import os
 import tempfile
 from pathlib import Path
 
+from repro import telemetry
+
 __all__ = ["AnalysisCache", "DEFAULT_CACHE_DIR"]
 
 #: Default cache directory, resolved against the current directory.
@@ -97,8 +99,10 @@ class AnalysisCache:
                     entry = None
         if entry is None:
             self.misses += 1
+            telemetry.counter("analysis.cache.misses").inc()
             return None
         self.hits += 1
+        telemetry.counter("analysis.cache.hits").inc()
         return entry
 
     # ------------------------------------------------------------- storing

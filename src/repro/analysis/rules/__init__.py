@@ -12,6 +12,7 @@ from repro.analysis.rules import (  # noqa: F401 - registration side effects
     estimator,
     exports,
     generic,
+    observability,
     rng,
     search_space,
 )
@@ -25,6 +26,7 @@ from repro.analysis.rules.generic import (
     MutableDefaultRule,
     ShadowedBuiltinRule,
 )
+from repro.analysis.rules.observability import PrintInLibraryCodeRule
 from repro.analysis.rules.rng import (
     DroppedRngThreadingRule,
     HardcodedGeneratorSeedRule,
@@ -44,6 +46,7 @@ __all__ = [
     "MissingExportRule",
     "MutableDefaultRule",
     "PredictGuardRule",
+    "PrintInLibraryCodeRule",
     "SearchSpaceConformanceRule",
     "ShadowedBuiltinRule",
     "UndefinedExportRule",
@@ -54,6 +57,7 @@ __all__ = [
     "estimator",
     "exports",
     "generic",
+    "observability",
     "rng",
     "search_space",
 ]

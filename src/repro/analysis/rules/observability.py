@@ -1,0 +1,89 @@
+"""Observability discipline: library code must not ``print``.
+
+Since ``repro.telemetry`` exists, ad-hoc ``print`` debugging in library
+modules is a lint error: it bypasses the span/metric/event substrate
+(so the information never reaches traces), and it corrupts the stdout
+of machine-readable commands like ``repro-em lint --format json`` or
+``--telemetry json``.
+
+Sanctioned printers are exempt by construction:
+
+* CLI driver modules (``cli`` / ``__main__``) — stdout *is* their API;
+* reporter modules (``reporter`` / ``report``) — rendering human-facing
+  text is their whole job;
+* statements under an ``if __name__ == "__main__":`` guard — script
+  entry points, not library paths.
+
+Anything else should go through :mod:`repro.telemetry` (or become a
+returned string the caller can route), or carry an explicit
+``# repro: noqa[OBS001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    FileRule,
+    Severity,
+    SourceModule,
+    register_rule,
+)
+
+__all__ = ["PrintInLibraryCodeRule"]
+
+#: Final module-name components whose stdout is their public interface.
+_EXEMPT_MODULE_NAMES = frozenset({"cli", "__main__", "reporter", "report"})
+
+
+def _is_main_guard(node: ast.stmt) -> bool:
+    """``if __name__ == "__main__":`` (either comparison order)."""
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return False
+    if not isinstance(test.ops[0], ast.Eq):
+        return False
+    operands = [test.left, *test.comparators]
+    names = [o.id for o in operands if isinstance(o, ast.Name)]
+    values = [o.value for o in operands if isinstance(o, ast.Constant)]
+    return "__name__" in names and "__main__" in values
+
+
+@register_rule
+class PrintInLibraryCodeRule(FileRule):
+    """OBS001 — ``print()`` outside CLI/reporter modules and main guards."""
+
+    id = "OBS001"
+    name = "print-in-library-code"
+    severity = Severity.ERROR
+    description = (
+        "bare print() in library code; emit a telemetry span/metric/event "
+        "or return the text to the caller instead"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.module_name.rsplit(".", 1)[-1] in _EXEMPT_MODULE_NAMES:
+            return
+        guarded: set[int] = set()
+        for statement in module.tree.body:
+            if _is_main_guard(statement):
+                guarded.update(
+                    id(node) for node in ast.walk(statement)
+                )
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+                and id(node) not in guarded
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "print() call in library code; route it through "
+                    "repro.telemetry or a reporter module",
+                )

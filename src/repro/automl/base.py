@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.automl.resources import SimulatedClock, TimeBudget
+from repro import telemetry
+from repro.automl.resources import SimulatedClock, TimeBudget, model_cost_hours
 from repro.automl.search_space import Configuration
 from repro.exceptions import BudgetExhaustedError, NotFittedError
 from repro.ml.metrics import best_f1_threshold, f1_score
@@ -119,18 +120,33 @@ class AutoMLSystem(abc.ABC):
         self._leaderboard: list[LeaderboardEntry] = []
         self._rng = np.random.default_rng(self.seed)
 
-        try:
-            self._search(X, y, X_valid, y_valid, clock)
-        except BudgetExhaustedError:
-            pass
-        if not self._leaderboard:
-            raise BudgetExhaustedError(
-                f"{self.name}: budget too small to evaluate any configuration"
-            )
+        with telemetry.span(
+            "automl.fit",
+            system=self.name,
+            budget_hours=self.budget_hours,
+            rows=len(X),
+            features=int(X.shape[1]),
+        ) as fit_span:
+            with telemetry.span("automl.search", system=self.name):
+                try:
+                    self._search(X, y, X_valid, y_valid, clock)
+                except BudgetExhaustedError:
+                    pass
+            if not self._leaderboard:
+                raise BudgetExhaustedError(
+                    f"{self.name}: budget too small to evaluate any "
+                    "configuration"
+                )
 
-        self._build_final(X, y, X_valid, y_valid, clock)
-        proba = self._ensemble_proba(X_valid)
-        self._threshold, best_f1 = best_f1_threshold(y_valid, proba)
+            with telemetry.span("automl.ensemble", system=self.name):
+                self._build_final(X, y, X_valid, y_valid, clock)
+                proba = self._ensemble_proba(X_valid)
+                self._threshold, best_f1 = best_f1_threshold(y_valid, proba)
+            fit_span.set(
+                n_evaluated=len(self._leaderboard),
+                simulated_hours=clock.elapsed_hours,
+                best_valid_f1=best_f1,
+            )
         self.report_ = FitReport(
             system=self.name,
             n_evaluated=len(self._leaderboard),
@@ -177,25 +193,65 @@ class AutoMLSystem(abc.ABC):
         y_valid: np.ndarray,
         clock: SimulatedClock,
     ) -> LeaderboardEntry:
-        """Train one candidate, charge the clock, record on leaderboard."""
+        """Train one candidate, charge the clock, record on leaderboard.
+
+        Every candidate the search proposes — trained or turned away —
+        lands in the telemetry trial ledger, so an exported trace
+        accounts for the entire budget spend of a fit.
+        """
         if len(self._leaderboard) >= self.max_models:
+            telemetry.trial(
+                system=self.name,
+                family=config.family,
+                config=str(config),
+                hours=0.0,
+                valid_f1=None,
+                accepted=False,
+                reason="max-models",
+            )
             raise BudgetExhaustedError(f"{self.name}: max_models reached")
-        hours = clock.charge_model(
-            config.family,
-            len(X),
-            X.shape[1],
-            complexity=config.complexity(),
-            label=str(config),
-            # The first model always trains, even past the budget — no
-            # real AutoML system returns nothing.
-            force=not self._leaderboard,
-        )
+        try:
+            hours = clock.charge_model(
+                config.family,
+                len(X),
+                X.shape[1],
+                complexity=config.complexity(),
+                label=str(config),
+                # The first model always trains, even past the budget — no
+                # real AutoML system returns nothing.
+                force=not self._leaderboard,
+            )
+        except BudgetExhaustedError:
+            telemetry.trial(
+                system=self.name,
+                family=config.family,
+                config=str(config),
+                hours=model_cost_hours(
+                    config.family,
+                    len(X),
+                    X.shape[1],
+                    complexity=config.complexity(),
+                ),
+                valid_f1=None,
+                accepted=False,
+                reason="budget-exhausted",
+            )
+            raise
         model = config.build(seed=int(self._rng.integers(0, 2**31 - 1)))
         model.fit(X, y)
         proba = model.predict_proba(X_valid)[:, 1]
         score = f1_score(y_valid, (proba >= 0.5).astype(np.int64))
         entry = LeaderboardEntry(config, model, score, proba, hours)
         self._leaderboard.append(entry)
+        telemetry.counter("automl.candidates").inc()
+        telemetry.trial(
+            system=self.name,
+            family=config.family,
+            config=str(config),
+            hours=hours,
+            valid_f1=score,
+            accepted=True,
+        )
         return entry
 
     # ----------------------------------------------------- to be provided

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.exceptions import BudgetExhaustedError
 
 __all__ = ["SimulatedClock", "TimeBudget", "model_cost_hours"]
@@ -114,6 +115,7 @@ class SimulatedClock:
         if hours < 0:
             raise ValueError(f"cannot charge negative time: {hours}")
         if not force and not self.can_afford(hours):
+            telemetry.counter("automl.budget.rejections").inc()
             raise BudgetExhaustedError(
                 f"budget of {self.budget.hours:.2f}h exhausted "
                 f"({self.elapsed_hours:.2f}h used, {hours:.3f}h requested"
@@ -122,6 +124,12 @@ class SimulatedClock:
             )
         self.elapsed_hours += hours
         self.charges.append((label, hours))
+        # Mirror the ledger into telemetry: each accepted charge is one
+        # observation of the budget histogram, so a trace's histogram sum
+        # equals the clock's elapsed_hours.
+        telemetry.histogram(
+            "automl.budget.charge_hours", telemetry.BUDGET_HOURS_BUCKETS
+        ).observe(hours)
 
     def charge_model(
         self,

@@ -5,7 +5,14 @@ Subcommands::
     repro-em table <1|2|3|4|5> [--scale S] [--datasets A,B] Render a table
     repro-em datasets                                       List benchmarks
     repro-em match --dataset S-DA [--automl autosklearn]    Run one pipeline
+    repro-em trace --dataset S-DA                           Trace one pipeline
+    repro-em trace --validate trace.jsonl                   Check a trace file
     repro-em lint [paths] [--format json] [--baseline F]    Static analysis
+
+``table``, ``match``, and ``trace`` accept ``--telemetry off|text|json``
+(plus ``--trace-file PATH`` for ``json``): the run is recorded by
+:mod:`repro.telemetry` and exported as a text report or a JSON-lines
+trace conforming to ``docs/trace_schema.json``.
 
 Experiment results are cached under ``.repro_cache/`` (see
 ``repro.experiments.config``), so repeated invocations are incremental.
@@ -34,6 +41,43 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="comma-separated dataset subset (default: all twelve)",
     )
+
+
+def _add_telemetry(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        choices=("off", "text", "json"),
+        default="off",
+        help="record the run with repro.telemetry and report it as a "
+        "text trace or JSON lines (default: off)",
+    )
+    parser.add_argument(
+        "--trace-file",
+        type=str,
+        default=None,
+        help="with --telemetry json: write the trace here instead of stdout",
+    )
+
+
+def _run_with_telemetry(args: argparse.Namespace, run) -> int:
+    """Execute ``run()`` under the requested telemetry mode and report."""
+    mode = getattr(args, "telemetry", "off")
+    if mode == "off":
+        return run()
+    from repro import telemetry
+    from repro.telemetry import render_text, snapshot, write_jsonl
+
+    with telemetry.recording() as recorder:
+        code = run()
+    trace = snapshot(recorder)
+    if mode == "text":
+        print(render_text(trace))
+    else:
+        target = args.trace_file if args.trace_file else sys.stdout
+        write_jsonl(trace, target)
+        if args.trace_file:
+            print(f"trace written to {args.trace_file}")
+    return code
 
 
 def _config(args: argparse.Namespace):
@@ -65,17 +109,21 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
     config = _config(args)
     datasets = _datasets(args)
-    if args.number == 1:
-        print(run_table1(scale=config.scale, generate=args.generate))
-    elif args.number == 2:
-        print(run_table2(config, datasets))
-    elif args.number == 3:
-        print(run_table3(config, datasets=datasets))
-    elif args.number == 4:
-        print(run_table4(config, datasets=datasets))
-    else:
-        print(run_table5(config, datasets=datasets))
-    return 0
+
+    def run() -> int:
+        if args.number == 1:
+            print(run_table1(scale=config.scale, generate=args.generate))
+        elif args.number == 2:
+            print(run_table2(config, datasets))
+        elif args.number == 3:
+            print(run_table3(config, datasets=datasets))
+        elif args.number == 4:
+            print(run_table4(config, datasets=datasets))
+        else:
+            print(run_table5(config, datasets=datasets))
+        return 0
+
+    return _run_with_telemetry(args, run)
 
 
 def _cmd_datasets(_args: argparse.Namespace) -> int:
@@ -97,15 +145,77 @@ def _cmd_match(args: argparse.Namespace) -> int:
     from repro.matching import EMPipeline, evaluate_matcher
 
     config = _config(args)
-    splits = split_dataset(load_dataset(args.dataset, scale=config.scale))
-    pipeline = EMPipeline(
-        automl=args.automl,
-        budget_hours=args.budget,
-        seed=config.seed,
-        max_models=config.max_models,
-    )
-    result = evaluate_matcher(pipeline, splits, system_name=args.automl)
-    print(result)
+
+    def run() -> int:
+        splits = split_dataset(load_dataset(args.dataset, scale=config.scale))
+        pipeline = EMPipeline(
+            automl=args.automl,
+            budget_hours=args.budget,
+            seed=config.seed,
+            max_models=config.max_models,
+        )
+        result = evaluate_matcher(pipeline, splits, system_name=args.automl)
+        print(result)
+        return 0
+
+    return _run_with_telemetry(args, run)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """One traced pipeline run — or validation/rendering of a trace file."""
+    if args.validate is not None:
+        from repro.telemetry import validate_trace
+
+        errors = validate_trace(args.validate)
+        if errors:
+            for error in errors:
+                print(error, file=sys.stderr)
+            print(
+                f"{args.validate}: INVALID ({len(errors)} error(s))",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.validate}: valid trace")
+        return 0
+
+    if args.load is not None:
+        from repro.telemetry import read_jsonl, render_text
+
+        print(render_text(read_jsonl(args.load)))
+        return 0
+
+    if args.dataset is None:
+        print("error: trace needs --dataset (or --validate/--load FILE)",
+              file=sys.stderr)
+        return 2
+
+    from repro import telemetry
+    from repro.adapter import EMAdapter
+    from repro.data import load_dataset, split_dataset
+    from repro.matching import EMPipeline, evaluate_matcher
+    from repro.telemetry import render_text, snapshot, write_jsonl
+
+    config = _config(args)
+    with telemetry.recording() as recorder:
+        splits = split_dataset(load_dataset(args.dataset, scale=config.scale))
+        pipeline = EMPipeline(
+            adapter=EMAdapter(args.tokenizer, args.embedder, "mean"),
+            automl=args.automl,
+            budget_hours=args.budget,
+            seed=config.seed,
+            max_models=config.max_models,
+        )
+        result = evaluate_matcher(
+            pipeline,
+            splits,
+            system_name=f"{args.automl}+{args.tokenizer}+{args.embedder}",
+        )
+    trace = snapshot(recorder)
+    print(render_text(trace))
+    print(f"\n{result}")
+    if args.json is not None:
+        write_jsonl(trace, args.json)
+        print(f"trace written to {args.json}")
     return 0
 
 
@@ -131,6 +241,7 @@ def main(argv: list[str] | None = None) -> int:
         help="table 1 only: measure generated data instead of the registry",
     )
     _add_scale(p_table)
+    _add_telemetry(p_table)
     p_table.set_defaults(func=_cmd_table)
 
     p_list = sub.add_parser("datasets", help="list the benchmark datasets")
@@ -150,7 +261,43 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_match.add_argument("--budget", type=float, default=1.0)
     _add_scale(p_match)
+    _add_telemetry(p_match)
     p_match.set_defaults(func=_cmd_match)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one EM pipeline with telemetry on and print the span "
+        "tree, per-stage rollups, and the AutoML trial ledger",
+    )
+    p_trace.add_argument("--dataset", choices=DATASET_NAMES, default=None)
+    p_trace.add_argument(
+        "--automl", default="autosklearn",
+        choices=("autosklearn", "autogluon", "h2o"),
+    )
+    p_trace.add_argument(
+        "--tokenizer", default="hybrid",
+        choices=("unstructured", "attr", "hybrid"),
+    )
+    p_trace.add_argument(
+        "--embedder", default="albert",
+        choices=("bert", "dbert", "albert", "roberta", "xlnet"),
+    )
+    p_trace.add_argument("--budget", type=float, default=1.0)
+    p_trace.add_argument(
+        "--json", type=str, default=None,
+        help="also write the trace as JSON lines to this file",
+    )
+    p_trace.add_argument(
+        "--validate", type=str, default=None, metavar="FILE",
+        help="validate an existing JSONL trace against "
+        "docs/trace_schema.json and exit",
+    )
+    p_trace.add_argument(
+        "--load", type=str, default=None, metavar="FILE",
+        help="render an existing JSONL trace as text and exit",
+    )
+    _add_scale(p_trace)
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_lint = sub.add_parser(
         "lint", help="run the repro.analysis static-analysis rule pack"

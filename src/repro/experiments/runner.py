@@ -11,8 +11,12 @@ benchmark after an interruption resumes instead of recomputing.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import time
 from pathlib import Path
 
+from repro import telemetry
 from repro.adapter import (
     EMAdapter,
     NativeTabularFeaturizer,
@@ -42,8 +46,11 @@ class ExperimentRunner:
     def splits(self, dataset_name: str) -> DatasetSplits:
         """The 60-20-20 splits of a benchmark dataset at config scale."""
         if dataset_name not in self._splits:
-            dataset = load_dataset(dataset_name, scale=self.config.scale)
-            self._splits[dataset_name] = split_dataset(dataset)
+            with telemetry.span(
+                "runner.load_splits", dataset=dataset_name, scale=self.config.scale
+            ):
+                dataset = load_dataset(dataset_name, scale=self.config.scale)
+                self._splits[dataset_name] = split_dataset(dataset)
         return self._splits[dataset_name]
 
     # -------------------------------------------------------------- cache
@@ -57,6 +64,7 @@ class ExperimentRunner:
 
     def _cached(self, key: str) -> dict | None:
         if key in self._results:
+            telemetry.counter("runner.cache.memory.hits").inc()
             return self._results[key]
         path = self._cache_path(key)
         if path is not None and path.exists():
@@ -64,9 +72,13 @@ class ExperimentRunner:
                 with path.open() as handle:
                     record = json.load(handle)
             except (json.JSONDecodeError, OSError):
-                return None  # Half-written by a concurrent worker.
+                # Half-written by a concurrent worker.
+                telemetry.counter("runner.cache.misses").inc()
+                return None
+            telemetry.counter("runner.cache.disk.hits").inc()
             self._results[key] = record
             return record
+        telemetry.counter("runner.cache.misses").inc()
         return None
 
     def _store(self, key: str, record: dict) -> None:
@@ -75,16 +87,20 @@ class ExperimentRunner:
         if path is not None:
             # Atomic write: concurrent workers may compute the same key
             # (deterministically identical), and a rename never exposes a
-            # half-written file to a concurrent reader.
-            import os
-            import tempfile
-
+            # half-written file to a concurrent reader. The temp file is
+            # unlinked on any failure (e.g. a non-serializable record or
+            # a full disk) instead of leaking into the cache directory;
+            # after a successful rename the unlink is a no-op.
             fd, tmp_name = tempfile.mkstemp(
                 dir=path.parent, suffix=".tmp", prefix=path.stem
             )
-            with os.fdopen(fd, "w") as handle:
-                json.dump(record, handle, indent=1)
-            os.replace(tmp_name, path)
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(record, handle, indent=1)
+                os.replace(tmp_name, path)
+            finally:
+                if os.path.exists(tmp_name):
+                    os.unlink(tmp_name)
 
     @staticmethod
     def _to_result(record: dict) -> EvaluationResult:
@@ -105,38 +121,47 @@ class ExperimentRunner:
         if cached is not None:
             return self._to_result(cached)
 
-        splits = self.splits(dataset_name)
-        if system == "autosklearn":
-            featurizer = Word2VecFeaturizer(seed=self.config.seed)
-        else:
-            featurizer = NativeTabularFeaturizer()
-        featurizer.fit(splits.train)
-        X_train = featurizer.transform(splits.train)
-        X_valid = featurizer.transform(splits.valid)
-        X_test = featurizer.transform(splits.test)
-
-        automl = make_automl(
-            system,
-            budget_hours=budget_hours,
-            seed=self.config.seed,
-            max_models=self.config.max_models,
-        )
-        import time
-
-        start = time.perf_counter()
-        automl.fit(X_train, splits.train.labels, X_valid, splits.valid.labels)
-        wall = time.perf_counter() - start
-        predictions = automl.predict(X_test)
-        labels = splits.test.labels
-        result = EvaluationResult(
-            system=f"{system}(raw)",
+        with telemetry.span(
+            "runner.run_raw",
+            system=system,
             dataset=dataset_name,
-            f1=100.0 * f1_score(labels, predictions),
-            precision=100.0 * precision_score(labels, predictions),
-            recall=100.0 * recall_score(labels, predictions),
-            simulated_hours=automl.report_.simulated_hours,
-            wall_seconds=wall,
-        )
+            budget=budget_tag,
+        ):
+            splits = self.splits(dataset_name)
+            if system == "autosklearn":
+                featurizer = Word2VecFeaturizer(seed=self.config.seed)
+            else:
+                featurizer = NativeTabularFeaturizer()
+            with telemetry.span(
+                "runner.featurize", featurizer=type(featurizer).__name__
+            ):
+                featurizer.fit(splits.train)
+                X_train = featurizer.transform(splits.train)
+                X_valid = featurizer.transform(splits.valid)
+                X_test = featurizer.transform(splits.test)
+
+            automl = make_automl(
+                system,
+                budget_hours=budget_hours,
+                seed=self.config.seed,
+                max_models=self.config.max_models,
+            )
+            start = time.perf_counter()
+            automl.fit(
+                X_train, splits.train.labels, X_valid, splits.valid.labels
+            )
+            wall = time.perf_counter() - start
+            predictions = automl.predict(X_test)
+            labels = splits.test.labels
+            result = EvaluationResult(
+                system=f"{system}(raw)",
+                dataset=dataset_name,
+                f1=100.0 * f1_score(labels, predictions),
+                precision=100.0 * precision_score(labels, predictions),
+                recall=100.0 * recall_score(labels, predictions),
+                simulated_hours=automl.report_.simulated_hours,
+                wall_seconds=wall,
+            )
         self._store(key, result.__dict__)
         return result
 
@@ -159,17 +184,25 @@ class ExperimentRunner:
         if cached is not None:
             return self._to_result(cached)
 
-        splits = self.splits(dataset_name)
-        pipeline = EMPipeline(
-            adapter=EMAdapter(tokenizer, embedder, "mean"),
-            automl=system,
-            budget_hours=budget_hours,
-            seed=self.config.seed,
-            max_models=self.config.max_models,
-        )
-        result = evaluate_matcher(
-            pipeline, splits, system_name=f"{system}+{tokenizer}+{embedder}"
-        )
+        with telemetry.span(
+            "runner.run_adapted",
+            system=system,
+            dataset=dataset_name,
+            tokenizer=tokenizer,
+            embedder=embedder,
+            budget=budget_tag,
+        ):
+            splits = self.splits(dataset_name)
+            pipeline = EMPipeline(
+                adapter=EMAdapter(tokenizer, embedder, "mean"),
+                automl=system,
+                budget_hours=budget_hours,
+                seed=self.config.seed,
+                max_models=self.config.max_models,
+            )
+            result = evaluate_matcher(
+                pipeline, splits, system_name=f"{system}+{tokenizer}+{embedder}"
+            )
         self._store(key, result.__dict__)
         return result
 
@@ -181,8 +214,11 @@ class ExperimentRunner:
         cached = self._cached(key)
         if cached is not None:
             return self._to_result(cached)
-        splits = self.splits(dataset_name)
-        matcher = DeepMatcherHybrid(seed=self.config.seed)
-        result = evaluate_matcher(matcher, splits, system_name="deepmatcher")
+        with telemetry.span("runner.run_deepmatcher", dataset=dataset_name):
+            splits = self.splits(dataset_name)
+            matcher = DeepMatcherHybrid(seed=self.config.seed)
+            result = evaluate_matcher(
+                matcher, splits, system_name="deepmatcher"
+            )
         self._store(key, result.__dict__)
         return result

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.data.splits import DatasetSplits
 from repro.ml.metrics import f1_score, precision_score, recall_score
 
@@ -45,15 +46,23 @@ def evaluate_matcher(matcher, splits: DatasetSplits, system_name: str | None = N
     both :class:`~repro.matching.pipeline.EMPipeline` and
     :class:`~repro.matching.deepmatcher.DeepMatcherHybrid` qualify.
     """
-    matcher.fit(splits.train, splits.valid)
-    predictions = matcher.predict(splits.test)
-    labels = splits.test.labels
-    return EvaluationResult(
-        system=system_name or getattr(matcher, "name", type(matcher).__name__),
+    system = system_name or getattr(matcher, "name", type(matcher).__name__)
+    with telemetry.span(
+        "evaluate",
+        system=system,
         dataset=splits.test.name.split("/")[0],
-        f1=100.0 * f1_score(labels, predictions),
-        precision=100.0 * precision_score(labels, predictions),
-        recall=100.0 * recall_score(labels, predictions),
-        simulated_hours=float(getattr(matcher, "simulated_hours_", 0.0)),
-        wall_seconds=float(getattr(matcher, "wall_seconds_", 0.0)),
-    )
+    ) as root:
+        matcher.fit(splits.train, splits.valid)
+        predictions = matcher.predict(splits.test)
+        labels = splits.test.labels
+        result = EvaluationResult(
+            system=system,
+            dataset=splits.test.name.split("/")[0],
+            f1=100.0 * f1_score(labels, predictions),
+            precision=100.0 * precision_score(labels, predictions),
+            recall=100.0 * recall_score(labels, predictions),
+            simulated_hours=float(getattr(matcher, "simulated_hours_", 0.0)),
+            wall_seconds=float(getattr(matcher, "wall_seconds_", 0.0)),
+        )
+        root.set(f1=result.f1, simulated_hours=result.simulated_hours)
+        return result

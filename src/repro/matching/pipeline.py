@@ -21,6 +21,7 @@ import time
 
 import numpy as np
 
+from repro import telemetry
 from repro.adapter import EMAdapter
 from repro.automl import AutoMLSystem, make_automl
 from repro.data.schema import EMDataset
@@ -68,9 +69,15 @@ class EMPipeline:
     def fit(self, train: EMDataset, valid: EMDataset) -> "EMPipeline":
         """Encode the splits with the adapter and run the AutoML search."""
         start = time.perf_counter()
-        X_train = self.adapter.transform(train)
-        X_valid = self.adapter.transform(valid)
-        self.automl.fit(X_train, train.labels, X_valid, valid.labels)
+        with telemetry.span(
+            "pipeline.fit",
+            adapter=self.adapter.name,
+            automl=self.automl.name,
+            dataset=train.name,
+        ):
+            X_train = self.adapter.transform(train)
+            X_valid = self.adapter.transform(valid)
+            self.automl.fit(X_train, train.labels, X_valid, valid.labels)
         self.wall_seconds_ = time.perf_counter() - start
         return self
 
@@ -87,7 +94,8 @@ class EMPipeline:
     def predict(self, dataset: EMDataset) -> np.ndarray:
         """Match labels at the AutoML's validation-tuned threshold."""
         self._check_fitted()
-        return self.automl.predict(self.adapter.transform(dataset))
+        with telemetry.span("pipeline.predict", dataset=dataset.name):
+            return self.automl.predict(self.adapter.transform(dataset))
 
     def score(self, dataset: EMDataset) -> float:
         """Test F1 (fraction in [0, 1]; the paper reports it x100)."""

@@ -1,0 +1,143 @@
+"""Observability for the EM reproduction: ``repro.telemetry``.
+
+A stdlib-only instrumentation substrate with three signal kinds:
+
+* **spans** — hierarchical wall-time intervals (:func:`span` context
+  manager, :func:`traced` decorator) forming the trace tree of a run:
+  adapter tokenize/embed/combine stages, AutoML fits, experiment-runner
+  cells;
+* **metrics** — named counters, gauges, and fixed-bucket histograms:
+  cache hits/misses at every cache layer, candidate-model counts,
+  simulated-budget charges;
+* **events** — the AutoML search-trial ledger (:func:`trial`): every
+  candidate the search considered with family, hyper-params, simulated
+  hours, validation F1, and accepted/rejected.
+
+Telemetry is **off by default** and free when off: each entry point
+checks the active recorder once and returns a shared no-op. Turn it on
+around any workload::
+
+    from repro import telemetry
+    from repro.telemetry import render_text, snapshot
+
+    with telemetry.recording() as rec:
+        pipeline.fit(splits.train, splits.valid)
+    print(render_text(snapshot(rec)))
+
+or from the CLI: ``repro-em trace --dataset S-DA`` /
+``repro-em table 2 --telemetry json``. Traces export as JSON lines
+validated by ``docs/trace_schema.json``. See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.telemetry.events import Event, TrialEvent
+from repro.telemetry.export import (
+    read_jsonl,
+    render_text,
+    snapshot,
+    write_jsonl,
+)
+from repro.telemetry.metrics import (
+    BUDGET_HOURS_BUCKETS,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.metrics import NULL_INSTRUMENT as _NULL_INSTRUMENT
+from repro.telemetry.recorder import (
+    TelemetryRecorder,
+    active,
+    disable,
+    enable,
+    recording,
+)
+from repro.telemetry.schema import TRACE_SCHEMA, validate_instance, validate_trace
+from repro.telemetry.spans import Span, span, traced
+
+__all__ = [
+    "BUDGET_HOURS_BUCKETS",
+    "Counter",
+    "Event",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SECONDS_BUCKETS",
+    "Span",
+    "TRACE_SCHEMA",
+    "TelemetryRecorder",
+    "TrialEvent",
+    "active",
+    "counter",
+    "disable",
+    "enable",
+    "event",
+    "gauge",
+    "histogram",
+    "read_jsonl",
+    "recording",
+    "render_text",
+    "snapshot",
+    "span",
+    "traced",
+    "trial",
+    "validate_instance",
+    "validate_trace",
+    "write_jsonl",
+]
+
+
+def counter(name: str):
+    """The named counter of the active recorder, or a no-op when off."""
+    rec = active()
+    if rec is None:
+        return _NULL_INSTRUMENT
+    return rec.metrics.counter(name)
+
+
+def gauge(name: str):
+    """The named gauge of the active recorder, or a no-op when off."""
+    rec = active()
+    if rec is None:
+        return _NULL_INSTRUMENT
+    return rec.metrics.gauge(name)
+
+
+def histogram(name: str, bounds: tuple[float, ...] = SECONDS_BUCKETS):
+    """The named histogram of the active recorder, or a no-op when off."""
+    rec = active()
+    if rec is None:
+        return _NULL_INSTRUMENT
+    return rec.metrics.histogram(name, bounds)
+
+
+def event(name: str, **attributes) -> None:
+    """Record a structured point-in-time event (no-op when off)."""
+    rec = active()
+    if rec is not None:
+        rec.record_event(Event(name, attributes))
+
+
+def trial(
+    system: str,
+    family: str,
+    config: str,
+    hours: float,
+    valid_f1: float | None,
+    accepted: bool,
+    reason: str = "",
+) -> None:
+    """Append one AutoML candidate to the search-trial ledger."""
+    rec = active()
+    if rec is not None:
+        rec.record_event(
+            TrialEvent(
+                system=system,
+                family=family,
+                config=config,
+                hours=hours,
+                valid_f1=valid_f1,
+                accepted=accepted,
+                reason=reason,
+            )
+        )

@@ -1,0 +1,61 @@
+"""Structured events — above all, the AutoML search-trial ledger.
+
+The paper's budget experiments are defined by *which candidates the
+search got to try* under 1h/6h simulated budgets; the trial ledger makes
+that first-class: one :class:`TrialEvent` per candidate configuration
+the search considered, whether it trained (``accepted``) or was turned
+away (budget exhausted, ``max_models`` cap). Generic :class:`Event`
+covers everything else worth a timestamped record without a duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "TrialEvent"]
+
+
+@dataclass
+class Event:
+    """A structured point-in-time occurrence."""
+
+    name: str
+    attributes: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"kind": "event", "name": self.name, "attrs": self.attributes}
+
+
+@dataclass
+class TrialEvent(Event):
+    """One AutoML candidate evaluation, accepted or rejected.
+
+    ``hours`` is the simulated time charged for an accepted trial, or
+    the cost the rejected candidate *would have* needed; ``valid_f1`` is
+    ``None`` for rejected trials (the model never trained).
+    """
+
+    name: str = "trial"
+    system: str = ""
+    family: str = ""
+    config: str = ""
+    hours: float = 0.0
+    valid_f1: float | None = None
+    accepted: bool = True
+    reason: str = ""  # "" | "budget-exhausted" | "max-models"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "event",
+            "name": "trial",
+            "attrs": {
+                "system": self.system,
+                "family": self.family,
+                "config": self.config,
+                "hours": self.hours,
+                "valid_f1": self.valid_f1,
+                "accepted": self.accepted,
+                "reason": self.reason,
+                **self.attributes,
+            },
+        }

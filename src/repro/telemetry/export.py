@@ -1,0 +1,226 @@
+"""Trace exporters: JSON-lines serialization and the text report.
+
+A trace is exported as one JSON object per line (easy to stream, diff,
+and validate line-by-line): a ``meta`` header, then every completed
+span, every metric instrument, and every event. :func:`snapshot` turns
+a live recorder into that plain-dict form; :func:`read_jsonl` loads one
+back, so the text renderer works identically on a live run and on a
+file produced by ``--telemetry json``.
+
+The text report has three sections:
+
+* the **span tree** — indentation mirrors parenthood, durations on
+  every node;
+* **per-stage rollups** — total/mean wall time aggregated by span name,
+  slowest first (the "where does featurization time go" view);
+* the **trial ledger** — one row per AutoML candidate with family,
+  hyper-params, simulated hours, validation F1, and accept/reject, plus
+  the metric instruments (cache hit/miss counters, budget histogram).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.telemetry.recorder import TelemetryRecorder
+
+__all__ = ["snapshot", "write_jsonl", "read_jsonl", "render_text"]
+
+#: Version stamped into every trace's meta line; bump on shape changes
+#: together with ``repro.telemetry.schema.TRACE_SCHEMA``.
+TRACE_VERSION = 1
+
+
+def snapshot(recorder: "TelemetryRecorder") -> dict:
+    """A live recorder reduced to plain dicts (the JSONL line shapes)."""
+    return {
+        "meta": {
+            "kind": "meta",
+            "version": TRACE_VERSION,
+            "created_unix": time.time(),
+            "n_spans": len(recorder.spans),
+            "n_events": len(recorder.events),
+        },
+        "spans": [s.to_dict() for s in recorder.spans],
+        "metrics": recorder.metrics.to_dicts(),
+        "events": [e.to_dict() for e in recorder.events],
+    }
+
+
+def write_jsonl(trace: dict, target: str | Path | IO[str]) -> None:
+    """Serialize a :func:`snapshot` as JSON lines to a path or stream."""
+    lines = [trace["meta"], *trace["spans"], *trace["metrics"], *trace["events"]]
+    if hasattr(target, "write"):
+        for line in lines:
+            target.write(json.dumps(line, sort_keys=True) + "\n")
+        return
+    path = Path(target)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(json.dumps(line, sort_keys=True) + "\n")
+
+
+def read_jsonl(source: str | Path | IO[str]) -> dict:
+    """Parse a JSON-lines trace back into the :func:`snapshot` shape.
+
+    Raises :class:`ValueError` on malformed JSON; unknown ``kind``
+    values are preserved under ``"extra"`` so newer traces still render.
+    """
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        text = Path(source).read_text(encoding="utf-8")
+    trace: dict = {"meta": {}, "spans": [], "metrics": [], "events": [], "extra": []}
+    for number, raw in enumerate(text.splitlines(), start=1):
+        if not raw.strip():
+            continue
+        try:
+            line = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {number} is not valid JSON: {exc}") from None
+        kind = line.get("kind") if isinstance(line, dict) else None
+        if kind == "meta":
+            trace["meta"] = line
+        elif kind == "span":
+            trace["spans"].append(line)
+        elif kind == "metric":
+            trace["metrics"].append(line)
+        elif kind == "event":
+            trace["events"].append(line)
+        else:
+            trace["extra"].append(line)
+    return trace
+
+
+# ------------------------------------------------------------- rendering
+
+
+def _format_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        parts.append(f"{key}={value}")
+    return "  [" + " ".join(parts) + "]"
+
+
+def _render_span_tree(spans: list[dict]) -> list[str]:
+    by_parent: dict[int | None, list[dict]] = {}
+    for span in spans:
+        by_parent.setdefault(span.get("parent"), []).append(span)
+    for children in by_parent.values():
+        children.sort(key=lambda s: (s.get("start", 0.0), s.get("id", 0)))
+
+    lines: list[str] = []
+
+    def walk(parent: int | None, depth: int) -> None:
+        for span in by_parent.get(parent, []):
+            duration = span.get("end", 0.0) - span.get("start", 0.0)
+            error = f"  !{span['error']}" if span.get("error") else ""
+            lines.append(
+                f"{'  ' * depth}{span.get('name', '?')}"
+                f"  {duration * 1000.0:.1f}ms"
+                f"{_format_attrs(span.get('attrs', {}))}{error}"
+            )
+            walk(span.get("id"), depth + 1)
+
+    walk(None, 0)
+    # Orphans (parent id never completed, e.g. a crashed run) still show.
+    known = {span.get("id") for span in spans}
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None and parent not in known:
+            walk(parent, 1)
+    return lines
+
+
+def _render_rollups(spans: list[dict]) -> list[str]:
+    totals: dict[str, list[float]] = {}
+    for span in spans:
+        duration = span.get("end", 0.0) - span.get("start", 0.0)
+        totals.setdefault(span.get("name", "?"), []).append(duration)
+    lines = [f"{'stage':<28} {'count':>5} {'total':>10} {'mean':>10}"]
+    for name in sorted(totals, key=lambda n: -sum(totals[n])):
+        durations = totals[name]
+        total = sum(durations)
+        lines.append(
+            f"{name:<28} {len(durations):>5} {total * 1000.0:>8.1f}ms "
+            f"{total / len(durations) * 1000.0:>8.1f}ms"
+        )
+    return lines
+
+
+def _render_metrics(metrics: list[dict]) -> list[str]:
+    lines: list[str] = []
+    for metric in metrics:
+        name = metric.get("name", "?")
+        metric_type = metric.get("type")
+        if metric_type == "histogram":
+            count = metric.get("count", 0)
+            total = metric.get("sum", 0.0)
+            mean = total / count if count else 0.0
+            lines.append(
+                f"{name:<36} histogram  n={count} sum={total:.4g} "
+                f"mean={mean:.4g}"
+            )
+        else:
+            lines.append(
+                f"{name:<36} {metric_type:<9}  {metric.get('value', 0)}"
+            )
+    return lines
+
+
+def _render_trials(events: list[dict]) -> list[str]:
+    trials = [e for e in events if e.get("name") == "trial"]
+    if not trials:
+        return ["(no AutoML trials recorded)"]
+    lines = [
+        f"{'#':>3} {'system':<12} {'family':<14} {'sim-h':>8} "
+        f"{'valid F1':>9} {'status':<18} config"
+    ]
+    accepted = 0
+    charged = 0.0
+    for index, trial in enumerate(trials, start=1):
+        attrs = trial.get("attrs", {})
+        is_accepted = bool(attrs.get("accepted"))
+        accepted += is_accepted
+        hours = float(attrs.get("hours") or 0.0)
+        if is_accepted:
+            charged += hours
+        f1 = attrs.get("valid_f1")
+        status = "accepted" if is_accepted else f"rejected:{attrs.get('reason', '?')}"
+        lines.append(
+            f"{index:>3} {str(attrs.get('system', '?')):<12} "
+            f"{str(attrs.get('family', '?')):<14} {hours:>8.4f} "
+            f"{'-' if f1 is None else format(float(f1), '.4f'):>9} "
+            f"{status:<18} {attrs.get('config', '')}"
+        )
+    lines.append(
+        f"    {accepted}/{len(trials)} trials accepted, "
+        f"{charged:.4f} simulated hours charged"
+    )
+    return lines
+
+
+def render_text(trace: dict) -> str:
+    """The human-readable report of one trace snapshot."""
+    sections = []
+    spans = trace.get("spans", [])
+    if spans:
+        sections.append("== span tree ==\n" + "\n".join(_render_span_tree(spans)))
+        sections.append("== per-stage rollup ==\n" + "\n".join(_render_rollups(spans)))
+    else:
+        sections.append("== span tree ==\n(no spans recorded)")
+    sections.append("== trial ledger ==\n" + "\n".join(_render_trials(trace.get("events", []))))
+    metrics = trace.get("metrics", [])
+    if metrics:
+        sections.append("== metrics ==\n" + "\n".join(_render_metrics(metrics)))
+    return "\n\n".join(sections)

@@ -1,0 +1,181 @@
+"""Named instruments: counters, gauges, and fixed-bucket histograms.
+
+Instruments are created lazily on first use and live in a
+:class:`MetricsRegistry` owned by the recorder. Histogram bucket
+boundaries are fixed at creation time (never derived from the observed
+data), so two runs that observe the same values render byte-identical
+metric lines — determinism is part of the reproduction contract.
+
+The registry ships named-bucket presets for the signals the EM
+pipeline cares about: simulated budget charges (hours, log-ish spacing
+around the paper's 1h/6h budgets) and wall-clock stage durations.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "BUDGET_HOURS_BUCKETS",
+    "SECONDS_BUCKETS",
+]
+
+#: Simulated-hours buckets for :meth:`SimulatedClock.charge` amounts —
+#: spanning per-model costs (millihours) up to the 6h budget ceiling.
+BUDGET_HOURS_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 6.0,
+)
+
+#: Wall-clock duration buckets for stage timings.
+SECONDS_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "metric",
+            "type": "counter",
+            "name": self.name,
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "metric",
+            "type": "gauge",
+            "name": self.name,
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """Cumulative-free bucketed distribution with fixed boundaries.
+
+    ``counts[i]`` holds observations ``v <= bounds[i]`` (and greater
+    than the previous bound); the final slot is the overflow bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+
+    def __init__(self, name: str, bounds: tuple[float, ...]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(
+                f"histogram {name!r} needs sorted, non-empty bucket bounds"
+            )
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "metric",
+            "type": "histogram",
+            "name": self.name,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.total,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home of every named instrument of one recorder."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = SECONDS_BUCKETS
+    ) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name, bounds)
+        elif instrument.bounds != tuple(float(b) for b in bounds):
+            raise ValueError(
+                f"histogram {name!r} already registered with different "
+                f"bucket bounds {instrument.bounds}"
+            )
+        return instrument
+
+    def to_dicts(self) -> list[dict]:
+        """Every instrument as one metric line, name-sorted per type."""
+        lines: list[dict] = []
+        for store in (self.counters, self.gauges, self.histograms):
+            for name in sorted(store):
+                lines.append(store[name].to_dict())
+        return lines
+
+
+class _NullInstrument:
+    """Accepts every instrument method and records nothing."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()

@@ -1,0 +1,145 @@
+"""The telemetry recorder and its process-global activation switch.
+
+Telemetry is **off by default**: :func:`active` returns ``None`` and
+every instrumentation entry point (``telemetry.span``,
+``telemetry.counter``, ``telemetry.trial`` ...) degrades to a shared
+no-op object, so an uninstrumented and an instrumented run execute the
+same arithmetic — the disabled cost is one module-level attribute read
+plus one ``is None`` check per call site (asserted in
+``benchmarks/bench_components.py``).
+
+When enabled (:func:`enable`, or the :func:`recording` context manager),
+a single :class:`TelemetryRecorder` collects three kinds of signals:
+
+* **spans** — hierarchical wall-time intervals with structured
+  attributes, kept on a thread-local stack so concurrent threads build
+  independent subtrees (see :mod:`repro.telemetry.spans`);
+* **metrics** — named counters, gauges, and fixed-bucket histograms
+  (see :mod:`repro.telemetry.metrics`);
+* **events** — the AutoML search-trial ledger and any other structured
+  occurrences (see :mod:`repro.telemetry.events`).
+
+The recorder is deliberately append-only and never samples: traces of
+the scaled-down reproduction runs are small, and completeness is what
+makes the trial ledger auditable against the paper's budget tables.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.telemetry.events import Event, TrialEvent
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import Span, SpanHandle
+
+__all__ = [
+    "TelemetryRecorder",
+    "active",
+    "enable",
+    "disable",
+    "recording",
+]
+
+
+class TelemetryRecorder:
+    """One run's worth of spans, metrics, and events.
+
+    Span ids are assigned from a recorder-local counter under a lock, so
+    ids are dense and deterministic for single-threaded runs and still
+    unique under concurrency. All span timestamps are
+    ``time.perf_counter()`` offsets relative to the recorder's creation
+    (``t0``), which keeps traces small and diffable.
+    """
+
+    def __init__(self) -> None:
+        self.t0 = time.perf_counter()
+        self.spans: list[Span] = []
+        self.events: list[Event] = []
+        self.metrics = MetricsRegistry()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # -------------------------------------------------------------- spans
+
+    def _stack(self) -> list[SpanHandle]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    def start_span(self, name: str, attributes: dict) -> SpanHandle:
+        """A context-manager handle; the span is recorded on exit."""
+        return SpanHandle(self, name, attributes)
+
+    def current_span(self) -> SpanHandle | None:
+        """The innermost open span on *this* thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def finish_span(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    # ------------------------------------------------------------- events
+
+    def record_event(self, event: Event) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    @property
+    def trials(self) -> list[TrialEvent]:
+        """The AutoML search-trial ledger, in emission order."""
+        return [e for e in self.events if isinstance(e, TrialEvent)]
+
+
+_active: TelemetryRecorder | None = None
+
+
+def active() -> TelemetryRecorder | None:
+    """The installed recorder, or ``None`` when telemetry is off."""
+    return _active
+
+
+def enable(recorder: TelemetryRecorder | None = None) -> TelemetryRecorder:
+    """Install (and return) a recorder; replaces any previous one."""
+    global _active
+    _active = recorder if recorder is not None else TelemetryRecorder()
+    return _active
+
+
+def disable() -> TelemetryRecorder | None:
+    """Turn telemetry off; returns the recorder that was active."""
+    global _active
+    previous = _active
+    _active = None
+    return previous
+
+
+@contextmanager
+def recording(
+    recorder: TelemetryRecorder | None = None,
+) -> Iterator[TelemetryRecorder]:
+    """Enable telemetry for a ``with`` block, restoring the previous
+    state (including "off") on exit::
+
+        with telemetry.recording() as rec:
+            pipeline.fit(train, valid)
+        print(render_text(snapshot(rec)))
+    """
+    global _active
+    previous = _active
+    installed = enable(recorder)
+    try:
+        yield installed
+    finally:
+        _active = previous

@@ -1,0 +1,217 @@
+"""The trace-line JSON schema and a stdlib validator for it.
+
+Every line of a ``--telemetry json`` trace must match
+:data:`TRACE_SCHEMA` — the same schema is checked in at
+``docs/trace_schema.json`` (a sync test keeps the two identical) so CI
+and external tooling can validate traces without importing this
+package.
+
+The validator implements exactly the Draft-7 subset the schema uses —
+``type``, ``properties``, ``required``, ``additionalProperties``,
+``items``, ``enum``, ``oneOf``, ``const``, ``minimum`` — rather than
+depending on the ``jsonschema`` package (the repo is stdlib+numpy only).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+__all__ = ["TRACE_SCHEMA", "validate_instance", "validate_trace"]
+
+_ATTRS = {"type": "object"}
+
+_META_LINE = {
+    "type": "object",
+    "properties": {
+        "kind": {"const": "meta"},
+        "version": {"type": "integer", "minimum": 1},
+        "created_unix": {"type": "number"},
+        "n_spans": {"type": "integer", "minimum": 0},
+        "n_events": {"type": "integer", "minimum": 0},
+    },
+    "required": ["kind", "version"],
+    "additionalProperties": False,
+}
+
+_SPAN_LINE = {
+    "type": "object",
+    "properties": {
+        "kind": {"const": "span"},
+        "id": {"type": "integer", "minimum": 0},
+        "parent": {"type": ["integer", "null"]},
+        "name": {"type": "string"},
+        "start": {"type": "number", "minimum": 0},
+        "end": {"type": "number", "minimum": 0},
+        "attrs": _ATTRS,
+        "error": {"type": ["string", "null"]},
+    },
+    "required": ["kind", "id", "parent", "name", "start", "end", "attrs"],
+    "additionalProperties": False,
+}
+
+_COUNTER_OR_GAUGE_LINE = {
+    "type": "object",
+    "properties": {
+        "kind": {"const": "metric"},
+        "type": {"enum": ["counter", "gauge"]},
+        "name": {"type": "string"},
+        "value": {"type": "number"},
+    },
+    "required": ["kind", "type", "name", "value"],
+    "additionalProperties": False,
+}
+
+_HISTOGRAM_LINE = {
+    "type": "object",
+    "properties": {
+        "kind": {"const": "metric"},
+        "type": {"const": "histogram"},
+        "name": {"type": "string"},
+        "bounds": {"type": "array", "items": {"type": "number"}},
+        "counts": {"type": "array", "items": {"type": "integer", "minimum": 0}},
+        "count": {"type": "integer", "minimum": 0},
+        "sum": {"type": "number"},
+    },
+    "required": ["kind", "type", "name", "bounds", "counts", "count", "sum"],
+    "additionalProperties": False,
+}
+
+_EVENT_LINE = {
+    "type": "object",
+    "properties": {
+        "kind": {"const": "event"},
+        "name": {"type": "string"},
+        "attrs": _ATTRS,
+    },
+    "required": ["kind", "name", "attrs"],
+    "additionalProperties": False,
+}
+
+#: One line of a JSONL trace (see ``docs/trace_schema.json``).
+TRACE_SCHEMA: dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro.telemetry trace line",
+    "description": (
+        "One line of the JSON-lines trace emitted by repro.telemetry "
+        "(repro-em ... --telemetry json): a meta header, a span, a "
+        "metric instrument, or a structured event."
+    ),
+    "oneOf": [
+        _META_LINE,
+        _SPAN_LINE,
+        _COUNTER_OR_GAUGE_LINE,
+        _HISTOGRAM_LINE,
+        _EVENT_LINE,
+    ],
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _check(instance: object, schema: dict, path: str, errors: list[str]) -> None:
+    if "const" in schema and instance != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {instance!r}")
+        return
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not one of {schema['enum']}")
+        return
+    declared = schema.get("type")
+    if declared is not None:
+        allowed = declared if isinstance(declared, list) else [declared]
+        if not any(_TYPE_CHECKS[t](instance) for t in allowed):
+            errors.append(
+                f"{path}: expected type {'/'.join(allowed)}, "
+                f"got {type(instance).__name__}"
+            )
+            return
+    if "oneOf" in schema:
+        matches = 0
+        branch_errors: list[list[str]] = []
+        for branch in schema["oneOf"]:
+            attempt: list[str] = []
+            _check(instance, branch, path, attempt)
+            if not attempt:
+                matches += 1
+            branch_errors.append(attempt)
+        if matches != 1:
+            detail = "; ".join(
+                errs[0] for errs in branch_errors if errs
+            )
+            errors.append(
+                f"{path}: matched {matches} of {len(schema['oneOf'])} "
+                f"oneOf branches ({detail})"
+            )
+        return
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                errors.append(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        for name, value in instance.items():
+            if name in properties:
+                _check(value, properties[name], f"{path}.{name}", errors)
+            elif schema.get("additionalProperties") is False:
+                errors.append(f"{path}: unexpected property {name!r}")
+    elif isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            _check(item, schema["items"], f"{path}[{index}]", errors)
+    if (
+        "minimum" in schema
+        and isinstance(instance, (int, float))
+        and not isinstance(instance, bool)
+        and instance < schema["minimum"]
+    ):
+        errors.append(f"{path}: {instance} < minimum {schema['minimum']}")
+
+
+def validate_instance(instance: object, schema: dict | None = None) -> list[str]:
+    """Validation errors of one parsed line; empty means valid."""
+    errors: list[str] = []
+    _check(instance, schema if schema is not None else TRACE_SCHEMA, "$", errors)
+    return errors
+
+
+def validate_trace(source: str | Path | IO[str]) -> list[str]:
+    """Validate every line of a JSONL trace file against the schema.
+
+    Returns a list of ``line N: ...`` error strings — empty for a valid
+    trace. Structural requirements beyond per-line shape: exactly one
+    ``meta`` line, and it must come first.
+    """
+    text = source.read() if hasattr(source, "read") else Path(source).read_text(
+        encoding="utf-8"
+    )
+    errors: list[str] = []
+    meta_lines: list[int] = []
+    first_kind: str | None = None
+    for number, raw in enumerate(text.splitlines(), start=1):
+        if not raw.strip():
+            continue
+        try:
+            instance = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {number}: invalid JSON ({exc.msg})")
+            continue
+        if first_kind is None and isinstance(instance, dict):
+            first_kind = str(instance.get("kind"))
+        if isinstance(instance, dict) and instance.get("kind") == "meta":
+            meta_lines.append(number)
+        for error in validate_instance(instance):
+            errors.append(f"line {number}: {error}")
+    if not meta_lines:
+        errors.append("trace has no meta line")
+    elif len(meta_lines) > 1:
+        errors.append(f"trace has {len(meta_lines)} meta lines: {meta_lines}")
+    elif first_kind != "meta":
+        errors.append("the meta line must be the first line of the trace")
+    return errors

@@ -1,0 +1,168 @@
+"""Hierarchical wall-time spans.
+
+A span is one timed interval with a name, structured attributes, and a
+parent — the innermost span open on the same thread when it started.
+The public entry points are :func:`span` (context manager) and
+:func:`traced` (decorator); both are no-ops when telemetry is disabled.
+
+Span nesting is tracked per thread on the recorder's thread-local
+stack, so the E2E trace of a run is a forest: one root per top-level
+operation (e.g. ``runner.run_adapted``), with adapter stages and AutoML
+fits as descendants.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+# NOTE: this module must not import repro.telemetry.recorder at module
+# scope — recorder.py imports SpanHandle from here, and the runtime
+# lookup of the active recorder is deferred to call time instead.
+# Annotations naming TelemetryRecorder are strings (PEP 563) on purpose.
+
+__all__ = ["Span", "SpanHandle", "span", "traced"]
+
+
+@dataclass
+class Span:
+    """One completed timed interval of the trace."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float  # Seconds since the recorder's t0.
+    end: float
+    attributes: dict = field(default_factory=dict)
+    error: str | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": self.attributes,
+            "error": self.error,
+        }
+
+
+class SpanHandle:
+    """Context manager for one live span.
+
+    Created by :meth:`TelemetryRecorder.start_span`; on ``__enter__`` it
+    claims an id, snapshots its parent from the thread-local stack, and
+    pushes itself; on ``__exit__`` it pops, stamps the end time (and the
+    exception type, if one is propagating), and hands the finished
+    :class:`Span` to the recorder.
+    """
+
+    def __init__(
+        self, recorder: "TelemetryRecorder", name: str, attributes: dict
+    ) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.attributes = dict(attributes)
+        self.span_id: int | None = None
+        self.parent_id: int | None = None
+        self._start = 0.0
+
+    def set(self, **attributes) -> "SpanHandle":
+        """Attach (or overwrite) structured attributes on the open span."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "SpanHandle":
+        recorder = self._recorder
+        self.span_id = recorder.allocate_id()
+        stack = recorder._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        stack.append(self)
+        self._start = time.perf_counter() - recorder.t0
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        recorder = self._recorder
+        end = time.perf_counter() - recorder.t0
+        stack = recorder._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # pragma: no cover - malformed nesting
+            stack.remove(self)
+        recorder.finish_span(
+            Span(
+                name=self.name,
+                span_id=self.span_id if self.span_id is not None else -1,
+                parent_id=self.parent_id,
+                start=self._start,
+                end=end,
+                attributes=self.attributes,
+                error=exc_type.__name__ if exc_type is not None else None,
+            )
+        )
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in returned while telemetry is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attributes) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attributes):
+    """Open a span under the active recorder, or do nothing when off::
+
+        with telemetry.span("adapter.embed", position=i) as sp:
+            ...
+            sp.set(rows=len(out))
+    """
+    from repro.telemetry import recorder as _recorder
+
+    rec = _recorder.active()
+    if rec is None:
+        return NULL_SPAN
+    return rec.start_span(name, attributes)
+
+
+def traced(name: str | None = None) -> Callable:
+    """Decorator form of :func:`span`; the span name defaults to the
+    function's qualified name. The disabled path is a single ``None``
+    check before delegating to the wrapped function.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        label = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            from repro.telemetry import recorder as _recorder
+
+            rec = _recorder.active()
+            if rec is None:
+                return fn(*args, **kwargs)
+            with rec.start_span(label, {}):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -78,6 +78,78 @@ class TestSimulatedClock:
         assert large == pytest.approx(10 * small)
 
 
+class TestChargeLedger:
+    """Semantics of the ``SimulatedClock.charges`` ledger."""
+
+    def test_labels_recorded_in_charge_order(self):
+        clock = SimulatedClock(TimeBudget(1.0))
+        clock.charge(0.1, "first")
+        clock.charge(0.2, "second")
+        clock.charge(0.3, "third")
+        assert [label for label, _ in clock.charges] == [
+            "first", "second", "third",
+        ]
+        assert [hours for _, hours in clock.charges] == [0.1, 0.2, 0.3]
+
+    def test_charge_model_labels_default_to_family(self):
+        clock = SimulatedClock(TimeBudget(10.0))
+        clock.charge_model("gbm", 1000, 100)
+        clock.charge_model("knn", 1000, 100, label="knn(k=5)")
+        assert [label for label, _ in clock.charges] == ["gbm", "knn(k=5)"]
+
+    def test_forced_overrun_still_appended(self):
+        clock = SimulatedClock(TimeBudget(0.1))
+        clock.charge(0.05, "within")
+        clock.charge(0.5, "overrun", force=True)
+        assert [label for label, _ in clock.charges] == ["within", "overrun"]
+        assert clock.charges[-1][1] == pytest.approx(0.5)
+        assert clock.remaining_hours == 0.0
+
+    def test_rejected_charge_not_appended(self):
+        clock = SimulatedClock(TimeBudget(0.1))
+        clock.charge(0.05, "ok")
+        with pytest.raises(BudgetExhaustedError):
+            clock.charge(0.2, "too-big")
+        assert [label for label, _ in clock.charges] == ["ok"]
+        assert clock.elapsed_hours == pytest.approx(0.05)
+
+    def test_ledger_sum_equals_elapsed_hours(self):
+        clock = SimulatedClock(TimeBudget(5.0))
+        for index in range(20):
+            clock.charge_model(
+                "tree", 500 + 100 * index, 80, label=f"m{index}"
+            )
+        clock.charge(0.25, "forced", force=True)
+        assert sum(hours for _, hours in clock.charges) == pytest.approx(
+            clock.elapsed_hours
+        )
+
+    def test_fit_ledger_matches_report(self, linear_problem):
+        """After a real fit, the ledger total is the reported sim-hours."""
+        from repro.automl.resources import SimulatedClock as Clock
+
+        charged: list[Clock] = []
+        original_charge = Clock.charge
+
+        def spying_charge(self, hours, label="", force=False):
+            if self not in charged:
+                charged.append(self)
+            return original_charge(self, hours, label=label, force=force)
+
+        X, y, _X_test, _y_test = linear_problem
+        system = H2OAutoMLLike(budget_hours=0.05, seed=0, max_models=4)
+        try:
+            Clock.charge = spying_charge
+            system.fit(X, y)
+        finally:
+            Clock.charge = original_charge
+        assert len(charged) == 1
+        clock = charged[0]
+        assert sum(hours for _, hours in clock.charges) == pytest.approx(
+            system.report_.simulated_hours
+        )
+
+
 class TestSearchSpace:
     def test_every_family_has_space(self):
         assert set(FAMILY_SPACES) >= {

@@ -433,6 +433,82 @@ class TestGenericRules:
         assert findings == []
 
 
+class TestObservabilityRule:
+    def test_print_in_library_code_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def transform(rows):
+                print("transforming", len(rows))
+                return rows
+            """,
+            rules=["OBS001"],
+        )
+        assert rule_ids(findings) == ["OBS001"]
+
+    def test_cli_and_reporter_modules_exempt(self, tmp_path):
+        for filename in ("cli.py", "__main__.py", "reporter.py", "report.py"):
+            findings = lint_snippet(
+                tmp_path / filename[:-3],
+                'print("stdout is my API")\n',
+                rules=["OBS001"],
+                filename=filename,
+            )
+            assert findings == [], filename
+
+    def test_main_guard_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def work():
+                return 1
+
+            if __name__ == "__main__":
+                print(work())
+            """,
+            rules=["OBS001"],
+        )
+        assert findings == []
+
+    def test_print_outside_guard_still_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            print("module import side effect")
+
+            if __name__ == "__main__":
+                print("fine here")
+            """,
+            rules=["OBS001"],
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 2
+
+    def test_shadowed_print_not_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import logging
+
+            logger = logging.getLogger(__name__)
+            log = logger.info
+            log("not a print")
+            """,
+            rules=["OBS001"],
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            print("deliberate")  # repro: noqa[OBS001]
+            """,
+            rules=["OBS001"],
+        )
+        assert findings == []
+
+
 class TestSuppression:
     def test_bare_noqa_suppresses_everything(self, tmp_path):
         findings = lint_snippet(
