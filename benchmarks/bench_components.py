@@ -206,3 +206,50 @@ def test_import_graph_build(benchmark):
     graph = benchmark.pedantic(build, rounds=3, iterations=1)
     assert len(graph.modules) > 50
     assert graph.cycles() == []
+
+
+def test_parallel_executor_speedup(benchmark, tmp_path, monkeypatch):
+    """A two-worker grid run beats the serial run on a cold cache.
+
+    The grid (Table 2 on two datasets at small scale) is embarrassingly
+    parallel, so with two real cores the pool should land well under the
+    serial wall clock; the outputs are asserted identical either way.
+    Skipped on single-core machines, where the pool can only add
+    process-management overhead.
+    """
+    import os as _os
+
+    cores = _os.cpu_count() or 1
+    if cores < 2:
+        pytest.skip(f"needs >= 2 cores for a speedup, have {cores}")
+
+    import time
+
+    from repro.experiments import ExperimentConfig
+    from repro.parallel import GridSpec, ParallelRunner
+
+    config = ExperimentConfig(scale=0.02, max_models=2)
+    grid = GridSpec.for_table(2, datasets=("S-BR", "S-FZ"))
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+    start = time.perf_counter()
+    serial = ParallelRunner(config, jobs=1).run(grid)
+    serial_seconds = time.perf_counter() - start
+
+    def parallel_run():
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+        return ParallelRunner(config, jobs=2).run(grid)
+
+    results = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    parallel_seconds = benchmark.stats.stats.min
+
+    def stable(cell_results):
+        return [
+            {k: v for k, v in r.record.items() if k != "wall_seconds"}
+            for r in cell_results
+        ]
+
+    assert stable(results) == stable(serial)
+    assert parallel_seconds < serial_seconds, (
+        f"jobs=2 took {parallel_seconds:.1f}s vs {serial_seconds:.1f}s serial"
+    )

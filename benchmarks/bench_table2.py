@@ -8,13 +8,14 @@ AutoSklearn reports its full budget as training time.
 from __future__ import annotations
 
 import numpy as np
-from conftest import save_and_print
+from conftest import parallel_prefetch, save_and_print
 
 from repro.experiments import ExperimentRunner, run_table2
 from repro.experiments.table2 import table2_rows
 
 
 def test_table2(benchmark, output_dir, experiment_config):
+    parallel_prefetch(experiment_config, 2)
     runner = ExperimentRunner(experiment_config)
     rows = benchmark.pedantic(
         lambda: table2_rows(runner), rounds=1, iterations=1

@@ -8,7 +8,7 @@ findings the paper's Section 5.2 highlights.
 from __future__ import annotations
 
 import numpy as np
-from conftest import save_and_print
+from conftest import parallel_prefetch, save_and_print
 
 from repro.experiments import ExperimentRunner, run_table3
 from repro.experiments.table3 import table3_rows
@@ -16,6 +16,7 @@ from repro.transformers import EMBEDDER_NAMES
 
 
 def test_table3(benchmark, output_dir, experiment_config):
+    parallel_prefetch(experiment_config, 3)
     runner = ExperimentRunner(experiment_config)
 
     def compute():

@@ -7,13 +7,14 @@ AutoSklearn, AutoGluon and H2OAutoML).
 
 from __future__ import annotations
 
-from conftest import save_and_print
+from conftest import parallel_prefetch, save_and_print
 
 from repro.experiments import ExperimentRunner, run_table4
 from repro.experiments.table4 import average_deltas, table4_rows
 
 
 def test_table4(benchmark, output_dir, experiment_config):
+    parallel_prefetch(experiment_config, 4)
     runner = ExperimentRunner(experiment_config)
     rows = benchmark.pedantic(
         lambda: table4_rows(runner), rounds=1, iterations=1

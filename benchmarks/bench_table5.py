@@ -8,7 +8,7 @@ tolerance, and a 6h budget never hurts relative to 1h on average.
 from __future__ import annotations
 
 import numpy as np
-from conftest import save_and_print
+from conftest import parallel_prefetch, save_and_print
 
 from repro.experiments import ExperimentRunner, run_table5
 from repro.experiments.table5 import table5_rows
@@ -18,6 +18,7 @@ _TOLERANCE = 7.5  # F1 points; the paper uses 2.0 at full scale.
 
 
 def test_table5(benchmark, output_dir, experiment_config):
+    parallel_prefetch(experiment_config, 5)
     runner = ExperimentRunner(experiment_config)
     rows = benchmark.pedantic(
         lambda: table5_rows(runner), rounds=1, iterations=1

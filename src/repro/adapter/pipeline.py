@@ -103,7 +103,7 @@ class EMAdapter:
         so there is no ``fit``: train/valid/test splits are transformed
         independently with identical results.
         """
-        from repro.config import stable_hash
+        from repro.config import stable_digest
 
         with telemetry.span(
             "adapter.transform",
@@ -113,8 +113,9 @@ class EMAdapter:
         ) as root:
             # The pair-id fingerprint keeps two different same-length
             # subsets of one dataset (e.g. active-learning rounds) from
-            # colliding.
-            fingerprint = stable_hash(tuple(p.pair_id for p in dataset))
+            # colliding; 64-bit so the disk cache stays collision-free
+            # across many thousands of distinct subsets.
+            fingerprint = stable_digest(tuple(p.pair_id for p in dataset))
             key = (
                 dataset.name,
                 len(dataset),
@@ -141,13 +142,18 @@ class EMAdapter:
                     try:
                         features = np.load(disk_path)
                     except (OSError, ValueError):
-                        features = None  # Half-written by a concurrent worker.
+                        # Half-written or truncated file: recompute and
+                        # overwrite. Counted apart from plain misses so a
+                        # concurrent run's interference is visible.
+                        features = None
+                        telemetry.counter("adapter.cache.disk.corrupt").inc()
                     if features is not None:
                         telemetry.counter("adapter.cache.disk.hits").inc()
                         root.set(cache="disk")
                         _CACHE[key] = features
                         return features
-                telemetry.counter("adapter.cache.disk.misses").inc()
+                else:
+                    telemetry.counter("adapter.cache.disk.misses").inc()
 
             n_sequences = self.tokenizer.sequence_count(dataset.schema)
             # Tokenize every position up front, then embed
@@ -179,7 +185,16 @@ class EMAdapter:
             return self._store_cache(key, disk_path, features)
 
     def _store_cache(self, key: tuple, disk_path, features: np.ndarray) -> np.ndarray:
-        """Memoize a freshly computed matrix (memory, then disk)."""
+        """Memoize a freshly computed matrix (memory, then disk).
+
+        The disk write is atomic (write to a same-directory temp file,
+        then rename), so a concurrent reader never sees a half-written
+        matrix. Saving into the open descriptor keeps ``np.save`` from
+        appending ``.npy`` and leaving the zero-byte mkstemp file behind,
+        and the ``finally`` unlink guarantees a failed save (full disk,
+        non-serializable dtype) leaks nothing; after a successful rename
+        it is a no-op.
+        """
         if self.cache:
             _CACHE[key] = features
             if disk_path is not None:
@@ -187,13 +202,15 @@ class EMAdapter:
 
                 disk_path.parent.mkdir(parents=True, exist_ok=True)
                 fd, tmp_name = tempfile.mkstemp(
-                    dir=disk_path.parent, suffix=".tmp"
+                    dir=disk_path.parent, suffix=".tmp", prefix=disk_path.stem
                 )
-                os.close(fd)
-                np.save(tmp_name, features)
-                # np.save appends .npy when missing; normalise the name.
-                saved = tmp_name if tmp_name.endswith(".npy") else tmp_name + ".npy"
-                os.replace(saved, disk_path)
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        np.save(handle, features)
+                    os.replace(tmp_name, disk_path)
+                finally:
+                    if os.path.exists(tmp_name):
+                        os.unlink(tmp_name)
         return features
 
     def transform_splits(self, splits) -> tuple[np.ndarray, ...]:

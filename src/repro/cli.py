@@ -3,6 +3,7 @@
 Subcommands::
 
     repro-em table <1|2|3|4|5> [--scale S] [--datasets A,B] Render a table
+    repro-em table 3 --jobs 8                               ...in parallel
     repro-em datasets                                       List benchmarks
     repro-em match --dataset S-DA [--automl autosklearn]    Run one pipeline
     repro-em trace --dataset S-DA                           Trace one pipeline
@@ -13,6 +14,10 @@ Subcommands::
 (plus ``--trace-file PATH`` for ``json``): the run is recorded by
 :mod:`repro.telemetry` and exported as a text report or a JSON-lines
 trace conforming to ``docs/trace_schema.json``.
+
+``table`` and ``match`` accept ``--jobs N``: the experiment grid fans
+out over N worker processes (:mod:`repro.parallel`) and the merged
+output is byte-identical to the serial run.
 
 Experiment results are cached under ``.repro_cache/`` (see
 ``repro.experiments.config``), so repeated invocations are incremental.
@@ -40,6 +45,16 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
         type=str,
         default=None,
         help="comma-separated dataset subset (default: all twelve)",
+    )
+
+
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment grid (default 1 = "
+        "serial; output is byte-identical either way)",
     )
 
 
@@ -109,10 +124,16 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
     config = _config(args)
     datasets = _datasets(args)
+    jobs = max(1, args.jobs)
 
     def run() -> int:
         if args.number == 1:
+            # Table 1 is dataset statistics — there is no grid to fan out.
             print(run_table1(scale=config.scale, generate=args.generate))
+        elif jobs > 1:
+            from repro.parallel import run_table_parallel
+
+            print(run_table_parallel(args.number, config, datasets, jobs=jobs))
         elif args.number == 2:
             print(run_table2(config, datasets))
         elif args.number == 3:
@@ -147,6 +168,16 @@ def _cmd_match(args: argparse.Namespace) -> int:
     config = _config(args)
 
     def run() -> int:
+        if args.jobs > 1:
+            # One cell, executed in a worker process through the same
+            # executor as table grids; identical result by determinism.
+            from repro.matching.evaluation import EvaluationResult
+            from repro.parallel import GridSpec, ParallelRunner
+
+            grid = GridSpec.single_match(args.dataset, args.automl, args.budget)
+            (cell,) = ParallelRunner(config, jobs=args.jobs).run(grid)
+            print(EvaluationResult(**cell.record))
+            return 0
         splits = split_dataset(load_dataset(args.dataset, scale=config.scale))
         pipeline = EMPipeline(
             automl=args.automl,
@@ -241,6 +272,7 @@ def main(argv: list[str] | None = None) -> int:
         help="table 1 only: measure generated data instead of the registry",
     )
     _add_scale(p_table)
+    _add_jobs(p_table)
     _add_telemetry(p_table)
     p_table.set_defaults(func=_cmd_table)
 
@@ -261,6 +293,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_match.add_argument("--budget", type=float, default=1.0)
     _add_scale(p_match)
+    _add_jobs(p_match)
     _add_telemetry(p_match)
     p_match.set_defaults(func=_cmd_match)
 

@@ -10,6 +10,7 @@ variable or the ``scale=`` parameter of the experiment runners.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import zlib
 
@@ -56,6 +57,21 @@ def stable_hash(*parts: object) -> int:
     """
     text = "␟".join(repr(p) for p in parts)
     return zlib.crc32(text.encode("utf-8"))
+
+
+def stable_digest(*parts: object) -> int:
+    """Hash a tuple of printable parts into a 64-bit integer, stably.
+
+    Cache *identity* needs more collision headroom than RNG sub-seeding:
+    the adapter disk cache fingerprints arbitrary pair-id subsets (e.g.
+    active-learning rounds), where a 32-bit CRC reaches birthday-collision
+    odds after a few tens of thousands of distinct subsets. blake2b at 64
+    bits pushes that to billions. :func:`stable_hash` stays CRC32 so every
+    seeded RNG stream is unchanged.
+    """
+    text = "␟".join(repr(p) for p in parts)
+    raw = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(raw, "big")
 
 
 def rng_for(*scope: object, seed: int | None = None) -> np.random.Generator:

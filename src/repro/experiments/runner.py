@@ -30,7 +30,15 @@ from repro.matching import DeepMatcherHybrid, EMPipeline, evaluate_matcher
 from repro.matching.evaluation import EvaluationResult
 from repro.ml.metrics import f1_score, precision_score, recall_score
 
-__all__ = ["ExperimentRunner"]
+__all__ = ["ExperimentRunner", "budget_tag"]
+
+#: The exact key set a disk-cached record must carry to be replayable.
+_RESULT_FIELDS = frozenset(EvaluationResult.__dataclass_fields__)
+
+
+def budget_tag(budget_hours: float | None) -> str:
+    """Canonical text form of a budget for cache keys (``None`` = inf)."""
+    return "inf" if budget_hours is None else f"{budget_hours:g}"
 
 
 class ExperimentRunner:
@@ -67,19 +75,25 @@ class ExperimentRunner:
             telemetry.counter("runner.cache.memory.hits").inc()
             return self._results[key]
         path = self._cache_path(key)
-        if path is not None and path.exists():
-            try:
-                with path.open() as handle:
-                    record = json.load(handle)
-            except (json.JSONDecodeError, OSError):
-                # Half-written by a concurrent worker.
-                telemetry.counter("runner.cache.misses").inc()
-                return None
-            telemetry.counter("runner.cache.disk.hits").inc()
-            self._results[key] = record
-            return record
-        telemetry.counter("runner.cache.misses").inc()
-        return None
+        if path is None or not path.exists():
+            telemetry.counter("runner.cache.disk.misses").inc()
+            return None
+        try:
+            with path.open() as handle:
+                record = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            # Half-written by a concurrent worker: recompute and overwrite.
+            telemetry.counter("runner.cache.disk.corrupt").inc()
+            return None
+        if not isinstance(record, dict) or set(record) != _RESULT_FIELDS:
+            # A record written before EvaluationResult gained or lost a
+            # field would crash its constructor; treat the stale shape as
+            # a miss and overwrite it with a freshly computed result.
+            telemetry.counter("runner.cache.disk.stale").inc()
+            return None
+        telemetry.counter("runner.cache.disk.hits").inc()
+        self._results[key] = record
+        return record
 
     def _store(self, key: str, record: dict) -> None:
         self._results[key] = record
@@ -102,6 +116,20 @@ class ExperimentRunner:
                 if os.path.exists(tmp_name):
                     os.unlink(tmp_name)
 
+    def seed_result(self, key: str, record: dict) -> None:
+        """Inject a precomputed record into the in-memory cache.
+
+        The parallel executor ships each worker's ``EvaluationResult``
+        back over the result pipe and seeds the rendering runner with it,
+        so tables re-render from memory even when the disk cache is off.
+        """
+        if set(record) != _RESULT_FIELDS:
+            raise ValueError(
+                f"record for {key!r} does not match EvaluationResult: "
+                f"{sorted(record)}"
+            )
+        self._results[key] = dict(record)
+
     @staticmethod
     def _to_result(record: dict) -> EvaluationResult:
         return EvaluationResult(**record)
@@ -115,8 +143,8 @@ class ExperimentRunner:
         budget_hours: float | None,
     ) -> EvaluationResult:
         """Section 5.1: an AutoML system on no-adapter features."""
-        budget_tag = "inf" if budget_hours is None else f"{budget_hours:g}"
-        key = self.config.cache_key("raw", system, dataset_name, budget_tag)
+        tag = budget_tag(budget_hours)
+        key = self.config.cache_key("raw", system, dataset_name, tag)
         cached = self._cached(key)
         if cached is not None:
             return self._to_result(cached)
@@ -125,7 +153,7 @@ class ExperimentRunner:
             "runner.run_raw",
             system=system,
             dataset=dataset_name,
-            budget=budget_tag,
+            budget=tag,
         ):
             splits = self.splits(dataset_name)
             if system == "autosklearn":
@@ -176,9 +204,9 @@ class ExperimentRunner:
         budget_hours: float | None = 1.0,
     ) -> EvaluationResult:
         """Sections 5.2/5.3: AutoML pipelined with an EM adapter."""
-        budget_tag = "inf" if budget_hours is None else f"{budget_hours:g}"
+        tag = budget_tag(budget_hours)
         key = self.config.cache_key(
-            "adapted", system, dataset_name, tokenizer, embedder, budget_tag
+            "adapted", system, dataset_name, tokenizer, embedder, tag
         )
         cached = self._cached(key)
         if cached is not None:
@@ -190,7 +218,7 @@ class ExperimentRunner:
             dataset=dataset_name,
             tokenizer=tokenizer,
             embedder=embedder,
-            budget=budget_tag,
+            budget=tag,
         ):
             splits = self.splits(dataset_name)
             pipeline = EMPipeline(

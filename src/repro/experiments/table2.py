@@ -45,9 +45,10 @@ def table2_rows(
 def run_table2(
     config: ExperimentConfig | None = None,
     datasets: tuple[str, ...] = DATASET_NAMES,
+    runner: ExperimentRunner | None = None,
 ) -> str:
-    """Render Table 2 as text."""
-    runner = ExperimentRunner(config)
+    """Render Table 2 as text (``runner`` may arrive pre-warmed)."""
+    runner = runner or ExperimentRunner(config)
     rows = table2_rows(runner, datasets)
     columns = ["Dataset"]
     for system, _budget in SYSTEM_BUDGETS:

@@ -48,9 +48,10 @@ def run_table3(
     systems: tuple[str, ...] = AUTOML_NAMES,
     datasets: tuple[str, ...] = DATASET_NAMES,
     embedders: tuple[str, ...] = EMBEDDER_NAMES,
+    runner: ExperimentRunner | None = None,
 ) -> str:
     """Render the three sub-tables (a, b, c) as text."""
-    runner = ExperimentRunner(config)
+    runner = runner or ExperimentRunner(config)
     sections = []
     for label, system in zip("abc", systems):
         rows = table3_rows(system, runner, datasets, embedders)

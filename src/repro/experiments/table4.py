@@ -68,9 +68,10 @@ def run_table4(
     datasets: tuple[str, ...] = DATASET_NAMES,
     systems: tuple[str, ...] = AUTOML_NAMES,
     embedders: tuple[str, ...] = EMBEDDER_NAMES,
+    runner: ExperimentRunner | None = None,
 ) -> str:
     """Render Table 4 as text, with the per-system average delta footer."""
-    runner = ExperimentRunner(config)
+    runner = runner or ExperimentRunner(config)
     rows = table4_rows(runner, datasets, systems, embedders)
     columns = ["Dataset"]
     for system in systems:

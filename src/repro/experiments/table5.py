@@ -59,9 +59,10 @@ def run_table5(
     datasets: tuple[str, ...] = DATASET_NAMES,
     systems: tuple[str, ...] = AUTOML_NAMES,
     budgets: tuple[float, float] = (1.0, 6.0),
+    runner: ExperimentRunner | None = None,
 ) -> str:
     """Render Table 5 as text."""
-    runner = ExperimentRunner(config)
+    runner = runner or ExperimentRunner(config)
     rows = table5_rows(runner, datasets, systems, budgets)
     columns = ["Dataset", "DM F1", "DM h"]
     for budget in budgets:

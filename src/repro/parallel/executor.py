@@ -1,0 +1,278 @@
+"""Deterministic process-pool execution of experiment grids.
+
+:class:`ParallelRunner` fans a :class:`~repro.parallel.grid.GridSpec`'s
+cells out over ``jobs`` worker processes and merges the results back in
+canonical grid order. Determinism comes for free from the substrate:
+every stochastic component draws from :func:`repro.config.rng_for`
+(seeded by *scope*, not by process), so a cell computes the identical
+``EvaluationResult`` no matter which worker runs it — parallelism only
+reorders wall-clock time, never results.
+
+Workers coordinate through the existing on-disk caches: each worker's
+:class:`~repro.experiments.runner.ExperimentRunner` persists results
+under ``.repro_cache/`` and the adapter persists feature matrices under
+``.repro_cache/adapter/``, both via atomic same-directory renames, so
+two workers computing the same key race benignly (last rename wins,
+both files are complete). Results additionally ship back over the
+result pipe, so the merged table renders from memory even with the disk
+cache off.
+
+When telemetry is recording in the parent, each worker records its
+cells into private recorders and ships the snapshots home, where they
+are stitched under the executor's ``parallel.run`` span (see
+:mod:`repro.telemetry.stitch`), keeping one coherent span tree and a
+complete cross-process trial ledger.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from repro import telemetry
+from repro.data.benchmark import DATASET_NAMES
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.parallel.grid import Cell, GridSpec
+from repro.telemetry import graft_snapshot, snapshot
+
+__all__ = [
+    "CellResult",
+    "ParallelExecutionError",
+    "ParallelRunner",
+    "run_table_parallel",
+]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One cell's outcome, merged back in canonical grid order."""
+
+    index: int
+    cell: Cell
+    record: dict  # EvaluationResult fields, exactly as the cache stores them.
+    elapsed_seconds: float
+    worker_pid: int
+    trace: dict | None = field(default=None, repr=False)
+
+
+class ParallelExecutionError(RuntimeError):
+    """A grid cell failed in a worker; carries the worker's traceback."""
+
+    def __init__(self, label: str, error_type: str, worker_traceback: str) -> None:
+        super().__init__(
+            f"cell {label} failed in worker with {error_type}\n{worker_traceback}"
+        )
+        self.label = label
+        self.error_type = error_type
+        self.worker_traceback = worker_traceback
+
+
+# One ExperimentRunner per worker process, built by the pool initializer:
+# its in-memory split/result caches then serve every cell the worker takes.
+_WORKER_RUNNER: ExperimentRunner | None = None
+
+
+def _init_worker(config: ExperimentConfig) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = ExperimentRunner(config)
+
+
+def _execute_cell(index: int, cell: Cell, capture_trace: bool) -> dict:
+    """Run one cell in the worker; always returns a picklable payload."""
+    runner = _WORKER_RUNNER
+    if runner is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker used before _init_worker")
+    start = time.perf_counter()
+    try:
+        if capture_trace:
+            with telemetry.recording() as recorder:
+                result = cell.run(runner)
+            trace = snapshot(recorder)
+        else:
+            result = cell.run(runner)
+            trace = None
+    # Process boundary: ANY failure must come home as a picklable
+    # payload, not crash the worker silently.
+    except Exception as exc:  # repro: noqa[GEN003]
+        return {
+            "index": index,
+            "error": type(exc).__name__,
+            "traceback": traceback.format_exc(),
+            "label": cell.label,
+        }
+    return {
+        "index": index,
+        "record": dict(result.__dict__),
+        "trace": trace,
+        "elapsed": time.perf_counter() - start,
+        "pid": os.getpid(),
+    }
+
+
+def _default_start_method() -> str:
+    """Prefer fork (cheap start, warm module state) where available."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+class ParallelRunner:
+    """Fan an experiment grid out over worker processes, merge in order.
+
+    Parameters
+    ----------
+    config:
+        The :class:`ExperimentConfig` every worker evaluates under.
+    jobs:
+        Worker process count; ``1`` executes the grid inline (no pool),
+        which is also the byte-equality reference for any ``jobs > 1``.
+    start_method:
+        ``multiprocessing`` start method; default fork where available.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        jobs: int = 1,
+        start_method: str | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.config = config if config is not None else ExperimentConfig()
+        self.jobs = jobs
+        self.start_method = start_method or _default_start_method()
+
+    # ---------------------------------------------------------------- run
+
+    def run(self, grid: GridSpec) -> list[CellResult]:
+        """Execute every cell; results come back in canonical order."""
+        with telemetry.span(
+            "parallel.run", table=grid.table, cells=len(grid.cells), jobs=self.jobs
+        ):
+            if self.jobs == 1 or not grid.cells:
+                results = self._run_inline(grid)
+            else:
+                results = self._run_pool(grid)
+            telemetry.counter("parallel.cells.completed").inc(len(results))
+            return results
+
+    def _run_inline(self, grid: GridSpec) -> list[CellResult]:
+        runner = ExperimentRunner(self.config)
+        results = []
+        for index, cell in enumerate(grid.cells):
+            start = time.perf_counter()
+            outcome = cell.run(runner)
+            results.append(
+                CellResult(
+                    index=index,
+                    cell=cell,
+                    record=dict(outcome.__dict__),
+                    elapsed_seconds=time.perf_counter() - start,
+                    worker_pid=os.getpid(),
+                )
+            )
+        return results
+
+    def _run_pool(self, grid: GridSpec) -> list[CellResult]:
+        recorder = telemetry.active()
+        context = multiprocessing.get_context(self.start_method)
+        payloads: dict[int, dict] = {}
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(grid.cells)),
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(self.config,),
+        ) as pool:
+            futures = [
+                pool.submit(_execute_cell, index, cell, recorder is not None)
+                for index, cell in enumerate(grid.cells)
+            ]
+            try:
+                for future in as_completed(futures):
+                    payload = future.result()
+                    if "error" in payload:
+                        raise ParallelExecutionError(
+                            payload["label"],
+                            payload["error"],
+                            payload["traceback"],
+                        )
+                    payloads[payload["index"]] = payload
+            # Fail fast on anything (incl. KeyboardInterrupt): cancel
+            # queued cells so the pool can shut down promptly.
+            except BaseException:  # repro: noqa[GEN003]
+                for future in futures:
+                    future.cancel()
+                raise
+
+        # Merge in canonical grid order, not completion order: span ids,
+        # trial-ledger order, and counter totals become deterministic.
+        results = []
+        for index, cell in enumerate(grid.cells):
+            payload = payloads[index]
+            if recorder is not None and payload["trace"] is not None:
+                graft_snapshot(
+                    recorder,
+                    payload["trace"],
+                    name="parallel.cell",
+                    cell=cell.label,
+                    worker_pid=payload["pid"],
+                )
+            results.append(
+                CellResult(
+                    index=index,
+                    cell=cell,
+                    record=payload["record"],
+                    elapsed_seconds=payload["elapsed"],
+                    worker_pid=payload["pid"],
+                    trace=payload["trace"],
+                )
+            )
+        return results
+
+    # -------------------------------------------------------------- tables
+
+    def warmed_runner(self, results: list[CellResult]) -> ExperimentRunner:
+        """An :class:`ExperimentRunner` pre-seeded with ``results``."""
+        runner = ExperimentRunner(self.config)
+        for result in results:
+            key = result.cell.cache_key(self.config)
+            if key is not None:
+                runner.seed_result(key, result.record)
+        return runner
+
+    def run_table(
+        self, number: int, datasets: tuple[str, ...] = DATASET_NAMES
+    ) -> str:
+        """Render Table ``number`` (2-5) with its grid fanned out.
+
+        The parallel phase only *computes* cells; rendering then runs
+        the unmodified serial table code against a runner seeded with
+        the workers' records, so the output is byte-identical to a
+        ``jobs=1`` run.
+        """
+        grid = GridSpec.for_table(number, datasets=datasets)
+        runner = self.warmed_runner(self.run(grid))
+        if number == 2:
+            return run_table2(self.config, datasets, runner=runner)
+        if number == 3:
+            return run_table3(self.config, datasets=datasets, runner=runner)
+        if number == 4:
+            return run_table4(self.config, datasets=datasets, runner=runner)
+        return run_table5(self.config, datasets=datasets, runner=runner)
+
+
+def run_table_parallel(
+    number: int,
+    config: ExperimentConfig | None = None,
+    datasets: tuple[str, ...] = DATASET_NAMES,
+    jobs: int = 1,
+) -> str:
+    """Convenience wrapper: ``ParallelRunner(config, jobs).run_table(...)``."""
+    return ParallelRunner(config, jobs=jobs).run_table(number, datasets=datasets)

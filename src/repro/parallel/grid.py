@@ -1,0 +1,235 @@
+"""The work model of the parallel experiment executor.
+
+A benchmark table is a grid of independent **cells** — one
+(system, dataset, tokenizer, embedder, budget) evaluation each, exactly
+the unit the :class:`~repro.experiments.runner.ExperimentRunner` caches.
+:class:`GridSpec.for_table` enumerates a table's cells in **canonical
+order**: the order the serial table code evaluates them in, with
+duplicates collapsed to their first occurrence (Table 4 re-uses Table 2's
+raw runs and Table 3's adapted runs; Table 5 re-uses the DeepMatcher
+baselines). Workers may finish in any order — canonical order is what
+results are merged back in, which is what makes the parallel run's
+output bit-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automl import AUTOML_NAMES
+from repro.data.benchmark import DATASET_NAMES
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner, budget_tag
+from repro.experiments.table2 import SYSTEM_BUDGETS
+from repro.experiments.table3 import TOKENIZER_MODES
+from repro.experiments.table5 import BEST_EMBEDDER, BEST_TOKENIZER
+from repro.matching import EMPipeline, evaluate_matcher
+from repro.matching.evaluation import EvaluationResult
+from repro.transformers import EMBEDDER_NAMES
+
+__all__ = ["Cell", "GridSpec"]
+
+#: The evaluation kinds a cell can describe.
+CELL_KINDS = ("raw", "adapted", "deepmatcher", "match")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid cell: a single cacheable evaluation.
+
+    ``kind`` selects the runner entry point: ``"raw"`` (Table 2's
+    no-adapter AutoML), ``"adapted"`` (adapter + AutoML), and
+    ``"deepmatcher"`` map onto the :class:`ExperimentRunner` methods and
+    their result cache; ``"match"`` replicates ``repro-em match`` (an
+    :class:`~repro.matching.EMPipeline` with the default adapter) and is
+    never cached.
+    """
+
+    kind: str
+    dataset: str
+    system: str | None = None
+    tokenizer: str | None = None
+    embedder: str | None = None
+    budget_hours: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in CELL_KINDS:
+            raise ValueError(
+                f"unknown cell kind {self.kind!r}; known: {', '.join(CELL_KINDS)}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Compact human identity, e.g. ``adapted:h2o:S-DA:hybrid:albert@1``."""
+        parts = [self.kind]
+        if self.system is not None:
+            parts.append(self.system)
+        parts.append(self.dataset)
+        if self.tokenizer is not None:
+            parts.append(self.tokenizer)
+        if self.embedder is not None:
+            parts.append(self.embedder)
+        text = ":".join(parts)
+        if self.kind in ("raw", "adapted"):
+            text += f"@{budget_tag(self.budget_hours)}"
+        return text
+
+    def cache_key(self, config: ExperimentConfig) -> str | None:
+        """The runner's result-cache key for this cell (``None`` when the
+        cell is uncached, i.e. ``kind="match"``). Kept in lock-step with
+        the key construction inside :class:`ExperimentRunner` by
+        ``tests/test_parallel.py``.
+        """
+        if self.kind == "raw":
+            return config.cache_key(
+                "raw", self.system, self.dataset, budget_tag(self.budget_hours)
+            )
+        if self.kind == "adapted":
+            return config.cache_key(
+                "adapted", self.system, self.dataset,
+                self.tokenizer, self.embedder, budget_tag(self.budget_hours),
+            )
+        if self.kind == "deepmatcher":
+            return config.cache_key("deepmatcher", self.dataset)
+        return None
+
+    def run(self, runner: ExperimentRunner) -> EvaluationResult:
+        """Evaluate this cell through (or alongside) ``runner``."""
+        if self.kind == "raw":
+            return runner.run_raw_automl(self.system, self.dataset, self.budget_hours)
+        if self.kind == "adapted":
+            return runner.run_adapted_automl(
+                self.system, self.dataset,
+                self.tokenizer, self.embedder, self.budget_hours,
+            )
+        if self.kind == "deepmatcher":
+            return runner.run_deepmatcher(self.dataset)
+        splits = runner.splits(self.dataset)
+        pipeline = EMPipeline(
+            automl=self.system,
+            budget_hours=self.budget_hours,
+            seed=runner.config.seed,
+            max_models=runner.config.max_models,
+        )
+        return evaluate_matcher(pipeline, splits, system_name=self.system)
+
+
+def _table2_cells(datasets: tuple[str, ...]) -> list[Cell]:
+    cells = []
+    for name in datasets:
+        for system, budget in SYSTEM_BUDGETS:
+            cells.append(Cell("raw", name, system=system, budget_hours=budget))
+        cells.append(Cell("deepmatcher", name))
+    return cells
+
+
+def _table3_cells(
+    datasets: tuple[str, ...],
+    systems: tuple[str, ...],
+    embedders: tuple[str, ...],
+) -> list[Cell]:
+    cells = []
+    for system in systems:
+        for name in datasets:
+            for mode in TOKENIZER_MODES:
+                for embedder in embedders:
+                    cells.append(
+                        Cell(
+                            "adapted", name, system=system,
+                            tokenizer=mode, embedder=embedder, budget_hours=1.0,
+                        )
+                    )
+    return cells
+
+
+def _table4_cells(
+    datasets: tuple[str, ...],
+    systems: tuple[str, ...],
+    embedders: tuple[str, ...],
+) -> list[Cell]:
+    budgets = dict(SYSTEM_BUDGETS)
+    cells = []
+    for name in datasets:
+        for system in systems:
+            cells.append(
+                Cell("raw", name, system=system,
+                     budget_hours=budgets.get(system, 1.0))
+            )
+            for mode in TOKENIZER_MODES:
+                for embedder in embedders:
+                    cells.append(
+                        Cell(
+                            "adapted", name, system=system,
+                            tokenizer=mode, embedder=embedder, budget_hours=1.0,
+                        )
+                    )
+    return cells
+
+
+def _table5_cells(
+    datasets: tuple[str, ...],
+    systems: tuple[str, ...],
+    budgets: tuple[float, ...],
+) -> list[Cell]:
+    cells = []
+    for name in datasets:
+        cells.append(Cell("deepmatcher", name))
+        for budget in budgets:
+            for system in systems:
+                cells.append(
+                    Cell(
+                        "adapted", name, system=system,
+                        tokenizer=BEST_TOKENIZER, embedder=BEST_EMBEDDER,
+                        budget_hours=budget,
+                    )
+                )
+    return cells
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """An ordered, duplicate-free set of cells for one benchmark table."""
+
+    table: int
+    cells: tuple[Cell, ...]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @classmethod
+    def for_table(
+        cls,
+        number: int,
+        datasets: tuple[str, ...] = DATASET_NAMES,
+        systems: tuple[str, ...] = AUTOML_NAMES,
+        embedders: tuple[str, ...] = EMBEDDER_NAMES,
+        budgets: tuple[float, ...] = (1.0, 6.0),
+    ) -> "GridSpec":
+        """The canonical grid of Table ``number`` (2-5; Table 1 is
+        dataset statistics and has no evaluation grid).
+        """
+        if number == 2:
+            cells = _table2_cells(datasets)
+        elif number == 3:
+            cells = _table3_cells(datasets, systems, embedders)
+        elif number == 4:
+            cells = _table4_cells(datasets, systems, embedders)
+        elif number == 5:
+            cells = _table5_cells(datasets, systems, budgets)
+        else:
+            raise ValueError(f"table {number} has no experiment grid")
+        # First occurrence wins: Cell is frozen/hashable, dict preserves
+        # insertion order, so the canonical order survives deduping.
+        return cls(table=number, cells=tuple(dict.fromkeys(cells)))
+
+    @classmethod
+    def single_match(
+        cls, dataset: str, system: str, budget_hours: float | None
+    ) -> "GridSpec":
+        """A one-cell grid mirroring ``repro-em match``."""
+        return cls(
+            table=0,
+            cells=(
+                Cell("match", dataset, system=system, budget_hours=budget_hours),
+            ),
+        )

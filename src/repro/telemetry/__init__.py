@@ -54,6 +54,7 @@ from repro.telemetry.recorder import (
 )
 from repro.telemetry.schema import TRACE_SCHEMA, validate_instance, validate_trace
 from repro.telemetry.spans import Span, span, traced
+from repro.telemetry.stitch import graft_snapshot
 
 __all__ = [
     "BUDGET_HOURS_BUCKETS",
@@ -73,6 +74,7 @@ __all__ = [
     "enable",
     "event",
     "gauge",
+    "graft_snapshot",
     "histogram",
     "read_jsonl",
     "recording",

@@ -1,0 +1,126 @@
+"""Stitching worker traces into one span tree.
+
+The parallel experiment executor runs each grid cell in its own process
+with its own :class:`~repro.telemetry.recorder.TelemetryRecorder`; the
+finished snapshot (plain dicts, see :func:`repro.telemetry.snapshot`)
+ships back over the result pipe. :func:`graft_snapshot` attaches such a
+snapshot to the parent recorder as one subtree:
+
+* a synthetic **root span** is created under the currently open span of
+  the calling thread (the executor's ``parallel.run`` span), carrying
+  the cell's identity as attributes;
+* every worker span is **re-identified** from the parent recorder's id
+  counter (old ids are remapped, parenthood is preserved, worker roots
+  hang off the synthetic root) and **re-based in time** so the subtree
+  ends at the moment of grafting;
+* worker **metrics merge** into the parent registry — counters add,
+  gauges last-write-wins, histograms add bucket-by-bucket (bounds are
+  fixed at creation, so same-name histograms always line up);
+* worker **events** append in emission order, keeping the AutoML trial
+  ledger complete across processes.
+
+Grafting happens cell-by-cell in canonical grid order, so the merged
+trace is deterministic in structure (ids, parenthood, event order) even
+though workers finish in arbitrary order.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.telemetry.events import Event, TrialEvent
+from repro.telemetry.spans import Span
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.telemetry.recorder import TelemetryRecorder
+
+__all__ = ["graft_snapshot"]
+
+
+def _merge_metrics(recorder: "TelemetryRecorder", metrics: list[dict]) -> None:
+    for metric in metrics:
+        name = metric.get("name", "?")
+        metric_type = metric.get("type")
+        if metric_type == "counter":
+            recorder.metrics.counter(name).inc(float(metric.get("value", 0.0)))
+        elif metric_type == "gauge":
+            recorder.metrics.gauge(name).set(float(metric.get("value", 0.0)))
+        elif metric_type == "histogram":
+            bounds = tuple(float(b) for b in metric.get("bounds", ()))
+            histogram = recorder.metrics.histogram(name, bounds)
+            counts = metric.get("counts", [])
+            for slot, count in enumerate(counts[: len(histogram.counts)]):
+                histogram.counts[slot] += int(count)
+            histogram.total += int(metric.get("count", 0))
+            histogram.sum += float(metric.get("sum", 0.0))
+
+
+def _revive_event(line: dict) -> Event:
+    attrs = dict(line.get("attrs", {}))
+    if line.get("name") == "trial":
+        known = {
+            key: attrs.pop(key)
+            for key in (
+                "system", "family", "config", "hours",
+                "valid_f1", "accepted", "reason",
+            )
+            if key in attrs
+        }
+        return TrialEvent(attributes=attrs, **known)
+    return Event(name=line.get("name", "?"), attributes=attrs)
+
+
+def graft_snapshot(
+    recorder: "TelemetryRecorder",
+    trace: dict,
+    name: str = "parallel.cell",
+    **attributes,
+) -> int:
+    """Merge one worker trace snapshot into ``recorder``; returns the id
+    of the synthetic root span the worker's spans were attached to.
+    """
+    now = time.perf_counter() - recorder.t0
+    worker_spans = trace.get("spans", [])
+    duration = max((s.get("end", 0.0) for s in worker_spans), default=0.0)
+    base = now - duration
+
+    parent = recorder.current_span()
+    root_id = recorder.allocate_id()
+
+    # First pass: give every worker span a parent-recorder id, in worker
+    # allocation order so the remapping is deterministic.
+    id_map: dict[int, int] = {}
+    for old_id in sorted(s.get("id", -1) for s in worker_spans):
+        id_map[old_id] = recorder.allocate_id()
+
+    recorder.finish_span(
+        Span(
+            name=name,
+            span_id=root_id,
+            parent_id=parent.span_id if parent is not None else None,
+            start=base,
+            end=now,
+            attributes=dict(attributes),
+        )
+    )
+    for line in worker_spans:
+        old_parent = line.get("parent")
+        recorder.finish_span(
+            Span(
+                name=line.get("name", "?"),
+                span_id=id_map[line.get("id", -1)],
+                parent_id=(
+                    root_id if old_parent is None else id_map.get(old_parent, root_id)
+                ),
+                start=base + line.get("start", 0.0),
+                end=base + line.get("end", 0.0),
+                attributes=dict(line.get("attrs", {})),
+                error=line.get("error"),
+            )
+        )
+
+    _merge_metrics(recorder, trace.get("metrics", []))
+    for line in trace.get("events", []):
+        recorder.record_event(_revive_event(line))
+    return root_id

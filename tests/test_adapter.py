@@ -260,3 +260,59 @@ class TestAdapterCacheKeying:
         second = adapter.transform(dataset.subset([3, 4, 5]))
         assert first.shape == second.shape
         assert not np.allclose(first, second)
+
+
+class TestAdapterDiskCache:
+    """Regression tests for the atomic .npy spill (mkstemp + rename)."""
+
+    def _transform(self, tmp_path, dataset):
+        adapter = EMAdapter("attr", "dbert", "mean")
+        return adapter.transform(dataset), tmp_path / "adapter"
+
+    def test_transform_leaves_only_npy(self, tmp_path, monkeypatch):
+        """A successful spill leaves exactly one .npy and zero .tmp files
+        (np.save used to re-append .npy to the mkstemp name, orphaning a
+        zero-byte temp file on every store)."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_adapter_cache()
+        features, disk_dir = self._transform(tmp_path, make_dataset())
+        clear_adapter_cache()
+        names = sorted(p.name for p in disk_dir.iterdir())
+        assert len(names) == 1 and names[0].endswith(".npy")
+        np.testing.assert_array_equal(np.load(disk_dir / names[0]), features)
+
+    def test_failed_save_leaks_nothing(self, tmp_path, monkeypatch):
+        """A save that dies mid-write (full disk, broken dtype) must not
+        leave a temp file behind in the shared cache directory."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_adapter_cache()
+
+        def explode(*args, **kwargs):
+            raise OSError("No space left on device")
+
+        monkeypatch.setattr("repro.adapter.pipeline.np.save", explode)
+        with pytest.raises(OSError):
+            self._transform(tmp_path, make_dataset())
+        clear_adapter_cache()
+        assert list((tmp_path / "adapter").iterdir()) == []
+
+    def test_corrupt_disk_file_recomputed(self, tmp_path, monkeypatch):
+        """A truncated/garbage cache file counts as corrupt (not a plain
+        miss), is recomputed, and is overwritten with a valid matrix."""
+        from repro import telemetry
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_adapter_cache()
+        dataset = make_dataset()
+        features, disk_dir = self._transform(tmp_path, dataset)
+        (cached,) = disk_dir.iterdir()
+        cached.write_bytes(b"not a numpy file")
+        clear_adapter_cache()
+
+        with telemetry.recording() as rec:
+            again, _ = self._transform(tmp_path, dataset)
+        clear_adapter_cache()
+        assert rec.metrics.counters["adapter.cache.disk.corrupt"].value == 1
+        assert "adapter.cache.disk.misses" not in rec.metrics.counters
+        np.testing.assert_array_equal(again, features)
+        np.testing.assert_array_equal(np.load(cached), features)

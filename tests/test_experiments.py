@@ -135,3 +135,71 @@ class TestCli:
         out = capsys.readouterr().out
         assert code == 0
         assert "autosklearn on S-BR" in out
+
+
+class TestStaleCacheRecords:
+    """Regression tests: pre-counter-split, a disk record written by an
+    older code version (different EvaluationResult fields) was fed
+    straight into the constructor and raised TypeError mid-table."""
+
+    def _key_path(self, tmp_path, config):
+        return tmp_path / f"{config.cache_key('deepmatcher', 'S-BR')}.json"
+
+    def test_legacy_record_treated_as_miss_and_overwritten(
+        self, tmp_path, monkeypatch
+    ):
+        from repro import telemetry
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        config = ExperimentConfig(scale=0.02, max_models=2)
+        path = self._key_path(tmp_path, config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # A plausible record from before wall_seconds existed, plus a
+        # field that was since removed — both shape drifts at once.
+        path.write_text(
+            '{"system": "deepmatcher", "dataset": "S-BR", "f1": 1.0,'
+            ' "precision": 1.0, "recall": 1.0, "simulated_hours": 0.1,'
+            ' "n_models": 4}'
+        )
+
+        with telemetry.recording() as rec:
+            result = ExperimentRunner(config).run_deepmatcher("S-BR")
+        assert rec.metrics.counters["runner.cache.disk.stale"].value == 1
+        assert result.f1 != 1.0  # recomputed, not replayed
+
+        # The stale record was overwritten with the current shape: a
+        # fresh runner replays it from disk without recomputation.
+        with telemetry.recording() as rec:
+            replay = ExperimentRunner(config).run_deepmatcher("S-BR")
+        assert rec.metrics.counters["runner.cache.disk.hits"].value == 1
+        assert "runner.run_deepmatcher" not in [s.name for s in rec.spans]
+        assert replay == result
+
+    def test_corrupt_json_counted_apart_from_misses(
+        self, tmp_path, monkeypatch
+    ):
+        from repro import telemetry
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        config = ExperimentConfig(scale=0.02, max_models=2)
+        path = self._key_path(tmp_path, config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"system": "deepmatcher", "da')  # torn write
+
+        with telemetry.recording() as rec:
+            ExperimentRunner(config).run_deepmatcher("S-BR")
+        counters = rec.metrics.counters
+        assert counters["runner.cache.disk.corrupt"].value == 1
+        assert "runner.cache.disk.misses" not in counters
+
+    def test_cold_cache_counts_plain_miss(self, tmp_path, monkeypatch):
+        from repro import telemetry
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        config = ExperimentConfig(scale=0.02, max_models=2)
+        with telemetry.recording() as rec:
+            ExperimentRunner(config).run_deepmatcher("S-BR")
+        counters = rec.metrics.counters
+        assert counters["runner.cache.disk.misses"].value == 1
+        assert "runner.cache.disk.corrupt" not in counters
+        assert "runner.cache.disk.stale" not in counters
