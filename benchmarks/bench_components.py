@@ -253,3 +253,29 @@ def test_parallel_executor_speedup(benchmark, tmp_path, monkeypatch):
     assert parallel_seconds < serial_seconds, (
         f"jobs=2 took {parallel_seconds:.1f}s vs {serial_seconds:.1f}s serial"
     )
+
+
+def test_faults_checkpoint_disabled_overhead(benchmark):
+    """The no-op-when-disabled guarantee of ``repro.faults``.
+
+    Every hardened I/O seam pays one disabled ``checkpoint`` call per
+    operation in production (no plan installed — the only production
+    state). The call is one module attribute read plus an ``is None``
+    check; this bench asserts it stays under 1µs so the crash-safety
+    instrumentation is free on the hot paths.
+    """
+    from repro import faults
+
+    assert faults.active() is None, "fault injection must be off by default"
+    calls = 10_000
+
+    def disabled_checkpoints():
+        for _ in range(calls):
+            faults.checkpoint("bench.noop")
+
+    benchmark.pedantic(disabled_checkpoints, rounds=3, iterations=1)
+    per_call = benchmark.stats.stats.min / calls
+    assert per_call < 1e-6, (
+        f"disabled checkpoint cost {per_call * 1e9:.0f}ns per call; "
+        "expected under 1µs"
+    )

@@ -17,7 +17,7 @@ import numpy as np
 import os
 from pathlib import Path
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.adapter.combiner import Combiner, MeanCombiner, make_combiner
 from repro.adapter.embedder import TransformerEmbedder
 from repro.adapter.tokenizer import PairTokenizer, make_tokenizer
@@ -139,14 +139,25 @@ class EMAdapter:
                 ).replace("/", "-") + ".npy"
                 disk_path = disk_dir / file_name
                 if disk_path.exists():
+                    faults.checkpoint("adapter.cache.read", path=str(disk_path))
                     try:
                         features = np.load(disk_path)
-                    except (OSError, ValueError):
-                        # Half-written or truncated file: recompute and
-                        # overwrite. Counted apart from plain misses so a
-                        # concurrent run's interference is visible.
+                    except (OSError, ValueError, EOFError):
+                        # Half-written, truncated, or garbage file
+                        # (np.load raises EOFError for a zero-byte
+                        # entry): unlink it so nothing re-reads the bad
+                        # bytes, then recompute and overwrite. Counted
+                        # apart from plain misses so a concurrent run's
+                        # interference is visible.
                         features = None
                         telemetry.counter("adapter.cache.disk.corrupt").inc()
+                        try:
+                            os.unlink(disk_path)
+                        except OSError:
+                            pass  # Already replaced by a healthy writer.
+                        faults.mark_recovered(
+                            "adapter.cache.read", path=str(disk_path)
+                        )
                     if features is not None:
                         telemetry.counter("adapter.cache.disk.hits").inc()
                         root.set(cache="disk")
@@ -193,7 +204,8 @@ class EMAdapter:
         appending ``.npy`` and leaving the zero-byte mkstemp file behind,
         and the ``finally`` unlink guarantees a failed save (full disk,
         non-serializable dtype) leaks nothing; after a successful rename
-        it is a no-op.
+        it is a no-op. Transient failures are retried with a fresh temp
+        file per attempt (:func:`repro.faults.io_retry`).
         """
         if self.cache:
             _CACHE[key] = features
@@ -201,16 +213,26 @@ class EMAdapter:
                 import tempfile
 
                 disk_path.parent.mkdir(parents=True, exist_ok=True)
-                fd, tmp_name = tempfile.mkstemp(
-                    dir=disk_path.parent, suffix=".tmp", prefix=disk_path.stem
-                )
-                try:
-                    with os.fdopen(fd, "wb") as handle:
-                        np.save(handle, features)
-                    os.replace(tmp_name, disk_path)
-                finally:
-                    if os.path.exists(tmp_name):
-                        os.unlink(tmp_name)
+
+                def _write() -> None:
+                    fd, tmp_name = tempfile.mkstemp(
+                        dir=disk_path.parent, suffix=".tmp", prefix=disk_path.stem
+                    )
+                    try:
+                        with os.fdopen(fd, "wb") as handle:
+                            faults.checkpoint(
+                                "adapter.cache.store.write", path=str(disk_path)
+                            )
+                            np.save(handle, features)
+                        faults.checkpoint(
+                            "adapter.cache.store.replace", path=str(disk_path)
+                        )
+                        os.replace(tmp_name, disk_path)
+                    finally:
+                        if os.path.exists(tmp_name):
+                            os.unlink(tmp_name)
+
+                faults.io_retry(_write, "adapter.cache.store")
         return features
 
     def transform_splits(self, splits) -> tuple[np.ndarray, ...]:

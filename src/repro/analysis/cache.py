@@ -21,7 +21,7 @@ import os
 import tempfile
 from pathlib import Path
 
-from repro import telemetry
+from repro import faults, telemetry
 
 __all__ = ["AnalysisCache", "DEFAULT_CACHE_DIR"]
 
@@ -64,6 +64,7 @@ class AnalysisCache:
         if self._entries is not None:
             return self._entries
         entries: dict[str, dict] = {}
+        faults.checkpoint("analysis.cache.read", path=str(self.path))
         try:
             payload = json.loads(self.path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
@@ -74,6 +75,10 @@ class AnalysisCache:
             and isinstance(payload.get("files"), dict)
         ):
             entries = payload["files"]
+        else:
+            # Unreadable, corrupt, or version-mismatched: the cold run
+            # *is* the degraded path, and save() repairs the file.
+            faults.mark_recovered("analysis.cache.read", path=str(self.path))
         self._entries = entries
         return entries
 
@@ -150,18 +155,28 @@ class AnalysisCache:
             if Path(key).exists()
         }
         payload = {"version": CACHE_VERSION, "files": live}
-        try:
+
+        def _write() -> None:
             self.directory.mkdir(parents=True, exist_ok=True)
             handle, tmp_name = tempfile.mkstemp(
                 dir=str(self.directory), suffix=".tmp"
             )
             try:
                 with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                    faults.checkpoint(
+                        "analysis.cache.store.write", path=str(self.path)
+                    )
                     json.dump(payload, stream, sort_keys=True)
+                faults.checkpoint(
+                    "analysis.cache.store.replace", path=str(self.path)
+                )
                 os.replace(tmp_name, self.path)
             finally:
                 if os.path.exists(tmp_name):
                     os.unlink(tmp_name)
+
+        try:
+            faults.io_retry(_write, "analysis.cache.store")
         except OSError:
             return  # caching is best-effort; never fail the lint run
         self.dirty = False

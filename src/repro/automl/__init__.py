@@ -18,7 +18,12 @@ paper's 1h/6h budget experiments reproduce in seconds (DESIGN.md §2).
 from repro.automl.autogluon_like import AutoGluonLike
 from repro.automl.autokeras_like import AutoKerasLike
 from repro.automl.autosklearn_like import AutoSklearnLike
-from repro.automl.base import AutoMLSystem, FitReport, LeaderboardEntry
+from repro.automl.base import (
+    ESTIMATOR_FAILURES,
+    AutoMLSystem,
+    FitReport,
+    LeaderboardEntry,
+)
 from repro.automl.h2o_like import H2OAutoMLLike
 from repro.automl.random_search import RandomSearchProposer
 from repro.automl.resources import SimulatedClock, TimeBudget, model_cost_hours
@@ -38,6 +43,7 @@ __all__ = [
     "CategoricalDim",
     "ConfigSpace",
     "Dimension",
+    "ESTIMATOR_FAILURES",
     "FitReport",
     "FloatDim",
     "H2OAutoMLLike",

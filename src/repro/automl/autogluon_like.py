@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import faults
 from repro.automl.base import AutoMLSystem, LeaderboardEntry
 from repro.automl.resources import SimulatedClock
 from repro.automl.search_space import Configuration
@@ -95,6 +96,8 @@ class AutoGluonLike(AutoMLSystem):
                     family_label="stack",
                 )
             except BudgetExhaustedError:
+                # Graceful degradation: serve from the bagged base layer.
+                faults.mark_recovered("automl.budget")
                 break
             if bagged is None:
                 break
@@ -124,6 +127,8 @@ class AutoGluonLike(AutoMLSystem):
                 force=not self._leaderboard,
             )
         except BudgetExhaustedError:
+            # Stop bagging further members; what's trained so far serves.
+            faults.mark_recovered("automl.budget")
             return None
 
         folds = []

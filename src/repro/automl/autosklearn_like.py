@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import faults, telemetry
 from repro.automl.base import AutoMLSystem
 from repro.automl.bayesian import SMBOProposer
 from repro.automl.meta_learning import MetaFeatures, warm_start_portfolio
@@ -48,12 +49,14 @@ class AutoSklearnLike(AutoMLSystem):
 
         for config in warm_start_portfolio(meta):
             entry = self._evaluate(config, X, y, X_valid, y_valid, clock)
-            proposer.observe(entry.config, entry.valid_f1)
+            if entry is not None:  # None = estimator failure, skipped.
+                proposer.observe(entry.config, entry.valid_f1)
 
         while True:  # Until BudgetExhaustedError stops us.
             config = proposer.propose()
             entry = self._evaluate(config, X, y, X_valid, y_valid, clock)
-            proposer.observe(entry.config, entry.valid_f1)
+            if entry is not None:
+                proposer.observe(entry.config, entry.valid_f1)
 
     def _build_final(self, X, y, X_valid, y_valid, clock: SimulatedClock) -> None:
         proba_matrix = np.column_stack(
@@ -70,8 +73,13 @@ class AutoSklearnLike(AutoMLSystem):
             if remaining > 0:
                 try:
                     clock.charge(remaining, "budget-exhausting search")
-                except BudgetExhaustedError:  # pragma: no cover - defensive
-                    pass
+                except BudgetExhaustedError:
+                    # Cannot fire for real (charging exactly what
+                    # remains always fits), but an injected budget
+                    # fault lands here: count it instead of silently
+                    # swallowing, and settle the fault as absorbed.
+                    telemetry.counter("automl.budget.clamped").inc()
+                    faults.mark_recovered("automl.budget")
 
     def _ensemble_proba(self, X: np.ndarray) -> np.ndarray:
         total = np.zeros(len(X))

@@ -16,13 +16,37 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.automl.resources import SimulatedClock, TimeBudget, model_cost_hours
 from repro.automl.search_space import Configuration
-from repro.exceptions import BudgetExhaustedError, NotFittedError
+from repro.exceptions import (
+    BudgetExhaustedError,
+    ConfigurationError,
+    NotFittedError,
+)
 from repro.ml.metrics import best_f1_threshold, f1_score
 
-__all__ = ["LeaderboardEntry", "FitReport", "AutoMLSystem"]
+__all__ = [
+    "ESTIMATOR_FAILURES",
+    "LeaderboardEntry",
+    "FitReport",
+    "AutoMLSystem",
+]
+
+#: The exception types a *single candidate* may legitimately die of —
+#: bad hyper-parameter combinations (:class:`ConfigurationError` covers
+#: :class:`~repro.exceptions.SearchSpaceError` and
+#: :class:`~repro.exceptions.UnknownModelError`), numerically singular
+#: fits, and estimators queried before convergence. The trial loop
+#: records these as rejected trials and moves on; anything outside this
+#: tuple is a bug and propagates.
+ESTIMATOR_FAILURES = (
+    ConfigurationError,
+    NotFittedError,
+    FloatingPointError,
+    ZeroDivisionError,
+    np.linalg.LinAlgError,
+)
 
 
 @dataclass
@@ -130,8 +154,16 @@ class AutoMLSystem(abc.ABC):
             with telemetry.span("automl.search", system=self.name):
                 try:
                     self._search(X, y, X_valid, y_valid, clock)
-                except BudgetExhaustedError:
-                    pass
+                except BudgetExhaustedError as exc:
+                    # The expected stop signal — but leave a trace
+                    # instead of swallowing it silently, and settle any
+                    # injected budget fault as gracefully absorbed.
+                    telemetry.event(
+                        "automl.search.stopped",
+                        system=self.name,
+                        reason=str(exc),
+                    )
+                    faults.mark_recovered("automl.budget")
             if not self._leaderboard:
                 raise BudgetExhaustedError(
                     f"{self.name}: budget too small to evaluate any "
@@ -192,12 +224,15 @@ class AutoMLSystem(abc.ABC):
         X_valid: np.ndarray,
         y_valid: np.ndarray,
         clock: SimulatedClock,
-    ) -> LeaderboardEntry:
+    ) -> LeaderboardEntry | None:
         """Train one candidate, charge the clock, record on leaderboard.
 
-        Every candidate the search proposes — trained or turned away —
-        lands in the telemetry trial ledger, so an exported trace
-        accounts for the entire budget spend of a fit.
+        Every candidate the search proposes — trained, turned away, or
+        failed — lands in the telemetry trial ledger, so an exported
+        trace accounts for the entire budget spend of a fit. A candidate
+        that dies of one of :data:`ESTIMATOR_FAILURES` is recorded as a
+        rejected trial and skipped (``None`` is returned); any other
+        exception is a bug in the search itself and propagates.
         """
         if len(self._leaderboard) >= self.max_models:
             telemetry.trial(
@@ -237,9 +272,24 @@ class AutoMLSystem(abc.ABC):
                 reason="budget-exhausted",
             )
             raise
-        model = config.build(seed=int(self._rng.integers(0, 2**31 - 1)))
-        model.fit(X, y)
-        proba = model.predict_proba(X_valid)[:, 1]
+        try:
+            model = config.build(seed=int(self._rng.integers(0, 2**31 - 1)))
+            model.fit(X, y)
+            proba = model.predict_proba(X_valid)[:, 1]
+        except ESTIMATOR_FAILURES as exc:
+            # One bad candidate must not abort the whole search (the
+            # budget it charged stays spent, as in any real system).
+            telemetry.counter("automl.trials.failed").inc()
+            telemetry.trial(
+                system=self.name,
+                family=config.family,
+                config=str(config),
+                hours=hours,
+                valid_f1=None,
+                accepted=False,
+                reason=f"estimator-failure:{type(exc).__name__}",
+            )
+            return None
         score = f1_score(y_valid, (proba >= 0.5).astype(np.int64))
         entry = LeaderboardEntry(config, model, score, proba, hours)
         self._leaderboard.append(entry)

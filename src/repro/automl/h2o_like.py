@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import faults
 from repro.automl.base import AutoMLSystem
 from repro.automl.resources import SimulatedClock
 from repro.automl.search_space import (
@@ -80,6 +81,8 @@ class H2OAutoMLLike(AutoMLSystem):
                 "stack", len(X), len(self._base_entries), label="super learner"
             )
         except BudgetExhaustedError:
+            # Graceful degradation: no stacker, best single model serves.
+            faults.mark_recovered("automl.budget")
             self._meta = None
             return
 

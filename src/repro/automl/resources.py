@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.exceptions import BudgetExhaustedError
 
 __all__ = ["SimulatedClock", "TimeBudget", "model_cost_hours"]
@@ -114,6 +114,10 @@ class SimulatedClock:
         """
         if hours < 0:
             raise ValueError(f"cannot charge negative time: {hours}")
+        # Chaos seam: a scheduled "budget" fault raises
+        # BudgetExhaustedError here mid-trial, which the search loops
+        # must absorb exactly like a genuine exhaustion.
+        faults.checkpoint("automl.budget", label=label)
         if not force and not self.can_afford(hours):
             telemetry.counter("automl.budget.rejections").inc()
             raise BudgetExhaustedError(

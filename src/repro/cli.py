@@ -9,6 +9,7 @@ Subcommands::
     repro-em trace --dataset S-DA                           Trace one pipeline
     repro-em trace --validate trace.jsonl                   Check a trace file
     repro-em lint [paths] [--format json] [--baseline F]    Static analysis
+    repro-em chaos [--plans N] [--seed S] [--jobs N]        Crash-safety drill
 
 ``table``, ``match``, and ``trace`` accept ``--telemetry off|text|json``
 (plus ``--trace-file PATH`` for ``json``): the run is recorded by
@@ -256,6 +257,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.parallel import run_chaos
+
+    config = _config(args)
+    # Chaos drills a small grid many times over; default to one dataset
+    # rather than the full twelve the other verbs assume.
+    datasets = _datasets(args) if args.datasets is not None else ("S-FZ",)
+    report = run_chaos(
+        table=args.table,
+        config=config,
+        datasets=datasets,
+        plans=args.plans,
+        jobs=max(1, args.jobs),
+        seed=args.seed,
+    )
+    print(report.render())
+    if args.trace_file and report.trace is not None:
+        from repro.telemetry import write_jsonl
+
+        write_jsonl(report.trace, args.trace_file)
+        print(f"trace written to {args.trace_file}")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro-em`` console script."""
     parser = argparse.ArgumentParser(
@@ -339,6 +364,31 @@ def main(argv: list[str] | None = None) -> int:
 
     add_lint_arguments(p_lint)
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="crash-safety drill: rerun a table grid under seeded fault "
+        "plans (repro.faults) and diff against the fault-free output",
+    )
+    p_chaos.add_argument(
+        "--table", type=int, choices=(2, 3, 4, 5), default=2,
+        help="table grid to drill (default 2)",
+    )
+    p_chaos.add_argument(
+        "--plans", type=int, default=3,
+        help="number of seeded fault plans to run (default 3)",
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=None,
+        help="fault-plan seed override (default: the substrate seed)",
+    )
+    p_chaos.add_argument(
+        "--trace-file", type=str, default=None,
+        help="write the last plan's telemetry trace here as JSON lines",
+    )
+    _add_scale(p_chaos)
+    _add_jobs(p_chaos)
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -16,7 +16,7 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.adapter import (
     EMAdapter,
     NativeTabularFeaturizer,
@@ -78,12 +78,21 @@ class ExperimentRunner:
         if path is None or not path.exists():
             telemetry.counter("runner.cache.disk.misses").inc()
             return None
+        faults.checkpoint("runner.cache.read", path=str(path))
         try:
             with path.open() as handle:
                 record = json.load(handle)
-        except (json.JSONDecodeError, OSError):
-            # Half-written by a concurrent worker: recompute and overwrite.
+        except (ValueError, OSError):
+            # Half-written or garbled by a dying writer: JSONDecodeError
+            # for truncated text, UnicodeDecodeError (also a ValueError)
+            # for binary garbage. Drop the bad entry so nothing re-reads
+            # it, then recompute and overwrite.
             telemetry.counter("runner.cache.disk.corrupt").inc()
+            try:
+                os.unlink(path)
+            except OSError:
+                pass  # Already replaced by a healthy writer.
+            faults.mark_recovered("runner.cache.read", path=str(path))
             return None
         if not isinstance(record, dict) or set(record) != _RESULT_FIELDS:
             # A record written before EvaluationResult gained or lost a
@@ -104,17 +113,27 @@ class ExperimentRunner:
             # half-written file to a concurrent reader. The temp file is
             # unlinked on any failure (e.g. a non-serializable record or
             # a full disk) instead of leaking into the cache directory;
-            # after a successful rename the unlink is a no-op.
-            fd, tmp_name = tempfile.mkstemp(
-                dir=path.parent, suffix=".tmp", prefix=path.stem
-            )
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    json.dump(record, handle, indent=1)
-                os.replace(tmp_name, path)
-            finally:
-                if os.path.exists(tmp_name):
-                    os.unlink(tmp_name)
+            # after a successful rename the unlink is a no-op. Transient
+            # failures retry with a fresh temp file per attempt.
+            def _write() -> None:
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=path.parent, suffix=".tmp", prefix=path.stem
+                )
+                try:
+                    with os.fdopen(fd, "w") as handle:
+                        faults.checkpoint(
+                            "runner.cache.store.write", path=str(path)
+                        )
+                        json.dump(record, handle, indent=1)
+                    faults.checkpoint(
+                        "runner.cache.store.replace", path=str(path)
+                    )
+                    os.replace(tmp_name, path)
+                finally:
+                    if os.path.exists(tmp_name):
+                        os.unlink(tmp_name)
+
+            faults.io_retry(_write, "runner.cache.store")
 
     def seed_result(self, key: str, record: dict) -> None:
         """Inject a precomputed record into the in-memory cache.

@@ -1,0 +1,142 @@
+"""Deterministic fault injection: ``repro.faults``.
+
+Seeded, replayable failure drills for the pipeline's I/O seams. A
+:class:`FaultPlan` (see :mod:`repro.faults.plan`) schedules failures at
+named **injection points** — the ``faults.checkpoint("name")`` calls
+wired into the adapter/runner/analysis caches, model persistence, the
+parallel executor's workers, and the simulated budget clock. With no
+plan installed (the default, and the only production state) every
+checkpoint is a shared no-op: one module attribute read plus one
+``is None`` check, mirroring the disabled-telemetry design and asserted
+under 1µs in ``benchmarks/bench_components.py``.
+
+Install a plan around a workload to drill it::
+
+    from repro import faults
+
+    plan = faults.FaultPlan.generate(plan_id=0)
+    with faults.injecting(plan):
+        run_table2(config, datasets)          # faults fire, run recovers
+
+or from the CLI: ``repro-em chaos --plans 3`` runs a scaled Table 2
+grid under N generated plans and diffs every output against the
+fault-free run (see docs/ROBUSTNESS.md).
+
+Recovery policy lives beside the plan machinery:
+
+* :func:`io_retry` — bounded retries with deterministic backoff around
+  every atomic write seam;
+* cache corruption always degrades to recompute-and-repair in the
+  caller, reported back via :func:`mark_recovered`;
+* dead pool workers' cells are re-executed idempotently by
+  :class:`~repro.parallel.ParallelRunner`.
+
+Every fired fault is accounted in telemetry: ``faults.injected.<kind>``
+when it fires, then ``faults.recovered.<kind>`` or
+``faults.fatal.<kind>`` when settled — injected equals recovered plus
+fatal at the end of any run that degraded gracefully.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.faults.plan import (
+    CATALOG,
+    CORRUPT_PAYLOAD,
+    DEFAULT_CHAOS_POINTS,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    KILL_EXIT_CODE,
+)
+from repro.faults.policy import (
+    DEFAULT_ATTEMPTS,
+    DEFAULT_BACKOFF_SECONDS,
+    io_retry,
+)
+
+__all__ = [
+    "CATALOG",
+    "CORRUPT_PAYLOAD",
+    "DEFAULT_ATTEMPTS",
+    "DEFAULT_BACKOFF_SECONDS",
+    "DEFAULT_CHAOS_POINTS",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "KILL_EXIT_CODE",
+    "active",
+    "checkpoint",
+    "injecting",
+    "install",
+    "io_retry",
+    "mark_recovered",
+    "uninstall",
+]
+
+_active: FaultPlan | None = None
+
+
+def active() -> FaultPlan | None:
+    """The installed plan, or ``None`` when fault injection is off."""
+    return _active
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Install (and return) a plan; replaces any previous one."""
+    global _active
+    _active = plan
+    return plan
+
+
+def uninstall() -> FaultPlan | None:
+    """Turn fault injection off; returns the plan that was active."""
+    global _active
+    previous = _active
+    _active = None
+    return previous
+
+
+@contextmanager
+def injecting(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for a ``with`` block, restoring the previous
+    state (including "off") on exit."""
+    global _active
+    previous = _active
+    _active = plan
+    try:
+        yield plan
+    finally:
+        _active = previous
+
+
+def checkpoint(point: str, **context) -> None:
+    """Declare an injection point; a no-op unless a plan is installed.
+
+    Context keys the plans understand: ``path`` (the *final* file a
+    write seam is producing or a read seam is loading — ``corrupt``
+    faults garble it) and ``key`` (a work-item identity, e.g. a grid
+    cell label, that keyed specs match against).
+    """
+    plan = _active
+    if plan is None:
+        return
+    plan.visit(point, context)
+
+
+def mark_recovered(point: str, **context) -> None:
+    """Report that the degraded path for ``point`` succeeded.
+
+    Called by corruption/budget handlers *after* recovering (recompute,
+    repair, graceful stop). Settles a pending injected fault as
+    ``faults.recovered.<kind>``; a no-op when no plan is installed or
+    the damage was real rather than injected.
+    """
+    plan = _active
+    if plan is None:
+        return
+    plan.resolve(point, context)

@@ -1,0 +1,74 @@
+"""Graceful-degradation policy for transient filesystem faults.
+
+:func:`io_retry` wraps one atomic-write operation (the full
+mkstemp -> write -> ``os.replace`` sequence, including its
+``faults.checkpoint`` calls) in a bounded retry loop with deterministic
+exponential backoff. Each retry re-runs the *whole* operation, so every
+attempt gets a fresh temp file and the operation's own ``finally``
+unlink keeps failed attempts from orphaning anything.
+
+The retry loop is also where injected ``io`` faults are settled (see
+the accounting invariant in :mod:`repro.faults.plan`): an operation
+that eventually succeeds counts its injected failures as
+``faults.recovered.io``; one that exhausts its attempts counts them as
+``faults.fatal.io`` and re-raises — the caller sees an ordinary
+:class:`OSError`, exactly as if the disk had genuinely failed
+``attempts`` times.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+from repro import telemetry
+from repro.faults.plan import InjectedFaultError
+
+__all__ = ["DEFAULT_ATTEMPTS", "DEFAULT_BACKOFF_SECONDS", "io_retry"]
+
+#: Attempts per operation. Generated chaos plans schedule at most
+#: ``DEFAULT_ATTEMPTS - 1`` consecutive io faults, so they always
+#: recover; only hand-written plans (or a genuinely dying disk) exhaust
+#: the loop.
+DEFAULT_ATTEMPTS = 3
+
+#: First backoff; doubles per attempt (2ms, 4ms). Deterministic — no
+#: jitter — so retried runs stay replayable.
+DEFAULT_BACKOFF_SECONDS = 0.002
+
+T = TypeVar("T")
+
+
+def io_retry(
+    operation: Callable[[], T],
+    point: str,
+    attempts: int = DEFAULT_ATTEMPTS,
+    backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Run ``operation`` with bounded retries on :class:`OSError`.
+
+    ``point`` names the write seam for telemetry (``io.retries`` counts
+    every retried attempt, attributed nowhere else — the seam's own
+    checkpoints carry the name). ``sleep`` is injectable for tests.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    injected_failures = 0
+    for attempt in range(attempts):
+        try:
+            result = operation()
+        except OSError as exc:
+            if isinstance(exc, InjectedFaultError):
+                injected_failures += 1
+            if attempt + 1 == attempts:
+                if injected_failures:
+                    telemetry.counter("faults.fatal.io").inc(injected_failures)
+                raise
+            telemetry.counter("io.retries").inc()
+            sleep(backoff_seconds * (2**attempt))
+        else:
+            if injected_failures:
+                telemetry.counter("faults.recovered.io").inc(injected_failures)
+            return result
+    raise AssertionError(f"unreachable: io_retry({point}) exited its loop")

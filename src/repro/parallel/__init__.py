@@ -13,7 +13,10 @@ to ``--jobs 1``, just sooner.
   coordinate through the on-disk result/adapter caches (atomic renames)
   and ship records plus telemetry snapshots home over the result pipe;
 * :func:`run_table_parallel` — one-call table rendering, used by the
-  CLI's ``--jobs`` flag.
+  CLI's ``--jobs`` flag;
+* :func:`run_chaos` — the crash-safety drill behind ``repro-em chaos``:
+  the same grid under seeded fault plans (:mod:`repro.faults`), diffed
+  byte-for-byte against the fault-free run.
 
 Quickstart::
 
@@ -23,6 +26,7 @@ Quickstart::
     print(run_table_parallel(2, ExperimentConfig(scale=0.05), jobs=4))
 """
 
+from repro.parallel.chaos import ChaosReport, PlanOutcome, run_chaos
 from repro.parallel.executor import (
     CellResult,
     ParallelExecutionError,
@@ -34,8 +38,11 @@ from repro.parallel.grid import Cell, GridSpec
 __all__ = [
     "Cell",
     "CellResult",
+    "ChaosReport",
     "GridSpec",
     "ParallelExecutionError",
     "ParallelRunner",
+    "PlanOutcome",
+    "run_chaos",
     "run_table_parallel",
 ]

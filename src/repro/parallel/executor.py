@@ -31,9 +31,10 @@ import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.data.benchmark import DATASET_NAMES
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentRunner
@@ -81,9 +82,17 @@ class ParallelExecutionError(RuntimeError):
 _WORKER_RUNNER: ExperimentRunner | None = None
 
 
-def _init_worker(config: ExperimentConfig) -> None:
+def _init_worker(
+    config: ExperimentConfig, plan: "faults.FaultPlan | None" = None
+) -> None:
     global _WORKER_RUNNER
     _WORKER_RUNNER = ExperimentRunner(config)
+    # Chaos runs ship the parent's fault plan into every worker (with
+    # fork the module state is inherited anyway; with spawn this is the
+    # only channel). Re-shipped on pool rebuilds with fired kill specs
+    # disarmed, so a replacement worker does not die the same death.
+    if plan is not None:
+        faults.install(plan)
 
 
 def _execute_cell(index: int, cell: Cell, capture_trace: bool) -> dict:
@@ -91,6 +100,9 @@ def _execute_cell(index: int, cell: Cell, capture_trace: bool) -> dict:
     runner = _WORKER_RUNNER
     if runner is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker used before _init_worker")
+    # Chaos seam: a "kill" fault keyed to this cell's label dies here
+    # with os._exit — no unwinding, exactly like SIGKILL mid-cell.
+    faults.checkpoint("parallel.worker", key=cell.label)
     start = time.perf_counter()
     try:
         if capture_trace:
@@ -135,6 +147,12 @@ class ParallelRunner:
         which is also the byte-equality reference for any ``jobs > 1``.
     start_method:
         ``multiprocessing`` start method; default fork where available.
+    worker_restarts:
+        How many times a broken pool (a worker died without reporting —
+        injected kill fault or real crash) is rebuilt to re-execute the
+        missing cells before giving up with
+        :class:`ParallelExecutionError`. Re-execution is idempotent:
+        cells are deterministic and completed cells are never re-run.
     """
 
     def __init__(
@@ -142,12 +160,16 @@ class ParallelRunner:
         config: ExperimentConfig | None = None,
         jobs: int = 1,
         start_method: str | None = None,
+        worker_restarts: int = 2,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if worker_restarts < 0:
+            raise ValueError(f"worker_restarts must be >= 0, got {worker_restarts}")
         self.config = config if config is not None else ExperimentConfig()
         self.jobs = jobs
         self.start_method = start_method or _default_start_method()
+        self.worker_restarts = worker_restarts
 
     # ---------------------------------------------------------------- run
 
@@ -184,32 +206,76 @@ class ParallelRunner:
         recorder = telemetry.active()
         context = multiprocessing.get_context(self.start_method)
         payloads: dict[int, dict] = {}
-        with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(grid.cells)),
-            mp_context=context,
-            initializer=_init_worker,
-            initargs=(self.config,),
-        ) as pool:
-            futures = [
-                pool.submit(_execute_cell, index, cell, recorder is not None)
-                for index, cell in enumerate(grid.cells)
-            ]
-            try:
-                for future in as_completed(futures):
-                    payload = future.result()
-                    if "error" in payload:
-                        raise ParallelExecutionError(
-                            payload["label"],
-                            payload["error"],
-                            payload["traceback"],
-                        )
-                    payloads[payload["index"]] = payload
-            # Fail fast on anything (incl. KeyboardInterrupt): cancel
-            # queued cells so the pool can shut down promptly.
-            except BaseException:  # repro: noqa[GEN003]
-                for future in futures:
-                    future.cancel()
-                raise
+        pending: dict[int, Cell] = dict(enumerate(grid.cells))
+        restarts = 0
+        while pending:
+            plan = faults.active()
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending)),
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(self.config, plan),
+            ) as pool:
+                futures = [
+                    pool.submit(_execute_cell, index, cell, recorder is not None)
+                    for index, cell in pending.items()
+                ]
+                try:
+                    for future in as_completed(futures):
+                        payload = future.result()
+                        if "error" in payload:
+                            raise ParallelExecutionError(
+                                payload["label"],
+                                payload["error"],
+                                payload["traceback"],
+                            )
+                        payloads[payload["index"]] = payload
+                except BrokenProcessPool:
+                    # A worker died without reporting (injected kill
+                    # fault or real crash). Cancel what's queued, then
+                    # fall through to the restart accounting below.
+                    for future in futures:
+                        future.cancel()
+                # Fail fast on anything else (incl. KeyboardInterrupt):
+                # cancel queued cells so the pool can shut down promptly.
+                except BaseException:  # repro: noqa[GEN003]
+                    for future in futures:
+                        future.cancel()
+                    raise
+            pending = {
+                index: cell
+                for index, cell in pending.items()
+                if index not in payloads
+            }
+            if not pending:
+                break
+            # Re-execute the dead worker's cells in a fresh pool —
+            # idempotent by determinism, and completed cells are kept.
+            # Kill specs aimed at the still-missing cells are the
+            # injected culprits: disarm them so the replacement worker
+            # survives, and account one injected+recovered pair each.
+            restarts += 1
+            missing = {cell.label for cell in pending.values()}
+            disarmed = plan.disarm_kills(missing) if plan is not None else []
+            if disarmed:
+                # The dying process cannot count its own death; the
+                # parent accounts the injection, and its settlement
+                # depends on whether a retry is still allowed.
+                telemetry.counter("faults.injected.worker").inc(len(disarmed))
+            telemetry.counter("parallel.worker.restarts").inc()
+            if restarts > self.worker_restarts:
+                if disarmed:
+                    telemetry.counter("faults.fatal.worker").inc(len(disarmed))
+                raise ParallelExecutionError(
+                    label=", ".join(sorted(missing)),
+                    error_type="BrokenProcessPool",
+                    worker_traceback=(
+                        f"worker died without reporting; gave up after "
+                        f"{restarts - 1} pool restart(s)"
+                    ),
+                )
+            if disarmed:
+                telemetry.counter("faults.recovered.worker").inc(len(disarmed))
 
         # Merge in canonical grid order, not completion order: span ids,
         # trial-ledger order, and counter totals become deterministic.

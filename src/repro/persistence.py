@@ -8,10 +8,13 @@ written by a different major version rather than failing obscurely later.
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
 from pathlib import Path
 from typing import Any
 
+from repro import faults
 from repro.exceptions import ReproError
 
 __all__ = ["save_model", "load_model", "PersistenceError"]
@@ -27,7 +30,11 @@ def save_model(model: Any, path: str | Path) -> Path:
     """Serialize a fitted matcher (EMPipeline, DeepMatcherHybrid, ...).
 
     The envelope records the library version; any picklable matcher is
-    accepted.
+    accepted. The write is atomic: pickling into a same-directory temp
+    file and renaming means a crash mid-``pickle.dump`` (or an
+    unpicklable attribute discovered halfway through) can never destroy
+    a previously saved good copy, and the ``finally`` unlink keeps
+    failed attempts from leaving ``.tmp`` files beside the model.
     """
     from repro import __version__
 
@@ -39,8 +46,22 @@ def save_model(model: Any, path: str | Path) -> Path:
         "type": type(model).__name__,
         "model": model,
     }
-    with path.open("wb") as handle:
-        pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _write() -> None:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, suffix=".tmp", prefix=path.stem
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                faults.checkpoint("persistence.save.write", path=str(path))
+                pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            faults.checkpoint("persistence.save.replace", path=str(path))
+            os.replace(tmp_name, path)
+        finally:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+
+    faults.io_retry(_write, "persistence.save")
     return path
 
 

@@ -68,20 +68,37 @@ def write_jsonl(trace: dict, target: str | Path | IO[str]) -> None:
 def read_jsonl(source: str | Path | IO[str]) -> dict:
     """Parse a JSON-lines trace back into the :func:`snapshot` shape.
 
-    Raises :class:`ValueError` on malformed JSON; unknown ``kind``
-    values are preserved under ``"extra"`` so newer traces still render.
+    Raises :class:`ValueError` on malformed JSON *inside* the file;
+    unknown ``kind`` values are preserved under ``"extra"`` so newer
+    traces still render. A writer killed mid-:func:`write_jsonl` leaves
+    exactly one partially-written final line — that single truncated
+    trailing record is tolerated (dropped) and surfaced as
+    ``trace["truncated"] = True`` so callers can report the loss.
     """
     if hasattr(source, "read"):
         text = source.read()
     else:
         text = Path(source).read_text(encoding="utf-8")
-    trace: dict = {"meta": {}, "spans": [], "metrics": [], "events": [], "extra": []}
-    for number, raw in enumerate(text.splitlines(), start=1):
-        if not raw.strip():
-            continue
+    trace: dict = {
+        "meta": {},
+        "spans": [],
+        "metrics": [],
+        "events": [],
+        "extra": [],
+        "truncated": False,
+    }
+    numbered = [
+        (number, raw)
+        for number, raw in enumerate(text.splitlines(), start=1)
+        if raw.strip()
+    ]
+    for position, (number, raw) in enumerate(numbered):
         try:
             line = json.loads(raw)
         except json.JSONDecodeError as exc:
+            if position == len(numbered) - 1:
+                trace["truncated"] = True
+                break
             raise ValueError(f"trace line {number} is not valid JSON: {exc}") from None
         kind = line.get("kind") if isinstance(line, dict) else None
         if kind == "meta":

@@ -303,6 +303,85 @@ class TestParallelRunner:
             runner.seed_result("key", {"f1": 1.0})
 
 
+# ------------------------------------------------------------ worker death
+
+
+class TestWorkerDeathRecovery:
+    @needs_fork
+    def test_injected_kill_is_retried_and_accounted(self, tmp_path, monkeypatch):
+        """A worker killed mid-cell (os._exit — no unwinding, like
+        SIGKILL) breaks the pool; the executor rebuilds it, re-executes
+        the dead worker's cells, and settles the fault."""
+        from repro import faults
+        from repro.faults import FaultPlan, FaultSpec
+
+        config = ExperimentConfig(**SMALL)
+        grid = GridSpec(
+            table=2,
+            cells=(
+                Cell("raw", "S-BR", system="h2o", budget_hours=1.0),
+                Cell("deepmatcher", "S-BR"),
+            ),
+        )
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+        serial = ParallelRunner(config, jobs=1).run(grid)
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "chaos"))
+        plan = FaultPlan(
+            specs=[FaultSpec("parallel.worker", "kill", key="deepmatcher:S-BR")]
+        )
+        with faults.injecting(plan):
+            with telemetry.recording() as rec:
+                survived = ParallelRunner(
+                    config, jobs=2, start_method="fork"
+                ).run(grid)
+
+        def stable(result):
+            return {
+                k: v for k, v in result.record.items() if k != "wall_seconds"
+            }
+
+        assert [stable(r) for r in survived] == [stable(r) for r in serial]
+        assert plan.specs[0].disarmed
+        counters = rec.metrics.counters
+        assert counters["parallel.worker.restarts"].value == 1
+        assert counters["faults.injected.worker"].value == 1
+        assert counters["faults.recovered.worker"].value == 1
+        assert "faults.fatal.worker" not in counters
+        assert list((tmp_path / "chaos").rglob("*.tmp")) == []
+
+    @needs_fork
+    def test_restart_budget_exhausted_fails_loudly(self, tmp_path, monkeypatch):
+        """With worker_restarts=0 the first death is already fatal: the
+        run raises instead of silently dropping the cell."""
+        from repro import faults
+        from repro.faults import FaultPlan, FaultSpec
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        config = ExperimentConfig(**SMALL)
+        grid = GridSpec(table=2, cells=(Cell("deepmatcher", "S-BR"),))
+        plan = FaultPlan(
+            specs=[FaultSpec("parallel.worker", "kill", key="deepmatcher:S-BR")]
+        )
+        with faults.injecting(plan):
+            with telemetry.recording() as rec:
+                runner = ParallelRunner(
+                    config, jobs=2, start_method="fork", worker_restarts=0
+                )
+                with pytest.raises(ParallelExecutionError) as excinfo:
+                    runner.run(grid)
+        assert "deepmatcher:S-BR" in str(excinfo.value)
+        assert "gave up after 0 pool restart(s)" in str(excinfo.value)
+        counters = rec.metrics.counters
+        assert counters["faults.injected.worker"].value == 1
+        assert counters["faults.fatal.worker"].value == 1
+        assert "faults.recovered.worker" not in counters
+
+    def test_rejects_negative_worker_restarts(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(worker_restarts=-1)
+
+
 # ------------------------------------------------------- concurrent caches
 
 

@@ -64,3 +64,57 @@ class TestPersistence:
         matcher, _ = fitted_matcher
         path = save_model(matcher, tmp_path / "deep" / "dir" / "m.pkl")
         assert path.exists()
+
+
+class TestAtomicSave:
+    def test_failed_pickle_preserves_old_model_and_leaks_nothing(
+        self, tmp_path, fitted_matcher
+    ):
+        """A model that dies mid-``pickle.dump`` (e.g. an unpicklable
+        attribute discovered halfway through) must neither destroy the
+        previously saved copy nor leave a temp file behind."""
+
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("refuses to serialize")
+
+        matcher, splits = fitted_matcher
+        path = save_model(matcher, tmp_path / "m.pkl")
+        with pytest.raises(RuntimeError):
+            save_model(Unpicklable(), path)
+        assert sorted(tmp_path.iterdir()) == [path]  # no .tmp orphans
+        np.testing.assert_allclose(
+            load_model(path).predict_proba(splits.test),
+            matcher.predict_proba(splits.test),
+        )
+
+    def test_injected_write_faults_retry_then_give_up_cleanly(
+        self, tmp_path, fitted_matcher
+    ):
+        """Transient write faults are retried (the save succeeds);
+        persistent ones surface OSError with the old file intact."""
+        from repro import faults
+        from repro.faults import DEFAULT_ATTEMPTS, FaultPlan, FaultSpec
+
+        matcher, _ = fitted_matcher
+        path = tmp_path / "m.pkl"
+        transient = FaultPlan(
+            specs=[FaultSpec("persistence.save.write", "io", times=1)]
+        )
+        with faults.injecting(transient):
+            save_model(matcher, path)
+        assert path.exists()
+
+        first_bytes = path.read_bytes()
+        persistent = FaultPlan(
+            specs=[
+                FaultSpec(
+                    "persistence.save.replace", "io", times=DEFAULT_ATTEMPTS
+                )
+            ]
+        )
+        with faults.injecting(persistent):
+            with pytest.raises(OSError):
+                save_model(matcher, path)
+        assert sorted(tmp_path.iterdir()) == [path]  # no .tmp orphans
+        assert path.read_bytes() == first_bytes  # rename never happened

@@ -340,11 +340,30 @@ class TestExport:
         assert json.loads(lines[0])["kind"] == "meta"
         assert len(lines) == 1 + 2 + 3 + 3
 
-    def test_read_rejects_malformed_json(self, tmp_path):
+    def test_read_rejects_malformed_json_mid_file(self, tmp_path):
+        # Garbage *followed by* valid lines cannot be a torn final write,
+        # so it still raises (only a truncated trailing line is excused).
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"kind": "meta"}\nnot json\n')
+        path.write_text(
+            '{"kind": "meta"}\nnot json\n{"kind": "event", "name": "n", "attrs": {}}\n'
+        )
         with pytest.raises(ValueError, match="line 2"):
             read_jsonl(path)
+
+    def test_read_tolerates_truncated_final_line(self, tmp_path):
+        # A process killed mid-write_jsonl tears exactly the last record:
+        # the partial line is dropped and surfaced via the flag.
+        path = tmp_path / "torn.jsonl"
+        write_jsonl(_sample_trace(), path)
+        whole = path.read_text()
+        lines = whole.splitlines(keepends=True)
+        path.write_text("".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+        loaded = read_jsonl(path)
+        assert loaded["truncated"] is True
+        assert [e["name"] for e in loaded["events"]] == ["note", "trial"]
+        # An intact file reports truncated=False.
+        path.write_text(whole)
+        assert read_jsonl(path)["truncated"] is False
 
     def test_render_text_sections(self):
         report = render_text(_sample_trace())
