@@ -1,0 +1,122 @@
+"""Benchmark the ``repro.analysis`` engine: cold vs warm full-repo lint.
+
+Runs the complete rule pack (including the inter-procedural
+``DET``/``SEAM``/``FORK`` families) over ``src/`` twice — once against a
+fresh cache directory (cold: every module parsed, summarized, and
+checked) and then warm (parses, summaries, and file-rule findings
+replayed from the salted cache) — and records wall times, cache
+hit/miss counters, and module/finding counts.
+
+Run it directly to refresh the committed snapshot at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py   # -> BENCH_analysis.json
+
+or through pytest, which exercises the same harness into a throwaway
+directory and asserts the cache's perf contract (warm < cold).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src"
+SNAPSHOT_PATH = REPO_ROOT / "BENCH_analysis.json"
+
+
+def run_analysis_benchmark(cache_dir: Path, warm_rounds: int = 3) -> dict:
+    """Time one cold and ``warm_rounds`` warm full-repo analysis runs.
+
+    Returns the ``BENCH_analysis.json`` payload. ``cache_dir`` must not
+    hold a previous cache — the first run is the cold leg by definition.
+    """
+    from repro.analysis import (
+        AnalysisCache,
+        Project,
+        all_rules,
+        analysis_salt,
+        analyze_project,
+    )
+
+    salt = analysis_salt(SRC_ROOT)
+
+    cold_cache = AnalysisCache(cache_dir, salt=salt)
+    start = time.perf_counter()
+    cold_findings = analyze_project([SRC_ROOT], cache=cold_cache)
+    cold_seconds = time.perf_counter() - start
+
+    warm_seconds = []
+    warm_hits = warm_misses = 0
+    warm_findings: list = []
+    for _ in range(warm_rounds):
+        warm_cache = AnalysisCache(cache_dir, salt=salt)
+        start = time.perf_counter()
+        warm_findings = analyze_project([SRC_ROOT], cache=warm_cache)
+        warm_seconds.append(time.perf_counter() - start)
+        warm_hits, warm_misses = warm_cache.hits, warm_cache.misses
+
+    modules = len(Project.load([SRC_ROOT]).modules)
+    return {
+        "version": 1,
+        "benchmark": "repro.analysis full-repo lint of src/",
+        "salt": salt,
+        "modules": modules,
+        "rules": len(all_rules()),
+        "findings": {
+            "cold": len(cold_findings),
+            "warm": len(warm_findings),
+        },
+        "cold": {
+            "seconds": round(cold_seconds, 4),
+            "cache_hits": cold_cache.hits,
+            "cache_misses": cold_cache.misses,
+        },
+        "warm": {
+            "seconds": round(min(warm_seconds), 4),
+            "rounds": warm_rounds,
+            "cache_hits": warm_hits,
+            "cache_misses": warm_misses,
+        },
+        "warm_over_cold": round(min(warm_seconds) / cold_seconds, 4),
+    }
+
+
+def test_analysis_engine_cold_vs_warm(tmp_path):
+    """The payload is well-formed and the warm leg beats the cold leg."""
+    payload = run_analysis_benchmark(tmp_path / "cache", warm_rounds=2)
+    assert payload["findings"]["cold"] == payload["findings"]["warm"] == 0
+    assert payload["cold"]["cache_hits"] == 0
+    assert payload["warm"]["cache_misses"] == 0
+    assert payload["warm"]["cache_hits"] == payload["modules"]
+    assert payload["warm"]["seconds"] < payload["cold"]["seconds"]
+
+
+def test_committed_snapshot_schema():
+    """``BENCH_analysis.json`` at the repo root stays in the shape this
+    harness writes (numbers are machine-dependent and not compared)."""
+    payload = json.loads(SNAPSHOT_PATH.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    for key in ("salt", "modules", "rules", "findings", "cold", "warm"):
+        assert key in payload, key
+    for leg in ("cold", "warm"):
+        assert {"seconds", "cache_hits", "cache_misses"} <= payload[leg].keys()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    output = Path(args[0]) if args else SNAPSHOT_PATH
+    with tempfile.TemporaryDirectory(prefix="repro-bench-analysis-") as tmp:
+        payload = run_analysis_benchmark(Path(tmp) / "cache")
+    output.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -145,6 +145,43 @@ def test_static_analysis_warm_cache(benchmark, tmp_path):
     )
 
 
+def test_interprocedural_rules_warm_overhead(tmp_path):
+    """The DET/SEAM/FORK dataflow families ride the cached summaries.
+
+    Perf contract of the effect layer: a warm full-rule-pack lint of
+    src/ must stay under 2x a warm lint with only the legacy
+    (pre-dataflow) rules. Both packs are timed best-of-3 against their
+    own pre-seeded cache directory.
+    """
+    import time
+
+    from repro.analysis import AnalysisCache, all_rules, analyze_project
+
+    src_root = Path(__file__).resolve().parents[1] / "src"
+    dataflow_prefixes = ("DET", "SEAM", "FORK")
+    legacy = [r for r in all_rules() if not r.id.startswith(dataflow_prefixes)]
+    full = all_rules()
+    assert len(full) > len(legacy)
+
+    def warm_seconds(rules, cache_dir):
+        analyze_project([src_root], rules=rules, cache=AnalysisCache(cache_dir))
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            analyze_project(
+                [src_root], rules=rules, cache=AnalysisCache(cache_dir)
+            )
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    legacy_warm = warm_seconds(legacy, tmp_path / "legacy-cache")
+    full_warm = warm_seconds(full, tmp_path / "full-cache")
+    assert full_warm < 2 * legacy_warm, (
+        f"warm full-pack lint ({full_warm:.3f}s) must stay under 2x the "
+        f"warm legacy-rules lint ({legacy_warm:.3f}s)"
+    )
+
+
 def test_telemetry_disabled_overhead(benchmark):
     """The no-op-when-disabled guarantee of ``repro.telemetry``.
 

@@ -29,20 +29,28 @@ _CACHE: dict[tuple, np.ndarray] = {}
 
 
 def clear_adapter_cache() -> None:
-    """Drop all memoized adapter outputs (mostly for tests)."""
-    _CACHE.clear()
+    """Drop all memoized adapter outputs (fresh workers, tests).
+
+    Rebinds rather than ``.clear()``s so the fork-safety analysis
+    (FORK001) can see the re-initialization as a ``global`` assignment.
+    """
+    global _CACHE
+    _CACHE = {}
 
 
 def _disk_cache_dir() -> Path | None:
     """Directory for persisted adapter matrices; shared across processes.
 
     Enabled whenever the experiment result cache is (same env knob,
-    ``REPRO_CACHE_DIR``); disabled with ``REPRO_CACHE_DIR=off``.
+    ``REPRO_CACHE_DIR`` via :func:`repro.config.cache_root`); disabled
+    with ``REPRO_CACHE_DIR=off``.
     """
-    raw = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
-    if raw.lower() in ("off", "none", ""):
+    from repro.config import cache_root
+
+    root = cache_root()
+    if root is None:
         return None
-    return Path(raw) / "adapter"
+    return root / "adapter"
 
 
 class EMAdapter:

@@ -21,6 +21,7 @@ non-baselined findings via ``tests/test_static_analysis.py``. See
 
 from repro.analysis.baseline import Baseline, BaselineResult, apply_baseline
 from repro.analysis.cache import AnalysisCache
+from repro.analysis.cli import analysis_salt
 from repro.analysis.core import (
     FileRule,
     Finding,
@@ -36,12 +37,18 @@ from repro.analysis.core import (
     register_rule,
     suppressed_rules,
 )
+from repro.analysis.effects import (
+    EffectAnalysis,
+    EffectSite,
+    effect_analysis,
+)
 from repro.analysis.flow import RngFlowViolation, iter_rng_flow_violations
 from repro.analysis.graph import (
     CallGraph,
     CallResolver,
     CallSite,
     ContractError,
+    EFFECT_TAGS,
     FunctionInfo,
     ImportEdge,
     ImportGraph,
@@ -64,6 +71,9 @@ __all__ = [
     "CallResolver",
     "CallSite",
     "ContractError",
+    "EFFECT_TAGS",
+    "EffectAnalysis",
+    "EffectSite",
     "FileRule",
     "Finding",
     "FunctionInfo",
@@ -80,9 +90,11 @@ __all__ = [
     "Severity",
     "SourceModule",
     "all_rules",
+    "analysis_salt",
     "analyze",
     "analyze_project",
     "apply_baseline",
+    "effect_analysis",
     "iter_rng_flow_violations",
     "register_rule",
     "render_json",

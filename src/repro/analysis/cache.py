@@ -30,7 +30,9 @@ DEFAULT_CACHE_DIR = ".repro-analysis-cache"
 
 #: Bump when the entry schema or any rule's semantics change; mismatched
 #: versions are discarded wholesale rather than migrated.
-CACHE_VERSION = 1
+#: 2: ModuleSummary grew effect/seam/fork extracts (effects, checkpoints,
+#:    retry_wraps, caught, global_assigns, module_effects, globals_info).
+CACHE_VERSION = 2
 
 _CACHE_FILENAME = "analysis-cache.json"
 
@@ -48,11 +50,25 @@ class AnalysisCache:
     ``rel_path`` participates in validation: the same file analyzed from
     a different root produces different finding paths, so such an entry
     must miss rather than replay stale fingerprints.
+
+    ``salt`` guards against everything mtime+size cannot see: the rule
+    pack itself. Cached findings are a function of (file content, rule
+    semantics, contract), so callers pass a digest of the analyzer
+    source and the architecture contract (see
+    :func:`repro.analysis.cli.analysis_salt`); a stored cache written
+    under a different salt is discarded wholesale, exactly like a
+    version bump. ``salt=None`` keeps the legacy content-only behaviour
+    for callers that manage invalidation themselves.
     """
 
-    def __init__(self, directory: Path | str = DEFAULT_CACHE_DIR):
+    def __init__(
+        self,
+        directory: Path | str = DEFAULT_CACHE_DIR,
+        salt: str | None = None,
+    ):
         self.directory = Path(directory)
         self.path = self.directory / _CACHE_FILENAME
+        self.salt = salt
         self._entries: dict[str, dict] | None = None
         self.dirty = False
         self.hits = 0
@@ -72,6 +88,7 @@ class AnalysisCache:
         if (
             isinstance(payload, dict)
             and payload.get("version") == CACHE_VERSION
+            and payload.get("salt") == self.salt
             and isinstance(payload.get("files"), dict)
         ):
             entries = payload["files"]
@@ -154,7 +171,7 @@ class AnalysisCache:
             for key, entry in self._entries.items()
             if Path(key).exists()
         }
-        payload = {"version": CACHE_VERSION, "files": live}
+        payload = {"version": CACHE_VERSION, "salt": self.salt, "files": live}
 
         def _write() -> None:
             self.directory.mkdir(parents=True, exist_ok=True)

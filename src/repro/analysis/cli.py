@@ -8,6 +8,7 @@ a nonexistent path, or a target containing no Python files at all.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import subprocess
 import sys
 from pathlib import Path
@@ -21,9 +22,10 @@ from repro.analysis.core import (
     all_rules,
     analyze,
 )
+from repro.analysis.graph import CONTRACT_FILENAME
 from repro.analysis.reporter import render_json, render_text
 
-__all__ = ["add_lint_arguments", "run_lint", "main"]
+__all__ = ["add_lint_arguments", "analysis_salt", "run_lint", "main"]
 
 #: Default baseline filename, resolved against the current directory.
 DEFAULT_BASELINE = "lint_baseline.json"
@@ -72,8 +74,9 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--changed",
         action="store_true",
-        help="lint only files changed per git, with file-scoped rules "
-        "only (falls back to a full run outside a git repository)",
+        help="report findings only for files changed per git (plus "
+        "inter-procedural findings in their reverse-dependency closure); "
+        "falls back to a full run outside a git repository",
     )
     parser.add_argument(
         "--graph",
@@ -97,6 +100,41 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         default=DEFAULT_CACHE_DIR,
         help=f"analysis cache directory (default: {DEFAULT_CACHE_DIR})",
     )
+
+
+_SALT_MEMO: dict[Path, str] = {}
+
+
+def analysis_salt(root: Path | None = None) -> str:
+    """Content digest of the analyzer itself plus the layering contract.
+
+    The analysis cache keys entries by each analyzed file's mtime and
+    size, which cannot see changes to the *rules*: editing a rule, the
+    engine, or the contract the rules read would otherwise silently
+    replay stale findings. This digest — over every ``repro.analysis``
+    source file and the ``docs/ARCHITECTURE_CONTRACT`` found at or above
+    ``root`` — is passed as the :class:`~repro.analysis.cache.AnalysisCache`
+    salt, so any analyzer or policy change invalidates the whole cache
+    at once.
+    """
+    key = (root or Path.cwd()).resolve()
+    cached = _SALT_MEMO.get(key)
+    if cached is not None:
+        return cached
+    digest = hashlib.blake2b(digest_size=16)
+    package_dir = Path(__file__).resolve().parent
+    for path in sorted(package_dir.rglob("*.py")):
+        digest.update(str(path.relative_to(package_dir)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+    for base in (key, *key.parents):
+        candidate = base / "docs" / CONTRACT_FILENAME
+        if candidate.is_file():
+            digest.update(candidate.read_bytes())
+            break
+    salt = digest.hexdigest()
+    _SALT_MEMO[key] = salt
+    return salt
 
 
 def _selected_rules(select: str | None):
@@ -175,6 +213,39 @@ def _scope_to_paths(files: list[Path], requested: list[Path]) -> list[Path]:
     return scoped
 
 
+def _changed_scopes(
+    project: Project, changed: list[Path]
+) -> tuple[set[str], set[str]]:
+    """(changed rel paths, reverse-dependency-closure rel paths).
+
+    The closure walks the import graph backwards from the changed
+    modules: an inter-procedural finding can be anchored in an unchanged
+    caller when one of its (transitive) callees changed, so project-rule
+    findings are kept for every module that can reach a changed one.
+    """
+    resolved = {p.resolve() for p in changed}
+    changed_rel: set[str] = set()
+    changed_modules: set[str] = set()
+    for module in project.modules:
+        if module.path.resolve() in resolved:
+            changed_rel.add(module.rel_path)
+            changed_modules.add(module.module_name)
+    importers: dict[str, set[str]] = {}
+    for edge in project.import_graph().edges:
+        if edge.internal:
+            importers.setdefault(edge.target, set()).add(edge.source)
+    closure = set(changed_modules)
+    queue = list(changed_modules)
+    while queue:
+        for parent in importers.get(queue.pop(), ()):
+            if parent not in closure:
+                closure.add(parent)
+                queue.append(parent)
+    rel_by_name = {m.module_name: m.rel_path for m in project.modules}
+    closure_rel = {rel_by_name[n] for n in closure if n in rel_by_name}
+    return changed_rel, closure_rel
+
+
 def run_lint(args: argparse.Namespace) -> int:
     """Execute one lint run; returns the process exit code."""
     if args.list_rules:
@@ -193,9 +264,13 @@ def run_lint(args: argparse.Namespace) -> int:
     rules = _selected_rules(args.select)
     requested = [Path(p) for p in args.paths]
     root = _common_root(requested)
-    cache = None if args.no_cache else AnalysisCache(args.cache_dir)
+    cache = (
+        None
+        if args.no_cache
+        else AnalysisCache(args.cache_dir, salt=analysis_salt(root))
+    )
 
-    paths: list[Path] = requested
+    changed_slice: list[Path] | None = None
     if args.changed:
         if args.update_baseline:
             print(
@@ -206,15 +281,16 @@ def run_lint(args: argparse.Namespace) -> int:
             return 2
         changed = _git_changed_files()
         if changed is not None:
-            paths = _scope_to_paths(changed, requested)
-            if not paths:
+            changed_slice = _scope_to_paths(changed, requested)
+            if not changed_slice:
                 print("no changed python files under the requested paths")
                 return 0
-            # Whole-program rules over a partial file set over-report by
-            # construction; the pre-commit slice runs file rules only.
-            rules = tuple(r for r in rules if isinstance(r, FileRule))
 
-    project = Project.load(paths, root=root, cache=cache)
+    # --changed still loads the whole project: the inter-procedural
+    # rules need every import/call edge (an unchanged caller can gain a
+    # finding when its callee changed), and the cache serves unchanged
+    # modules so the load stays cheap. Findings are filtered afterwards.
+    project = Project.load(requested, root=root, cache=cache)
 
     if not project.modules and not project.parse_failures:
         print(
@@ -234,6 +310,15 @@ def run_lint(args: argparse.Namespace) -> int:
         return 0
 
     findings = analyze(project, rules)
+    if changed_slice is not None:
+        changed_rel, closure_rel = _changed_scopes(project, changed_slice)
+        file_rule_ids = {r.id for r in rules if isinstance(r, FileRule)}
+        findings = [
+            f
+            for f in findings
+            if (f.path in changed_rel)
+            or (f.rule not in file_rule_ids and f.path in closure_rel)
+        ]
 
     baseline_path = args.baseline
     if baseline_path is None and Path(DEFAULT_BASELINE).exists():

@@ -1,0 +1,294 @@
+"""Inter-procedural effect propagation: the dataflow layer.
+
+Every function summary carries its *direct* effect sites — calls into
+the ambient world that :func:`repro.analysis.graph.summarize_module`
+classified against the effect lattice (:data:`~repro.analysis.graph.EFFECT_TAGS`):
+
+========  =====================================================
+tag       meaning
+========  =====================================================
+clock     wall-clock reads (``time.*``, ``datetime.now``)
+env       ``os.environ`` / ``os.getenv`` reads
+random    ambient randomness (``random``, unseeded ``default_rng``)
+order     unordered iteration (``listdir``/``glob``/``iterdir``/sets)
+io        raw file I/O (``open``, ``os.replace``, ``np.save``, ...)
+process   process control (``sys.exit``, ``os.fork``, ...)
+========  =====================================================
+
+"pure" is the empty tag set. This module closes the direct sets over
+the static call graph with a reverse-topological worklist fixpoint: a
+caller transitively exhibits every effect of every resolvable callee.
+Tags only accumulate, the lattice is finite, so the fixpoint terminates
+in at most ``|functions| * |tags|`` relaxations.
+
+The engine is deliberately separate from the rules that consume it
+(DET0xx, SEAM0xx, FORK0xx): the rules decide *policy* — which modules
+form the deterministic core, who is exempt — while this module only
+answers *mechanism* questions: what can this function do, which modules
+can the core reach, and along which chain.
+
+Dynamic dispatch (callbacks, ``getattr``, subclass overrides) is
+invisible to :class:`~repro.analysis.graph.CallResolver`, so the call
+graph under-approximates reachability. Module *reachability* therefore
+runs on the import graph instead — including lazy (function-scoped)
+imports, which still execute — and the call-chain renderer falls back
+to the import chain when no static call path exists.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.analysis.graph import (
+    CallGraph,
+    ContractError,
+    EFFECT_TAGS,
+    ImportGraph,
+    LayeringContract,
+    ModuleSummary,
+)
+
+__all__ = [
+    "DEFAULT_CORE_PACKAGES",
+    "DEFAULT_DET_EXEMPT",
+    "EffectAnalysis",
+    "EffectSite",
+    "effect_analysis",
+    "matches_prefix",
+    "project_contract",
+]
+
+#: Packages forming the deterministic core: anything they can reach must
+#: stay free of ambient clock/env/random/order effects. Overridable via
+#: the ``core determinism:`` contract directive.
+DEFAULT_CORE_PACKAGES = (
+    "repro.experiments",
+    "repro.parallel",
+    "repro.adapter",
+    "repro.automl",
+    "repro.nn",
+)
+
+#: Packages exempt from determinism taint by construction: telemetry and
+#: faults own the sanctioned timers, config owns the env knobs and seed
+#: fan-out, the CLI/analysis layer is not inside any measured run, and
+#: the chaos harness mutates env/clock state deliberately. Overridable
+#: via the ``exempt determinism:`` contract directive.
+DEFAULT_DET_EXEMPT = (
+    "repro.telemetry",
+    "repro.faults",
+    "repro.config",
+    "repro.cli",
+    "repro.analysis",
+    "repro.parallel.chaos",
+    "repro.experiments.config",
+)
+
+
+def matches_prefix(module: str, prefixes: Sequence[str]) -> bool:
+    """True when ``module`` is one of ``prefixes`` or nested under one."""
+    return any(
+        module == p or module.startswith(p + ".") for p in prefixes
+    )
+
+
+def effect_analysis(project) -> "EffectAnalysis":
+    """The project's :class:`EffectAnalysis`, built once and shared.
+
+    Four DET rules plus the SEAM/FORK packs all consume the same
+    fixpoint; memoizing on the project keeps the call-graph build from
+    running once per rule.
+    """
+    cached = getattr(project, "_effect_analysis", None)
+    if cached is None:
+        cached = EffectAnalysis(project.summaries)
+        project._effect_analysis = cached
+    return cached
+
+
+_CONTRACT_UNSET = object()
+
+
+def project_contract(project) -> LayeringContract | None:
+    """The project's layering contract, or None when absent/unparseable.
+
+    A broken contract file is ARC001's finding to report; the effect
+    rules silently fall back to their built-in defaults rather than
+    duplicating it.
+    """
+    cached = getattr(project, "_effects_contract", _CONTRACT_UNSET)
+    if cached is _CONTRACT_UNSET:
+        try:
+            cached = LayeringContract.find(project.root)
+        except ContractError:
+            cached = None
+        project._effects_contract = cached
+    return cached
+
+
+@dataclass(frozen=True)
+class EffectSite:
+    """One direct effect occurrence at a concrete source location."""
+
+    module: str
+    function: str  #: qualname within the module; "" for module level
+    tag: str
+    lineno: int
+    col: int
+    detail: str  #: the classified callable, e.g. ``time.perf_counter``
+
+    @property
+    def owner(self) -> str:
+        if not self.function:
+            return f"{self.module} (module level)"
+        return f"{self.module}.{self.function}"
+
+
+class EffectAnalysis:
+    """Fixpoint effect summaries plus the chains that explain them.
+
+    Keys are ``(module, qualname)`` function identities; the pseudo
+    qualname ``""`` holds a module's import-time (top-level) effects.
+    """
+
+    def __init__(self, summaries: Mapping[str, ModuleSummary]):
+        self.summaries = summaries
+        self.call_graph = CallGraph.build(summaries)
+        self._direct: dict[tuple[str, str], tuple[EffectSite, ...]] = {}
+        for module in sorted(summaries):
+            summary = summaries[module]
+            if summary.module_effects:
+                self._direct[(module, "")] = tuple(
+                    EffectSite(module, "", tag, line, col, detail)
+                    for tag, line, col, detail in summary.module_effects
+                )
+            for qualname in sorted(summary.functions):
+                info = summary.functions[qualname]
+                if info.effects:
+                    self._direct[(module, qualname)] = tuple(
+                        EffectSite(module, qualname, tag, line, col, detail)
+                        for tag, line, col, detail in info.effects
+                    )
+        self._transitive = self._fixpoint()
+
+    # ------------------------------------------------------------ fixpoint
+
+    def _fixpoint(self) -> dict[tuple[str, str], frozenset[str]]:
+        """Propagate callee tags to callers until nothing changes."""
+        tags: dict[tuple[str, str], set[str]] = {
+            key: {site.tag for site in sites}
+            for key, sites in self._direct.items()
+        }
+        callers: dict[tuple[str, str], list[tuple[str, str]]] = {}
+        for caller, callees in self.call_graph.edges.items():
+            for callee in callees:
+                callers.setdefault(callee, []).append(caller)
+        pending = deque(sorted(tags))
+        while pending:
+            key = pending.popleft()
+            current = tags.get(key, set())
+            for caller in callers.get(key, ()):
+                known = tags.setdefault(caller, set())
+                if not current <= known:
+                    known |= current
+                    pending.append(caller)
+        return {key: frozenset(value) for key, value in tags.items()}
+
+    # ------------------------------------------------------------- queries
+
+    def direct_sites(self, module: str) -> Iterator[EffectSite]:
+        """Direct effect sites in ``module``, module-level first."""
+        summary = self.summaries.get(module)
+        if summary is None:
+            return
+        for key in ((module, ""), *((module, q) for q in sorted(summary.functions))):
+            yield from self._direct.get(key, ())
+
+    def function_effects(self, module: str, qualname: str) -> frozenset[str]:
+        """Transitive effect tags of one function ("" = module level)."""
+        return self._transitive.get((module, qualname), frozenset())
+
+    def effect_functions(self, tag: str) -> list[tuple[str, str]]:
+        """Every function whose transitive effect set includes ``tag``."""
+        if tag not in EFFECT_TAGS:
+            raise ValueError(f"unknown effect tag {tag!r}")
+        return sorted(
+            key for key, tags in self._transitive.items() if tag in tags
+        )
+
+    # -------------------------------------------------------- reachability
+
+    def reachable_from(
+        self, import_graph: ImportGraph, prefixes: Sequence[str]
+    ) -> dict[str, str | None]:
+        """Modules the ``prefixes`` packages can reach, with BFS parents.
+
+        Runs over *all* internal import edges, lazy ones included — a
+        function-scoped import still executes on the measured path. The
+        returned parent map feeds :meth:`import_chain`.
+        """
+        adjacency: dict[str, list[str]] = {}
+        for edge in import_graph.internal_edges():
+            adjacency.setdefault(edge.source, []).append(edge.target)
+        parent: dict[str, str | None] = {
+            module: None
+            for module in sorted(import_graph.modules)
+            if matches_prefix(module, prefixes)
+        }
+        queue = deque(sorted(parent))
+        while queue:
+            module = queue.popleft()
+            for target in sorted(adjacency.get(module, ())):
+                if target not in parent:
+                    parent[target] = module
+                    queue.append(target)
+        return parent
+
+    @staticmethod
+    def import_chain(
+        parent: Mapping[str, str | None], module: str
+    ) -> list[str]:
+        """The BFS import path from a core root down to ``module``."""
+        chain = [module]
+        seen = {module}
+        while True:
+            step = parent.get(chain[0])
+            if step is None or step in seen:
+                return chain
+            chain.insert(0, step)
+            seen.add(step)
+
+    def call_chain(
+        self,
+        source_prefixes: Sequence[str],
+        target: tuple[str, str],
+        limit: int = 8,
+    ) -> list[tuple[str, str]] | None:
+        """A static call path from any core-package function to ``target``.
+
+        Returns None when dynamic dispatch hides the path (the common
+        case for callback-driven code); callers then fall back to
+        :meth:`import_chain`.
+        """
+        back: dict[tuple[str, str], tuple[str, str] | None] = {}
+        queue: deque[tuple[tuple[str, str], int]] = deque()
+        for caller in sorted(self.call_graph.edges):
+            if matches_prefix(caller[0], source_prefixes):
+                back[caller] = None
+                queue.append((caller, 0))
+        while queue:
+            node, depth = queue.popleft()
+            if node == target:
+                chain = [node]
+                while back[chain[0]] is not None:
+                    chain.insert(0, back[chain[0]])  # type: ignore[arg-type]
+                return chain
+            if depth >= limit:
+                continue
+            for callee in sorted(self.call_graph.edges.get(node, ())):
+                if callee not in back:
+                    back[callee] = node
+                    queue.append((callee, depth + 1))
+        return None

@@ -39,6 +39,7 @@ __all__ = [
     "CallResolver",
     "CallSite",
     "ContractError",
+    "EFFECT_TAGS",
     "FunctionInfo",
     "ImportEdge",
     "ImportGraph",
@@ -153,6 +154,18 @@ class FunctionInfo:
     lineno: int
     calls: tuple[CallSite, ...] = ()
     rng_in_scope: tuple[str, ...] = ()  #: rng-ish names visible in the body
+    #: direct effect sites: (tag, lineno, col, detail) — see EFFECT_TAGS
+    effects: tuple[tuple[str, int, int, str], ...] = ()
+    #: fault-seam markers: (kind, point, lineno) with kind in
+    #: {"checkpoint", "mark_recovered"} and a literal point name
+    checkpoints: tuple[tuple[str, str, int], ...] = ()
+    #: ``io_retry(fn, "point")`` wraps: (operand name, point, lineno)
+    retry_wraps: tuple[tuple[str, str, int], ...] = ()
+    #: exception type names caught by own-body ``except`` handlers
+    #: ("*" for a bare except)
+    caught: tuple[str, ...] = ()
+    #: names rebound via ``global`` statements in the body
+    global_assigns: tuple[str, ...] = ()
 
     def accepts(self) -> frozenset[str]:
         names = frozenset(self.params) | frozenset(self.kwonly)
@@ -183,6 +196,11 @@ class FunctionInfo:
             "lineno": self.lineno,
             "calls": [c.to_dict() for c in self.calls],
             "rng_in_scope": list(self.rng_in_scope),
+            "effects": [list(e) for e in self.effects],
+            "checkpoints": [list(c) for c in self.checkpoints],
+            "retry_wraps": [list(r) for r in self.retry_wraps],
+            "caught": list(self.caught),
+            "global_assigns": list(self.global_assigns),
         }
 
     @classmethod
@@ -200,7 +218,22 @@ class FunctionInfo:
                 CallSite.from_dict(c) for c in payload["calls"]  # type: ignore[union-attr]
             ),
             rng_in_scope=tuple(payload.get("rng_in_scope", ())),  # type: ignore[arg-type]
+            effects=_effect_tuples(payload.get("effects", ())),
+            checkpoints=_marker_tuples(payload.get("checkpoints", ())),
+            retry_wraps=_marker_tuples(payload.get("retry_wraps", ())),
+            caught=tuple(payload.get("caught", ())),  # type: ignore[arg-type]
+            global_assigns=tuple(payload.get("global_assigns", ())),  # type: ignore[arg-type]
         )
+
+
+def _effect_tuples(raw: object) -> tuple[tuple[str, int, int, str], ...]:
+    return tuple(
+        (str(t), int(line), int(col), str(d)) for t, line, col, d in raw  # type: ignore[union-attr]
+    )
+
+
+def _marker_tuples(raw: object) -> tuple[tuple[str, str, int], ...]:
+    return tuple((str(a), str(b), int(line)) for a, b, line in raw)  # type: ignore[union-attr]
 
 
 @dataclass
@@ -222,6 +255,11 @@ class ModuleSummary:
     import_aliases: dict[str, tuple[str, str | None]]
     functions: dict[str, FunctionInfo]
     classes: frozenset[str]
+    #: effect sites in module-level code (run at import time)
+    module_effects: tuple[tuple[str, int, int, str], ...] = ()
+    #: module-level bindings of fork-hostile state: (name, kind, lineno)
+    #: with kind in {"mutable", "handle", "lock"}
+    globals_info: tuple[tuple[str, str, int], ...] = ()
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -240,6 +278,8 @@ class ModuleSummary:
                 k: v.to_dict() for k, v in sorted(self.functions.items())
             },
             "classes": sorted(self.classes),
+            "module_effects": [list(e) for e in self.module_effects],
+            "globals_info": [list(g) for g in self.globals_info],
         }
 
     @classmethod
@@ -265,6 +305,8 @@ class ModuleSummary:
                 for k, v in payload["functions"].items()  # type: ignore[union-attr]
             },
             classes=frozenset(payload["classes"]),  # type: ignore[arg-type]
+            module_effects=_effect_tuples(payload.get("module_effects", ())),
+            globals_info=_marker_tuples(payload.get("globals_info", ())),
         )
 
 
@@ -324,11 +366,266 @@ def _call_site(node: ast.Call) -> CallSite | None:
     )
 
 
+# ----------------------------------------------------------- effect scanning
+
+#: The effect lattice: ambient behaviours a function may exhibit. "pure"
+#: is the absence of every tag; tags only ever accumulate along call
+#: edges, so the fixpoint in :mod:`repro.analysis.effects` terminates.
+EFFECT_TAGS = ("clock", "env", "random", "order", "io", "process")
+
+_CLOCK_TIME_FNS = frozenset(
+    {
+        "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+        "monotonic_ns", "process_time", "process_time_ns", "thread_time",
+        "thread_time_ns", "clock_gettime",
+    }
+)
+_CLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+_IO_PATH_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+_ORDER_PATH_METHODS = frozenset({"iterdir", "glob", "rglob"})
+_IO_NUMPY_FNS = frozenset(
+    {"save", "load", "savez", "savez_compressed", "savetxt", "loadtxt"}
+)
+#: Calls whose arguments are ordered consumers: anything iterated under
+#: one of these is order-safe even if the producer itself is unordered.
+_ORDER_SINKS = frozenset({"sorted", "min", "max"})
+
+
+def _alias_module(
+    aliases: Mapping[str, tuple[str, str | None]], name: str
+) -> str | None:
+    """The module a bare name is an ``import x [as y]`` alias for."""
+    entry = aliases.get(name)
+    if entry is None or entry[1] is not None:
+        return None
+    return entry[0]
+
+
+def _classify_qualified(
+    module: str, symbol: str, node: ast.Call
+) -> tuple[str, str] | None:
+    """Effect tag of a call to ``module.symbol``, or None when pure."""
+    if module == "time" and symbol in _CLOCK_TIME_FNS:
+        return "clock", f"time.{symbol}"
+    if module == "datetime" and symbol in _CLOCK_DATETIME_FNS:
+        return "clock", f"datetime.{symbol}"
+    if module == "os":
+        if symbol in ("getenv", "putenv"):
+            return "env", f"os.{symbol}"
+        if symbol in ("listdir", "scandir"):
+            return "order", f"os.{symbol}"
+        if symbol in ("replace", "rename", "fdopen"):
+            return "io", f"os.{symbol}"
+        if symbol == "urandom":
+            return "random", "os.urandom"
+        if symbol in ("_exit", "fork", "kill", "abort", "execv"):
+            return "process", f"os.{symbol}"
+    if module == "sys" and symbol == "exit":
+        return "process", "sys.exit"
+    if module == "glob" and symbol in ("glob", "iglob"):
+        return "order", f"glob.{symbol}"
+    if module == "random" or module.startswith("random."):
+        return "random", f"random.{symbol}"
+    if module == "secrets":
+        return "random", f"secrets.{symbol}"
+    if module == "uuid" and symbol in ("uuid1", "uuid4"):
+        return "random", f"uuid.{symbol}"
+    if (
+        module in ("numpy.random", "numpy")
+        and symbol == "default_rng"
+        and not node.args
+        and not node.keywords
+    ):
+        return "random", "unseeded default_rng()"
+    if module == "numpy" and symbol in _IO_NUMPY_FNS:
+        return "io", f"numpy.{symbol}"
+    if module == "tempfile" and symbol in ("mkstemp", "NamedTemporaryFile"):
+        return "io", f"tempfile.{symbol}"
+    return None
+
+
+def _classify_call(
+    node: ast.Call, aliases: Mapping[str, tuple[str, str | None]]
+) -> tuple[str, str] | None:
+    """Effect tag of one call expression, resolved through import aliases."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        entry = aliases.get(func.id)
+        if entry is not None and entry[1] is not None:
+            return _classify_qualified(entry[0], entry[1], node)
+        if entry is None and func.id == "open":
+            return "io", "open"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    base = func.value
+    if isinstance(base, ast.Name):
+        module = _alias_module(aliases, base.id)
+        if module is not None:
+            qualified = _classify_qualified(module, attr, node)
+            if qualified is not None:
+                return qualified
+        # ``from datetime import datetime; datetime.now()``
+        entry = aliases.get(base.id)
+        if entry == ("datetime", "datetime") and attr in _CLOCK_DATETIME_FNS:
+            return "clock", f"datetime.{attr}"
+    # Chained bases: np.random.default_rng(), datetime.datetime.now().
+    root = base
+    while isinstance(root, ast.Attribute):
+        root = root.value
+    if isinstance(root, ast.Name):
+        root_module = _alias_module(aliases, root.id)
+        if (
+            root_module == "numpy"
+            and attr == "default_rng"
+            and not node.args
+            and not node.keywords
+        ):
+            return "random", "unseeded default_rng()"
+        if root_module == "datetime" and attr in _CLOCK_DATETIME_FNS:
+            return "clock", f"datetime.{attr}"
+    # Duck-typed path methods: the base is usually a pathlib.Path value,
+    # which no alias table can prove — over-approximate on the name.
+    if attr == "open" or attr in _IO_PATH_METHODS:
+        return "io", f".{attr}()"
+    if attr in _ORDER_PATH_METHODS:
+        return "order", f".{attr}()"
+    return None
+
+
+def _iterates_set(target: ast.expr) -> bool:
+    """True when a loop/comprehension iterates a set expression directly."""
+    if isinstance(target, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(target, ast.Call)
+        and isinstance(target.func, ast.Name)
+        and target.func.id in ("set", "frozenset")
+    )
+
+
+def _scan_effects(
+    body: Iterable[ast.AST],
+    aliases: Mapping[str, tuple[str, str | None]],
+) -> tuple[tuple[str, int, int, str], ...]:
+    """Direct effect sites among ``body`` nodes (an own-body walk).
+
+    Order effects disappear inside :data:`_ORDER_SINKS` calls —
+    ``sorted(path.glob(...))`` is the sanctioned fix for unordered
+    filesystem iteration, so it must not keep flagging.
+    """
+    nodes = list(body)
+    order_exempt: set[int] = set()
+    for node in nodes:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_SINKS
+        ):
+            order_exempt.update(id(sub) for sub in ast.walk(node))
+    effects: list[tuple[str, int, int, str]] = []
+    for node in nodes:
+        if isinstance(node, ast.Call):
+            hit = _classify_call(node, aliases)
+            if hit is not None:
+                tag, detail = hit
+                if tag == "order" and id(node) in order_exempt:
+                    continue
+                effects.append((tag, node.lineno, node.col_offset, detail))
+        elif (
+            isinstance(node, ast.Attribute)
+            and node.attr == "environ"
+            and isinstance(node.value, ast.Name)
+            and _alias_module(aliases, node.value.id) == "os"
+        ):
+            effects.append(
+                ("env", node.lineno, node.col_offset, "os.environ")
+            )
+        elif isinstance(node, (ast.For, ast.AsyncFor, ast.comprehension)):
+            iterated = node.iter
+            if _iterates_set(iterated) and id(iterated) not in order_exempt:
+                effects.append(
+                    (
+                        "order",
+                        iterated.lineno,
+                        iterated.col_offset,
+                        "iteration over a set",
+                    )
+                )
+    return tuple(sorted(effects))
+
+
+_MUTABLE_FACTORIES = frozenset({"dict", "list", "set", "OrderedDict"})
+#: Always state even when seeded with arguments (defaultdict(list), ...).
+_ACCUMULATOR_FACTORIES = frozenset({"defaultdict", "deque", "Counter"})
+_LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition", "Event"}
+)
+
+
+def _classify_global(value: ast.expr) -> str | None:
+    """Fork-hostility kind of a module-level binding's value expression.
+
+    A *populated* container literal (or a comprehension) is a constant
+    lookup table — identical in every process that imports the module —
+    so only *empty* containers count as mutable state: they exist to be
+    filled at runtime, which is exactly the parent-warmed state that
+    leaks across a fork.
+    """
+    if isinstance(value, (ast.Dict,)) and not value.keys:
+        return "mutable"
+    if isinstance(value, (ast.List, ast.Set)) and not value.elts:
+        return "mutable"
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name in _MUTABLE_FACTORIES and not value.args:
+            return "mutable"
+        if name in _ACCUMULATOR_FACTORIES:
+            return "mutable"
+        if name == "open" or name == "fdopen":
+            return "handle"
+        if name in _LOCK_FACTORIES:
+            return "lock"
+    return None
+
+
+def _module_globals(tree: ast.Module) -> tuple[tuple[str, str, int], ...]:
+    """Module-level mutable/handle/lock bindings: (name, kind, lineno)."""
+    found: list[tuple[str, str, int]] = []
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t for t in node.targets if isinstance(t, ast.Name)]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if value is None:
+            continue
+        kind = _classify_global(value)
+        if kind is None:
+            continue
+        for target in targets:
+            if not target.id.startswith("__"):
+                found.append((target.id, kind, node.lineno))
+    return tuple(found)
+
+
 def _function_info(
     node: ast.FunctionDef | ast.AsyncFunctionDef,
     qualname: str,
     is_method: bool,
     enclosing_rng: tuple[str, ...],
+    aliases: Mapping[str, tuple[str, str | None]],
 ) -> FunctionInfo:
     args = node.args
     params = tuple(a.arg for a in (*args.posonlyargs, *args.args))
@@ -360,11 +657,43 @@ def _function_info(
         if n in own_rng or n in local_rng or n in enclosing_rng
     )
     calls = []
-    for sub in _walk_own_body(node):
+    checkpoints: list[tuple[str, str, int]] = []
+    retry_wraps: list[tuple[str, str, int]] = []
+    caught: set[str] = set()
+    global_assigns: set[str] = set()
+    own_body = list(_walk_own_body(node))
+    for sub in own_body:
         if isinstance(sub, ast.Call):
             site = _call_site(sub)
             if site is not None:
                 calls.append(site)
+            func = sub.func
+            fname = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if (
+                fname in ("checkpoint", "mark_recovered")
+                and sub.args
+                and isinstance(sub.args[0], ast.Constant)
+                and isinstance(sub.args[0].value, str)
+            ):
+                checkpoints.append((fname, sub.args[0].value, sub.lineno))
+            elif (
+                fname == "io_retry"
+                and len(sub.args) >= 2
+                and isinstance(sub.args[0], ast.Name)
+                and isinstance(sub.args[1], ast.Constant)
+                and isinstance(sub.args[1].value, str)
+            ):
+                retry_wraps.append(
+                    (sub.args[0].id, sub.args[1].value, sub.lineno)
+                )
+        elif isinstance(sub, ast.ExceptHandler):
+            caught.update(_handler_names(sub))
+        elif isinstance(sub, ast.Global):
+            global_assigns.update(sub.names)
     return FunctionInfo(
         qualname=qualname,
         params=params,
@@ -376,7 +705,30 @@ def _function_info(
         lineno=node.lineno,
         calls=tuple(calls),
         rng_in_scope=in_scope,
+        effects=_scan_effects(own_body, aliases),
+        checkpoints=tuple(checkpoints),
+        retry_wraps=tuple(retry_wraps),
+        caught=tuple(sorted(caught)),
+        global_assigns=tuple(sorted(global_assigns)),
     )
+
+
+def _handler_names(handler: ast.ExceptHandler) -> set[str]:
+    """Exception type names one ``except`` clause catches ("*" if bare)."""
+    if handler.type is None:
+        return {"*"}
+    names: set[str] = set()
+    nodes = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
 
 
 def _walk_own_body(func: ast.AST) -> Iterator[ast.AST]:
@@ -465,7 +817,7 @@ def summarize_module(
         for node in body:
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 qual = prefix + node.name
-                info = _function_info(node, qual, in_class, enclosing_rng)
+                info = _function_info(node, qual, in_class, enclosing_rng, aliases)
                 functions[qual] = info
                 collect(node.body, qual + ".", False, info.rng_in_scope)
             elif isinstance(node, ast.ClassDef):
@@ -486,6 +838,8 @@ def summarize_module(
         import_aliases=aliases,
         functions=functions,
         classes=frozenset(classes),
+        module_effects=_scan_effects(_walk_own_body(tree), aliases),
+        globals_info=_module_globals(tree),
     )
 
 
@@ -807,23 +1161,63 @@ class LayeringContract:
     prefix; modules matching no layer are unconstrained. A module may
     import its own layer and every layer below it — importing a higher
     layer is an inversion (rule ARC001).
+
+    Besides ``layer`` lines, the file may carry *directive* lines that
+    parameterize the inter-procedural rule packs::
+
+        core determinism: repro.experiments repro.parallel
+        exempt determinism: repro.telemetry repro.cli
+        exempt seams: repro.telemetry
+        seam raises: persistence.save
+        fork entrypoints: repro.parallel.executor:_execute_cell
+        fork initializers: repro.parallel.executor:_init_worker
+
+    Repeated directives accumulate. Unknown keywords are parse errors.
     """
 
     layers: tuple[tuple[str, tuple[str, ...]], ...] = ()
     source: str = "<memory>"
+    directives: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    #: Directive keywords accepted ahead of the ``layer`` stanzas.
+    DIRECTIVES = (
+        "core determinism",
+        "exempt determinism",
+        "exempt seams",
+        "seam raises",
+        "fork entrypoints",
+        "fork initializers",
+    )
+
+    def directive(self, name: str) -> tuple[str, ...]:
+        """Accumulated values of one directive; () when undeclared."""
+        return self.directives.get(name, ())
 
     @classmethod
     def parse(cls, text: str, source: str = "<memory>") -> "LayeringContract":
         layers: list[tuple[str, tuple[str, ...]]] = []
         seen_packages: dict[str, str] = {}
+        directives: dict[str, tuple[str, ...]] = {}
         for lineno, raw in enumerate(text.splitlines(), start=1):
             line = raw.split("#", 1)[0].strip()
             if not line:
                 continue
+            matched = next(
+                (d for d in cls.DIRECTIVES if line.startswith(d + ":")), None
+            )
+            if matched is not None:
+                values = tuple(line[len(matched) + 1:].split())
+                if not values:
+                    raise ContractError(
+                        f"{source}:{lineno}: directive {matched!r} needs at "
+                        "least one value"
+                    )
+                directives[matched] = directives.get(matched, ()) + values
+                continue
             if not line.startswith("layer "):
                 raise ContractError(
-                    f"{source}:{lineno}: expected 'layer <name>: pkg ...', "
-                    f"got {raw.strip()!r}"
+                    f"{source}:{lineno}: expected 'layer <name>: pkg ...' "
+                    f"or a directive line, got {raw.strip()!r}"
                 )
             head, _, tail = line[len("layer "):].partition(":")
             layer_name = head.strip()
@@ -841,7 +1235,7 @@ class LayeringContract:
                     )
                 seen_packages[package] = layer_name
             layers.append((layer_name, packages))
-        return cls(layers=tuple(layers), source=source)
+        return cls(layers=tuple(layers), source=source, directives=directives)
 
     @classmethod
     def load(cls, path: Path) -> "LayeringContract":

@@ -9,17 +9,34 @@ To add a rule: subclass :class:`repro.analysis.FileRule` or
 from repro.analysis.rules import (  # noqa: F401 - registration side effects
     architecture,
     deadcode,
+    determinism,
     estimator,
     exports,
+    forksafety,
     generic,
     observability,
     rng,
+    seams,
     search_space,
 )
 from repro.analysis.rules.architecture import ImportCycleRule, LayeringContractRule
 from repro.analysis.rules.deadcode import UnreachableExportRule, UnusedSymbolRule
+from repro.analysis.rules.determinism import (
+    AmbientRandomnessRule,
+    EnvironmentReadRule,
+    UnorderedIterationRule,
+    WallClockRule,
+    det_policy,
+)
 from repro.analysis.rules.estimator import FitReturnsSelfRule, PredictGuardRule
 from repro.analysis.rules.exports import MissingExportRule, UndefinedExportRule
+from repro.analysis.rules.forksafety import (
+    DEFAULT_FORK_ENTRYPOINTS,
+    DEFAULT_FORK_INITIALIZERS,
+    ForkHandleRule,
+    ForkMutableStateRule,
+    fork_policy,
+)
 from repro.analysis.rules.generic import (
     BareExceptRule,
     BroadExceptRule,
@@ -32,13 +49,28 @@ from repro.analysis.rules.rng import (
     HardcodedGeneratorSeedRule,
     LegacyGlobalRngRule,
 )
+from repro.analysis.rules.seams import (
+    DEFAULT_SEAM_EXEMPT,
+    CatalogDriftRule,
+    SeamExceptionFlowRule,
+    UnseamedIoRule,
+    seam_catalog,
+)
 from repro.analysis.rules.search_space import SearchSpaceConformanceRule
 
 __all__ = [
+    "AmbientRandomnessRule",
     "BareExceptRule",
     "BroadExceptRule",
+    "CatalogDriftRule",
+    "DEFAULT_FORK_ENTRYPOINTS",
+    "DEFAULT_FORK_INITIALIZERS",
+    "DEFAULT_SEAM_EXEMPT",
     "DroppedRngThreadingRule",
+    "EnvironmentReadRule",
     "FitReturnsSelfRule",
+    "ForkHandleRule",
+    "ForkMutableStateRule",
     "HardcodedGeneratorSeedRule",
     "ImportCycleRule",
     "LayeringContractRule",
@@ -47,17 +79,27 @@ __all__ = [
     "MutableDefaultRule",
     "PredictGuardRule",
     "PrintInLibraryCodeRule",
+    "SeamExceptionFlowRule",
     "SearchSpaceConformanceRule",
     "ShadowedBuiltinRule",
     "UndefinedExportRule",
+    "UnorderedIterationRule",
     "UnreachableExportRule",
+    "UnseamedIoRule",
     "UnusedSymbolRule",
+    "WallClockRule",
     "architecture",
     "deadcode",
+    "det_policy",
+    "determinism",
     "estimator",
     "exports",
+    "fork_policy",
+    "forksafety",
     "generic",
     "observability",
     "rng",
+    "seam_catalog",
+    "seams",
     "search_space",
 ]

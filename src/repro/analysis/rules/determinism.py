@@ -1,0 +1,185 @@
+"""Determinism taint: DET001–DET004.
+
+The reproduction's headline guarantee — byte-identical output across
+``--jobs N`` runs and replayed fault drills — only holds while nothing
+on the measured path consults the ambient world. These rules close that
+gap statically: any module the deterministic core packages can reach
+(import closure, lazy edges included) must be free of wall-clock reads
+(DET001), ambient randomness (DET002), ``os.environ`` reads (DET003),
+and unordered filesystem/set iteration (DET004).
+
+Findings anchor at the *propagation source* — the concrete
+``time.perf_counter()`` or ``os.listdir()`` call — not at every caller
+that can reach it: one fix (or one ``# repro: noqa[DET00x]`` on the
+offending line) silences every path at once. The rendered chain shows
+*why* the site is on the measured path: a static call chain from a core
+function when one resolves, otherwise the import chain from the nearest
+core package.
+
+Policy comes from ``docs/ARCHITECTURE_CONTRACT`` when present (``core
+determinism:`` / ``exempt determinism:`` directives) and falls back to
+:data:`repro.analysis.effects.DEFAULT_CORE_PACKAGES` /
+:data:`~repro.analysis.effects.DEFAULT_DET_EXEMPT`.
+
+Sanctioned replacements: ``telemetry.wallclock()`` for timing,
+``repro.config.rng_for(...)`` for randomness, ``repro.config`` env
+accessors for knobs, and ``sorted(...)`` around unordered producers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    ProjectRule,
+    Severity,
+    register_rule,
+)
+from repro.analysis.effects import (
+    DEFAULT_CORE_PACKAGES,
+    DEFAULT_DET_EXEMPT,
+    EffectAnalysis,
+    effect_analysis,
+    matches_prefix,
+    project_contract,
+)
+
+__all__ = [
+    "AmbientRandomnessRule",
+    "EnvironmentReadRule",
+    "UnorderedIterationRule",
+    "WallClockRule",
+    "det_policy",
+]
+
+
+def det_policy(project: Project) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """(core packages, exempt packages) for this project's DET rules."""
+    contract = project_contract(project)
+    core: tuple[str, ...] = ()
+    exempt: tuple[str, ...] = ()
+    if contract is not None:
+        core = contract.directive("core determinism")
+        exempt = contract.directive("exempt determinism")
+    return core or DEFAULT_CORE_PACKAGES, exempt or DEFAULT_DET_EXEMPT
+
+
+def _render_chain(
+    analysis: EffectAnalysis,
+    parent: dict[str, str | None],
+    core: Sequence[str],
+    module: str,
+    function: str,
+) -> str:
+    """Human-readable propagation chain from the core to the site."""
+    if function:
+        calls = analysis.call_chain(core, (module, function))
+        if calls is not None and len(calls) > 1:
+            return " -> ".join(f"{m}.{q}" for m, q in calls)
+    return " -> ".join(EffectAnalysis.import_chain(parent, module))
+
+
+class _DeterminismRule(ProjectRule):
+    """Shared driver: flag one effect tag's sites inside the core closure."""
+
+    severity = Severity.ERROR
+    tag = ""
+    label = ""
+    remedy = ""
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        core, exempt = det_policy(project)
+        analysis = effect_analysis(project)
+        parent = analysis.reachable_from(project.import_graph(), core)
+        summaries = project.summaries
+        for module in sorted(parent):
+            if matches_prefix(module, exempt):
+                continue
+            summary = summaries.get(module)
+            if summary is None:
+                continue
+            for site in analysis.direct_sites(module):
+                if site.tag != self.tag:
+                    continue
+                chain = _render_chain(
+                    analysis, parent, core, module, site.function
+                )
+                yield self.project_finding(
+                    summary.rel_path,
+                    f"{site.owner} performs a {self.label} ({site.detail}) "
+                    f"on the deterministic-core path [{chain}]; "
+                    f"{self.remedy}",
+                    lineno=site.lineno,
+                    col=site.col,
+                )
+
+
+@register_rule
+class WallClockRule(_DeterminismRule):
+    """DET001 — no ambient wall-clock reads on the measured path."""
+
+    id = "DET001"
+    name = "core-wall-clock"
+    tag = "clock"
+    label = "wall-clock read"
+    remedy = (
+        "time through telemetry.wallclock() (or a telemetry span) so "
+        "clock access stays in the sanctioned, replay-aware layer"
+    )
+    description = (
+        "a function reachable from the deterministic core reads the "
+        "wall clock directly instead of telemetry.wallclock()"
+    )
+
+
+@register_rule
+class AmbientRandomnessRule(_DeterminismRule):
+    """DET002 — no ambient randomness on the measured path."""
+
+    id = "DET002"
+    name = "core-ambient-random"
+    tag = "random"
+    label = "draw of ambient randomness"
+    remedy = (
+        "derive randomness from repro.config.rng_for(...) so every "
+        "stream hangs off the one master seed"
+    )
+    description = (
+        "a function reachable from the deterministic core uses "
+        "random/uuid/secrets or an unseeded default_rng()"
+    )
+
+
+@register_rule
+class EnvironmentReadRule(_DeterminismRule):
+    """DET003 — no os.environ reads on the measured path."""
+
+    id = "DET003"
+    name = "core-env-read"
+    tag = "env"
+    label = "process-environment read"
+    remedy = (
+        "resolve the knob once in repro.config (or the experiment "
+        "config layer) and pass the value down explicitly"
+    )
+    description = (
+        "a function reachable from the deterministic core reads "
+        "os.environ, smuggling ambient configuration into results"
+    )
+
+
+@register_rule
+class UnorderedIterationRule(_DeterminismRule):
+    """DET004 — no unordered filesystem/set iteration on the measured path."""
+
+    id = "DET004"
+    name = "core-unordered-iteration"
+    tag = "order"
+    label = "unordered iteration"
+    remedy = "wrap the producer in sorted(...) to pin a deterministic order"
+    description = (
+        "a function reachable from the deterministic core iterates "
+        "os.listdir/glob/Path.iterdir or a set without sorting"
+    )

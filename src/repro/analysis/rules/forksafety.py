@@ -1,0 +1,191 @@
+"""Fork-safety: FORK001–FORK002.
+
+``repro.parallel`` prefers the ``fork`` start method, so every worker
+begins life with a byte-copy of the parent's module state. Module-level
+mutable state that is not re-initialized by the pool's worker
+initializer silently diverges between parent and children (and between
+runs, when the parent warmed it first); inherited open handles and
+locks are worse — a lock copied mid-acquisition deadlocks the child.
+
+* **FORK001** — module-level mutable containers (dict/list/set
+  literals and factory calls) in any module importable from a fork
+  entry point, unless some function on the initializer's call path
+  rebinds them via ``global``.
+* **FORK002** — module-level open handles and ``threading`` locks in
+  the same reachable set. These are flagged unconditionally: a handle
+  or lock can never be safely inherited, only re-created post-fork.
+
+Entry points default to the :class:`repro.parallel.ParallelRunner`
+worker surface and can be overridden with ``fork entrypoints:`` /
+``fork initializers:`` contract directives (``module:function`` items).
+The family disarms itself when no entry-point function exists in the
+project — repositories without a process pool have no fork hazard.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    ProjectRule,
+    Severity,
+    register_rule,
+)
+from repro.analysis.effects import (
+    effect_analysis,
+    matches_prefix,
+    project_contract,
+)
+
+__all__ = [
+    "DEFAULT_FORK_ENTRYPOINTS",
+    "DEFAULT_FORK_INITIALIZERS",
+    "ForkHandleRule",
+    "ForkMutableStateRule",
+    "fork_policy",
+]
+
+#: Functions a forked worker executes: the pool's per-cell entry.
+DEFAULT_FORK_ENTRYPOINTS = ("repro.parallel.executor:_execute_cell",)
+
+#: Functions the pool runs once per worker to rebuild process state.
+DEFAULT_FORK_INITIALIZERS = ("repro.parallel.executor:_init_worker",)
+
+
+def fork_policy(
+    project: Project,
+) -> tuple[tuple[tuple[str, str], ...], tuple[tuple[str, str], ...]]:
+    """((entry points), (initializers)) as (module, function) pairs.
+
+    Only pairs whose function actually exists in the project survive;
+    an empty entry-point set disarms the FORK family.
+    """
+    contract = project_contract(project)
+    entry_spec: Sequence[str] = ()
+    init_spec: Sequence[str] = ()
+    if contract is not None:
+        entry_spec = contract.directive("fork entrypoints")
+        init_spec = contract.directive("fork initializers")
+    entry_spec = entry_spec or DEFAULT_FORK_ENTRYPOINTS
+    init_spec = init_spec or DEFAULT_FORK_INITIALIZERS
+
+    def resolve(spec: Sequence[str]) -> tuple[tuple[str, str], ...]:
+        pairs = []
+        for item in spec:
+            module, _, function = item.partition(":")
+            summary = project.summaries.get(module)
+            if summary is not None and function in summary.functions:
+                pairs.append((module, function))
+        return tuple(pairs)
+
+    return resolve(entry_spec), resolve(init_spec)
+
+
+def _reinitialized(
+    project: Project, initializers: Sequence[tuple[str, str]]
+) -> set[tuple[str, str]]:
+    """(module, name) globals rebound on some initializer call path."""
+    analysis = effect_analysis(project)
+    rebound: set[tuple[str, str]] = set()
+    seen = set(initializers)
+    frontier = list(initializers)
+    while frontier:
+        key = frontier.pop()
+        summary = project.summaries.get(key[0])
+        info = summary.functions.get(key[1]) if summary else None
+        if info is not None:
+            rebound.update((key[0], name) for name in info.global_assigns)
+        for callee in analysis.call_graph.edges.get(key, ()):
+            if callee not in seen:
+                seen.add(callee)
+                frontier.append(callee)
+    return rebound
+
+
+class _ForkRule(ProjectRule):
+    """Shared driver over the fork-reachable module set."""
+
+    severity = Severity.ERROR
+    kinds: tuple[str, ...] = ()
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        entrypoints, initializers = fork_policy(project)
+        if not entrypoints:
+            return
+        analysis = effect_analysis(project)
+        roots = tuple({module for module, _ in entrypoints})
+        parent = analysis.reachable_from(project.import_graph(), roots)
+        rebound = _reinitialized(project, initializers)
+        entry_names = ", ".join(f"{m}:{f}" for m, f in entrypoints)
+        for module in sorted(parent):
+            summary = project.summaries.get(module)
+            if summary is None:
+                continue
+            for name, kind, lineno in summary.globals_info:
+                if kind not in self.kinds:
+                    continue
+                if (module, name) in rebound:
+                    continue
+                yield self.emit(
+                    summary.rel_path, module, name, kind, lineno, entry_names
+                )
+
+    def emit(
+        self,
+        rel_path: str,
+        module: str,
+        name: str,
+        kind: str,
+        lineno: int,
+        entry_names: str,
+    ) -> Finding:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@register_rule
+class ForkMutableStateRule(_ForkRule):
+    """FORK001 — forked workers must not inherit live mutable globals."""
+
+    id = "FORK001"
+    name = "fork-mutable-state"
+    kinds = ("mutable",)
+    description = (
+        "a module-level mutable container is importable from a fork "
+        "worker entry point and never re-initialized post-fork"
+    )
+
+    def emit(self, rel_path, module, name, kind, lineno, entry_names):
+        return self.project_finding(
+            rel_path,
+            f"module-level mutable state {module}.{name} is reachable "
+            f"from fork entry point(s) [{entry_names}] and is not "
+            "re-initialized by any worker initializer; parent-warmed "
+            "state will leak into every forked worker",
+            lineno=lineno,
+        )
+
+
+@register_rule
+class ForkHandleRule(_ForkRule):
+    """FORK002 — open handles and locks can never cross a fork."""
+
+    id = "FORK002"
+    name = "fork-handle-or-lock"
+    kinds = ("handle", "lock")
+    description = (
+        "a module-level open handle or threading lock is importable "
+        "from a fork worker entry point; duplicated descriptors corrupt "
+        "streams and an inherited lock can deadlock the child"
+    )
+
+    def emit(self, rel_path, module, name, kind, lineno, entry_names):
+        noun = "open handle" if kind == "handle" else "lock"
+        return self.project_finding(
+            rel_path,
+            f"module-level {noun} {module}.{name} is reachable from "
+            f"fork entry point(s) [{entry_names}]; re-create it inside "
+            "the worker initializer instead of inheriting it",
+            lineno=lineno,
+        )

@@ -1,0 +1,408 @@
+"""Fault-seam coverage: SEAM001–SEAM003.
+
+PR 5 hardened every I/O boundary behind ``faults.checkpoint()`` /
+``faults.io_retry`` seams so chaos drills can exercise them. These
+rules keep that true as the codebase grows, turning seam drift into a
+lint failure instead of a silently un-drillable code path:
+
+* **SEAM001** — a raw I/O call site (``open``, ``os.replace``,
+  ``np.save``, ``.write_text``, ...) in library code must sit in a
+  function that declares a ``faults.checkpoint(...)`` or is the operand
+  of a ``faults.io_retry(...)`` wrap. Unseamed I/O is invisible to
+  every drill.
+* **SEAM002** — the seam names in code and ``faults.CATALOG`` must
+  agree, both directions: a checkpoint naming an uncataloged point can
+  never be scheduled, and a cataloged point with no live call site is
+  dead configuration that drills silently skip.
+* **SEAM003** — each seam's legal failure must actually be handleable:
+  ``corrupt``-kind checkpoints need an in-function recovery path
+  (an ``except`` plus ``mark_recovered``), ``io``-kind ``io_retry``
+  wraps need OSError handling in reach or an explicit ``seam raises:``
+  contract declaration, and ``budget``-kind checkpoints need a
+  ``BudgetExhaustedError`` handler somewhere above them.
+
+The family arms itself only when the analyzed project contains a
+``*.faults.plan`` module with a literal top-level ``CATALOG`` dict —
+projects without a fault harness are not subject to seam policy.
+Exemptions come from the ``exempt seams:`` contract directive, with
+:data:`DEFAULT_SEAM_EXEMPT` as the fallback.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    ProjectRule,
+    Severity,
+    register_rule,
+)
+from repro.analysis.effects import (
+    effect_analysis,
+    matches_prefix,
+    project_contract,
+)
+from repro.analysis.graph import FunctionInfo, ModuleSummary
+
+__all__ = [
+    "DEFAULT_SEAM_EXEMPT",
+    "CatalogDriftRule",
+    "SeamExceptionFlowRule",
+    "UnseamedIoRule",
+    "seam_catalog",
+]
+
+#: Packages outside seam policy: the fault harness itself, the analysis
+#: and CLI tooling (not on any drilled data path), telemetry's trace
+#: export, and the chaos driver. Overridable via ``exempt seams:``.
+DEFAULT_SEAM_EXEMPT = (
+    "repro.faults",
+    "repro.telemetry",
+    "repro.analysis",
+    "repro.cli",
+    "repro.parallel.chaos",
+)
+
+#: Exception names accepted as handling an ``io``-kind seam's OSError.
+_OSERROR_NAMES = frozenset({"OSError", "IOError", "Exception", "*"})
+
+#: Exception names accepted as handling a ``budget``-kind seam.
+_BUDGET_NAMES = frozenset({"BudgetExhaustedError", "ReproError", "Exception", "*"})
+
+
+def seam_catalog(
+    project: Project,
+) -> tuple[ModuleSummary | None, dict[str, tuple[str, int]]]:
+    """The project's fault catalog: (plan summary, point -> (kind, lineno)).
+
+    Parsed from the literal ``CATALOG`` dict of the first module named
+    ``*.faults.plan``; ``(None, {})`` when the project has no fault
+    harness, which disarms the whole SEAM family.
+    """
+    cached = getattr(project, "_seam_catalog", None)
+    if cached is not None:
+        return cached
+    plan_summary: ModuleSummary | None = None
+    catalog: dict[str, tuple[str, int]] = {}
+    for name in sorted(project.summaries):
+        if not (name == "faults.plan" or name.endswith(".faults.plan")):
+            continue
+        module = project.find_module(name)
+        if module is None:
+            continue
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            else:
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "CATALOG" for t in targets
+            ):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Dict):
+                continue
+            for key, kind in zip(value.keys, value.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(kind, ast.Constant)
+                    and isinstance(kind.value, str)
+                ):
+                    catalog[key.value] = (kind.value, key.lineno)
+        if catalog:
+            plan_summary = project.summaries[name]
+            break
+    project._seam_catalog = (plan_summary, catalog)
+    return plan_summary, catalog
+
+
+def _seam_exempt(project: Project) -> tuple[str, ...]:
+    contract = project_contract(project)
+    declared = contract.directive("exempt seams") if contract else ()
+    return declared or DEFAULT_SEAM_EXEMPT
+
+
+def _declared_raises(project: Project) -> tuple[str, ...]:
+    contract = project_contract(project)
+    return contract.directive("seam raises") if contract else ()
+
+
+def _wrapped_qualnames(summary: ModuleSummary) -> set[str]:
+    """Qualnames of functions passed to ``io_retry`` in their module."""
+    wrapped: set[str] = set()
+    for info in summary.functions.values():
+        for operand, _point, _line in info.retry_wraps:
+            wrapped.add(operand)  # module-level operand
+            wrapped.add(f"{info.qualname}.{operand}")  # nested operand
+    return wrapped
+
+
+def _library_modules(
+    project: Project, exempt: tuple[str, ...]
+) -> Iterator[tuple[str, ModuleSummary]]:
+    for name in sorted(project.summaries):
+        if matches_prefix(name, exempt):
+            continue
+        yield name, project.summaries[name]
+
+
+@register_rule
+class UnseamedIoRule(ProjectRule):
+    """SEAM001 — raw I/O in library code must sit behind a fault seam."""
+
+    id = "SEAM001"
+    name = "unseamed-io"
+    severity = Severity.ERROR
+    description = (
+        "a raw open/replace/np.save-style call site is neither in a "
+        "checkpoint-declaring function nor wrapped in faults.io_retry, "
+        "so no chaos drill can ever exercise its failure path"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        _plan, catalog = seam_catalog(project)
+        if not catalog:
+            return
+        exempt = _seam_exempt(project)
+        for name, summary in _library_modules(project, exempt):
+            wrapped = _wrapped_qualnames(summary)
+            for tag, lineno, col, detail in summary.module_effects:
+                if tag != "io":
+                    continue
+                yield self.project_finding(
+                    summary.rel_path,
+                    f"module-level I/O ({detail}) in {name} runs at import "
+                    "time, outside any fault seam; move it behind a "
+                    "checkpointed function",
+                    lineno=lineno,
+                    col=col,
+                )
+            for qualname in sorted(summary.functions):
+                info = summary.functions[qualname]
+                if info.checkpoints or qualname in wrapped:
+                    continue
+                for tag, lineno, col, detail in info.effects:
+                    if tag != "io":
+                        continue
+                    yield self.project_finding(
+                        summary.rel_path,
+                        f"{name}.{qualname} performs raw I/O ({detail}) "
+                        "with no faults.checkpoint(...) in the function "
+                        "and no io_retry wrap; declare a seam from "
+                        "faults.CATALOG so drills can reach it",
+                        lineno=lineno,
+                        col=col,
+                    )
+
+
+@register_rule
+class CatalogDriftRule(ProjectRule):
+    """SEAM002 — code and ``faults.CATALOG`` must name the same seams."""
+
+    id = "SEAM002"
+    name = "seam-catalog-drift"
+    severity = Severity.ERROR
+    description = (
+        "a checkpoint/io_retry names a point missing from faults.CATALOG, "
+        "or a CATALOG entry has no live call site left"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        plan, catalog = seam_catalog(project)
+        if not catalog or plan is None:
+            return
+        live: set[str] = set()
+        for name in sorted(project.summaries):
+            summary = project.summaries[name]
+            for qualname in sorted(summary.functions):
+                info = summary.functions[qualname]
+                for _kind, point, lineno in info.checkpoints:
+                    live.add(point)
+                    if point not in catalog:
+                        yield self.project_finding(
+                            summary.rel_path,
+                            f"{name}.{qualname} declares seam {point!r} "
+                            "which is not in faults.CATALOG; add the "
+                            "catalog entry or fix the name",
+                            lineno=lineno,
+                        )
+                for _operand, point, lineno in info.retry_wraps:
+                    live.update((f"{point}.write", f"{point}.replace"))
+                    if (
+                        point not in catalog
+                        and f"{point}.write" not in catalog
+                        and f"{point}.replace" not in catalog
+                    ):
+                        yield self.project_finding(
+                            summary.rel_path,
+                            f"{name}.{qualname} wraps io_retry point "
+                            f"{point!r} with no matching faults.CATALOG "
+                            "entries (expected .write/.replace suffixes)",
+                            lineno=lineno,
+                        )
+        for point in sorted(catalog):
+            kind, lineno = catalog[point]
+            if point not in live:
+                yield self.project_finding(
+                    plan.rel_path,
+                    f"CATALOG entry {point!r} ({kind}) resolves to no "
+                    "live checkpoint or io_retry call site; delete the "
+                    "entry or restore the seam",
+                    lineno=lineno,
+                )
+
+
+@register_rule
+class SeamExceptionFlowRule(ProjectRule):
+    """SEAM003 — each seam's legal exception must be caught in reach."""
+
+    id = "SEAM003"
+    name = "seam-exception-flow"
+    severity = Severity.ERROR
+    description = (
+        "a seam's legal failure (corrupt decode error, io_retry OSError, "
+        "budget exhaustion) has no handler on any caller path and no "
+        "'seam raises:' contract declaration"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        _plan, catalog = seam_catalog(project)
+        if not catalog:
+            return
+        exempt = _seam_exempt(project)
+        declared = set(_declared_raises(project))
+        analysis = effect_analysis(project)
+        for name, summary in _library_modules(project, exempt):
+            for qualname in sorted(summary.functions):
+                info = summary.functions[qualname]
+                yield from self._check_corrupt(name, summary, info, catalog)
+                yield from self._check_io(
+                    name, summary, info, declared, analysis
+                )
+                yield from self._check_budget(
+                    name, summary, info, catalog, project, analysis
+                )
+
+    def _check_corrupt(
+        self,
+        name: str,
+        summary: ModuleSummary,
+        info: FunctionInfo,
+        catalog: dict[str, tuple[str, int]],
+    ) -> Iterator[Finding]:
+        recovered = {
+            point for kind, point, _ in info.checkpoints
+            if kind == "mark_recovered"
+        }
+        for kind, point, lineno in info.checkpoints:
+            if kind != "checkpoint" or catalog.get(point, ("", 0))[0] != "corrupt":
+                continue
+            if not info.caught or point not in recovered:
+                yield self.project_finding(
+                    summary.rel_path,
+                    f"{name}.{info.qualname} reads through corrupt-kind "
+                    f"seam {point!r} without an in-function recovery "
+                    "path (catch the decode failure and call "
+                    f"faults.mark_recovered({point!r}, ...))",
+                    lineno=lineno,
+                )
+
+    def _check_io(
+        self,
+        name: str,
+        summary: ModuleSummary,
+        info: FunctionInfo,
+        declared: set[str],
+        analysis,
+    ) -> Iterator[Finding]:
+        for _operand, point, lineno in info.retry_wraps:
+            if point in declared:
+                continue
+            if _OSERROR_NAMES & set(info.caught):
+                continue
+            key = (name, info.qualname)
+            callers = [
+                caller
+                for caller, callees in analysis.call_graph.edges.items()
+                if key in callees
+            ]
+            if any(
+                self._catches(analysis, caller, _OSERROR_NAMES)
+                for caller in callers
+            ):
+                continue
+            yield self.project_finding(
+                summary.rel_path,
+                f"{name}.{info.qualname} wraps io_retry point {point!r} "
+                "but exhausted retries raise OSError with no handler on "
+                "any static caller path; catch it or declare the seam "
+                f"with 'seam raises: {point}' in the contract",
+                lineno=lineno,
+            )
+
+    def _check_budget(
+        self,
+        name: str,
+        summary: ModuleSummary,
+        info: FunctionInfo,
+        catalog: dict[str, tuple[str, int]],
+        project: Project,
+        analysis,
+    ) -> Iterator[Finding]:
+        for kind, point, lineno in info.checkpoints:
+            if kind != "checkpoint" or catalog.get(point, ("", 0))[0] != "budget":
+                continue
+            if self._budget_handled(name, info.qualname, project, analysis):
+                continue
+            yield self.project_finding(
+                summary.rel_path,
+                f"{name}.{info.qualname} charges budget-kind seam "
+                f"{point!r} but no caller (statically or anywhere in "
+                "its package) catches BudgetExhaustedError",
+                lineno=lineno,
+            )
+
+    def _budget_handled(
+        self, module: str, qualname: str, project: Project, analysis
+    ) -> bool:
+        """Is BudgetExhaustedError caught above (module, qualname)?
+
+        Walks the reverse static call closure first; because budget
+        charges typically flow through dynamically-dispatched clock
+        objects the resolver cannot see, it falls back to accepting a
+        handler anywhere in the seam's top-two-level package.
+        """
+        closure = {(module, qualname)}
+        frontier = [(module, qualname)]
+        while frontier:
+            target = frontier.pop()
+            for caller, callees in analysis.call_graph.edges.items():
+                if target in callees and caller not in closure:
+                    closure.add(caller)
+                    frontier.append(caller)
+        for mod, qual in closure:
+            info = project.summaries[mod].functions.get(qual)
+            if info is not None and _BUDGET_NAMES & set(info.caught):
+                return True
+        package = ".".join(module.split(".")[:2])
+        for name in project.summaries:
+            if not matches_prefix(name, (package,)):
+                continue
+            for info in project.summaries[name].functions.values():
+                if _BUDGET_NAMES & set(info.caught):
+                    return True
+        return False
+
+    @staticmethod
+    def _catches(analysis, key: tuple[str, str], names: frozenset[str]) -> bool:
+        summary = analysis.summaries.get(key[0])
+        if summary is None:
+            return False
+        info = summary.functions.get(key[1])
+        return info is not None and bool(names & set(info.caught))

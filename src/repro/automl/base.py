@@ -11,7 +11,6 @@ proposed and *how* the ensemble is built.
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -139,7 +138,7 @@ class AutoMLSystem(abc.ABC):
             X_valid = np.asarray(X_valid, dtype=np.float64)
             y_valid = np.asarray(y_valid)
 
-        start = time.perf_counter()
+        start = telemetry.wallclock()
         clock = SimulatedClock(TimeBudget(self._budget_value))
         self._leaderboard: list[LeaderboardEntry] = []
         self._rng = np.random.default_rng(self.seed)
@@ -183,7 +182,7 @@ class AutoMLSystem(abc.ABC):
             system=self.name,
             n_evaluated=len(self._leaderboard),
             simulated_hours=clock.elapsed_hours,
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=telemetry.wallclock() - start,
             best_valid_f1=best_f1,
             threshold=self._threshold,
             leaderboard=sorted(

@@ -13,6 +13,7 @@ from __future__ import annotations
 import hashlib
 import os
 import zlib
+from pathlib import Path
 
 import numpy as np
 
@@ -47,6 +48,22 @@ def bench_scale() -> float:
     if not 0.0 < value <= 1.0:
         return DEFAULT_BENCH_SCALE
     return value
+
+
+def cache_root() -> Path | None:
+    """Root directory of every on-disk result cache (None when disabled).
+
+    Reads ``REPRO_CACHE_DIR`` (default ``.repro_cache``); the values
+    ``off``/``none``/empty disable disk caching entirely. This is the
+    single sanctioned read of that knob — the experiment and adapter
+    cache layers derive their directories from here so that ambient
+    environment access stays out of the deterministic core (rule
+    DET003), and the knob is resolved identically everywhere.
+    """
+    raw = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    if raw.lower() in ("off", "none", ""):
+        return None
+    return Path(raw)
 
 
 def stable_hash(*parts: object) -> int:

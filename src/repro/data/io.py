@@ -9,8 +9,11 @@ generated benchmarks can be exported for external tools and re-imported.
 from __future__ import annotations
 
 import csv
+import os
+import tempfile
 from pathlib import Path
 
+from repro import faults
 from repro.data.schema import (
     Attribute,
     AttributeKind,
@@ -36,84 +39,116 @@ def save_csv(dataset: EMDataset, path: str | Path) -> Path:
     A header comment row (starting ``#schema``) records the schema name,
     dataset type, and attribute kinds so :func:`load_csv` can reconstruct
     the dataset losslessly.
+
+    The write is an atomic ``data.csv.store`` fault seam (temp file +
+    rename under :func:`repro.faults.io_retry`): a crash mid-export can
+    never truncate a previously exported good copy.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     attrs = dataset.schema.attributes
-    with path.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle)
-        meta = [
-            "#schema",
-            dataset.schema.name,
-            dataset.dataset_type,
-            dataset.name,
-        ] + [f"{a.name}:{_KIND_TAGS[a.kind]}" for a in attrs]
-        writer.writerow(meta)
-        header = (
-            ["id", "label"]
-            + [f"left_{a.name}" for a in attrs]
-            + [f"right_{a.name}" for a in attrs]
+    meta = [
+        "#schema",
+        dataset.schema.name,
+        dataset.dataset_type,
+        dataset.name,
+    ] + [f"{a.name}:{_KIND_TAGS[a.kind]}" for a in attrs]
+    header = (
+        ["id", "label"]
+        + [f"left_{a.name}" for a in attrs]
+        + [f"right_{a.name}" for a in attrs]
+    )
+
+    def _write() -> None:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, suffix=".tmp", prefix=path.stem
         )
-        writer.writerow(header)
-        for pair in dataset.pairs:
-            row: list[str] = [str(pair.pair_id), str(pair.label)]
-            for side in (pair.left, pair.right):
-                for attr in attrs:
-                    value = side[attr.name]
-                    row.append("" if value is None else str(value))
-            writer.writerow(row)
+        try:
+            with os.fdopen(fd, "w", newline="", encoding="utf-8") as handle:
+                faults.checkpoint("data.csv.store.write", path=str(path))
+                writer = csv.writer(handle)
+                writer.writerow(meta)
+                writer.writerow(header)
+                for pair in dataset.pairs:
+                    row: list[str] = [str(pair.pair_id), str(pair.label)]
+                    for side in (pair.left, pair.right):
+                        for attr in attrs:
+                            value = side[attr.name]
+                            row.append("" if value is None else str(value))
+                    writer.writerow(row)
+            faults.checkpoint("data.csv.store.replace", path=str(path))
+            os.replace(tmp_name, path)
+        finally:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+
+    faults.io_retry(_write, "data.csv.store")
     return path
 
 
 def load_csv(path: str | Path) -> EMDataset:
-    """Reconstruct an :class:`EMDataset` written by :func:`save_csv`."""
+    """Reconstruct an :class:`EMDataset` written by :func:`save_csv`.
+
+    Raises :class:`~repro.exceptions.DataError` for truncated, garbage,
+    or schema-mismatched files (the ``data.csv.read`` corruption seam).
+    """
     path = Path(path)
-    with path.open("r", newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle)
-        try:
-            meta = next(reader)
-            header = next(reader)
-        except StopIteration:
-            raise DataError(f"{path}: file truncated") from None
-        if not meta or meta[0] != "#schema":
-            raise DataError(f"{path}: missing #schema header row")
-        schema_name, dataset_type, dataset_name = meta[1], meta[2], meta[3]
-        attrs: list[Attribute] = []
-        for spec in meta[4:]:
-            attr_name, _sep, tag = spec.partition(":")
-            if tag not in _TAG_KINDS:
-                raise DataError(f"{path}: unknown attribute kind tag {tag!r}")
-            attrs.append(Attribute(attr_name, _TAG_KINDS[tag]))
-        schema = Schema(schema_name, tuple(attrs))
+    faults.checkpoint("data.csv.read", path=str(path))
+    try:
+        with path.open("r", newline="", encoding="utf-8") as handle:
+            return _parse_rows(path, csv.reader(handle))
+    except (UnicodeDecodeError, csv.Error) as exc:
+        # Undecodable or structurally broken bytes settle into a typed
+        # DataError the caller can act on — that is the recovery.
+        faults.mark_recovered("data.csv.read", path=str(path))
+        raise DataError(f"{path}: corrupt CSV payload: {exc}") from exc
 
-        expected_header = (
-            ["id", "label"]
-            + [f"left_{a.name}" for a in attrs]
-            + [f"right_{a.name}" for a in attrs]
-        )
-        if header != expected_header:
-            raise DataError(f"{path}: header does not match schema row")
 
-        pairs: list[PairRecord] = []
-        for row in reader:
-            if not row:
-                continue
-            if len(row) != len(expected_header):
-                raise DataError(
-                    f"{path}: row {row[0]!r} has {len(row)} fields, "
-                    f"expected {len(expected_header)}"
-                )
-            pair_id = int(row[0])
-            label = int(row[1])
-            left: dict[str, object] = {}
-            right: dict[str, object] = {}
-            offset = 2
-            for target in (left, right):
-                for attr in attrs:
-                    raw = row[offset]
-                    offset += 1
-                    target[attr.name] = _parse_value(raw, attr.kind)
-            pairs.append(PairRecord(pair_id, left, right, label))
+def _parse_rows(path: Path, reader) -> EMDataset:
+    try:
+        meta = next(reader)
+        header = next(reader)
+    except StopIteration:
+        raise DataError(f"{path}: file truncated") from None
+    if not meta or meta[0] != "#schema":
+        raise DataError(f"{path}: missing #schema header row")
+    schema_name, dataset_type, dataset_name = meta[1], meta[2], meta[3]
+    attrs: list[Attribute] = []
+    for spec in meta[4:]:
+        attr_name, _sep, tag = spec.partition(":")
+        if tag not in _TAG_KINDS:
+            raise DataError(f"{path}: unknown attribute kind tag {tag!r}")
+        attrs.append(Attribute(attr_name, _TAG_KINDS[tag]))
+    schema = Schema(schema_name, tuple(attrs))
+
+    expected_header = (
+        ["id", "label"]
+        + [f"left_{a.name}" for a in attrs]
+        + [f"right_{a.name}" for a in attrs]
+    )
+    if header != expected_header:
+        raise DataError(f"{path}: header does not match schema row")
+
+    pairs: list[PairRecord] = []
+    for row in reader:
+        if not row:
+            continue
+        if len(row) != len(expected_header):
+            raise DataError(
+                f"{path}: row {row[0]!r} has {len(row)} fields, "
+                f"expected {len(expected_header)}"
+            )
+        pair_id = int(row[0])
+        label = int(row[1])
+        left: dict[str, object] = {}
+        right: dict[str, object] = {}
+        offset = 2
+        for target in (left, right):
+            for attr in attrs:
+                raw = row[offset]
+                offset += 1
+                target[attr.name] = _parse_value(raw, attr.kind)
+        pairs.append(PairRecord(pair_id, left, right, label))
 
     return EMDataset(dataset_name, schema, pairs, dataset_type=dataset_type)
 

@@ -57,11 +57,14 @@ class ExperimentConfig:
 
     @staticmethod
     def cache_dir() -> Path | None:
-        """Directory of the on-disk result cache (None when disabled)."""
-        raw = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
-        if raw.lower() in ("off", "none", ""):
-            return None
-        return Path(raw)
+        """Directory of the on-disk result cache (None when disabled).
+
+        Delegates to :func:`repro.config.cache_root`, the one sanctioned
+        reader of ``REPRO_CACHE_DIR``.
+        """
+        from repro.config import cache_root
+
+        return cache_root()
 
     def cache_key(self, *parts: object) -> str:
         """Stable cache key including every accuracy-relevant knob."""

@@ -10,11 +10,14 @@ anything.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from collections import defaultdict
 from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.experiments.config import ExperimentConfig
 
 __all__ = ["collect_cached_results", "build_report", "write_report"]
@@ -33,10 +36,14 @@ def collect_cached_results(
     for path in sorted(directory.glob("*.json")):
         if not path.name.startswith(prefix):
             continue
+        faults.checkpoint("report.cache.read", path=str(path))
         try:
             with path.open() as handle:
                 record = json.load(handle)
         except (json.JSONDecodeError, OSError):
+            # A torn or garbage cache entry is simply skipped; the report
+            # covers whatever is readable. Skipping *is* the recovery.
+            faults.mark_recovered("report.cache.read", path=str(path))
             continue
         record["_key"] = path.stem
         records.append(record)
@@ -128,8 +135,29 @@ def build_report(config: ExperimentConfig | None = None) -> str:
 
 
 def write_report(path: str | Path, config: ExperimentConfig | None = None) -> Path:
-    """Render :func:`build_report` to ``path``."""
+    """Render :func:`build_report` to ``path``.
+
+    The write is an atomic ``report.store`` fault seam (temp file +
+    rename under :func:`repro.faults.io_retry`): a crash mid-render never
+    truncates a previously written report.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(build_report(config) + "\n")
+    text = build_report(config) + "\n"
+
+    def _write() -> None:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, suffix=".tmp", prefix=path.stem
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                faults.checkpoint("report.store.write", path=str(path))
+                handle.write(text)
+            faults.checkpoint("report.store.replace", path=str(path))
+            os.replace(tmp_name, path)
+        finally:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+
+    faults.io_retry(_write, "report.store")
     return path

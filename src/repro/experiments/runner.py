@@ -13,7 +13,6 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-import time
 from pathlib import Path
 
 from repro import faults, telemetry
@@ -193,11 +192,11 @@ class ExperimentRunner:
                 seed=self.config.seed,
                 max_models=self.config.max_models,
             )
-            start = time.perf_counter()
+            start = telemetry.wallclock()
             automl.fit(
                 X_train, splits.train.labels, X_valid, splits.valid.labels
             )
-            wall = time.perf_counter() - start
+            wall = telemetry.wallclock() - start
             predictions = automl.predict(X_test)
             labels = splits.test.labels
             result = EvaluationResult(

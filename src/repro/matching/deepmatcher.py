@@ -25,10 +25,10 @@ Table 2 hours.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
+from repro import telemetry
 from repro.config import stable_hash
 from repro.data.schema import EMDataset, PairRecord
 from repro.exceptions import NotFittedError
@@ -162,7 +162,7 @@ class DeepMatcherHybrid:
 
     def fit(self, train: EMDataset, valid: EMDataset) -> "DeepMatcherHybrid":
         """Train on the train split, early-stop and threshold on valid."""
-        start = time.perf_counter()
+        start = telemetry.wallclock()
         X_train = self.featurize(train)
         X_valid = self.featurize(valid)
         y_train = train.labels
@@ -193,7 +193,7 @@ class DeepMatcherHybrid:
         proba = self._classifier.predict_proba(X_valid)[:, 1]
         self._threshold, _ = best_f1_threshold(y_valid, proba)
         self.simulated_hours_ = self._cost_hours(train)
-        self.wall_seconds_ = time.perf_counter() - start
+        self.wall_seconds_ = telemetry.wallclock() - start
         return self
 
     def _cost_hours(self, train: EMDataset) -> float:

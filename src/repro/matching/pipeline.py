@@ -17,7 +17,6 @@ and the AutoML system does all model selection and tuning internally.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
@@ -68,7 +67,7 @@ class EMPipeline:
 
     def fit(self, train: EMDataset, valid: EMDataset) -> "EMPipeline":
         """Encode the splits with the adapter and run the AutoML search."""
-        start = time.perf_counter()
+        start = telemetry.wallclock()
         with telemetry.span(
             "pipeline.fit",
             adapter=self.adapter.name,
@@ -78,7 +77,7 @@ class EMPipeline:
             X_train = self.adapter.transform(train)
             X_valid = self.adapter.transform(valid)
             self.automl.fit(X_train, train.labels, X_valid, valid.labels)
-        self.wall_seconds_ = time.perf_counter() - start
+        self.wall_seconds_ = telemetry.wallclock() - start
         return self
 
     @property

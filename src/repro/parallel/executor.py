@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -87,6 +86,13 @@ def _init_worker(
 ) -> None:
     global _WORKER_RUNNER
     _WORKER_RUNNER = ExperimentRunner(config)
+    # With fork the worker inherits whatever adapter matrices the parent
+    # already memoized; dropping them (FORK001) keeps worker memory flat
+    # and every cache fill attributable to the worker's own cells. The
+    # entries are content-addressed, so this costs recomputation only.
+    from repro.adapter import clear_adapter_cache
+
+    clear_adapter_cache()
     # Chaos runs ship the parent's fault plan into every worker (with
     # fork the module state is inherited anyway; with spawn this is the
     # only channel). Re-shipped on pool rebuilds with fired kill specs
@@ -103,7 +109,7 @@ def _execute_cell(index: int, cell: Cell, capture_trace: bool) -> dict:
     # Chaos seam: a "kill" fault keyed to this cell's label dies here
     # with os._exit — no unwinding, exactly like SIGKILL mid-cell.
     faults.checkpoint("parallel.worker", key=cell.label)
-    start = time.perf_counter()
+    start = telemetry.wallclock()
     try:
         if capture_trace:
             with telemetry.recording() as recorder:
@@ -125,7 +131,7 @@ def _execute_cell(index: int, cell: Cell, capture_trace: bool) -> dict:
         "index": index,
         "record": dict(result.__dict__),
         "trace": trace,
-        "elapsed": time.perf_counter() - start,
+        "elapsed": telemetry.wallclock() - start,
         "pid": os.getpid(),
     }
 
@@ -189,14 +195,14 @@ class ParallelRunner:
         runner = ExperimentRunner(self.config)
         results = []
         for index, cell in enumerate(grid.cells):
-            start = time.perf_counter()
+            start = telemetry.wallclock()
             outcome = cell.run(runner)
             results.append(
                 CellResult(
                     index=index,
                     cell=cell,
                     record=dict(outcome.__dict__),
-                    elapsed_seconds=time.perf_counter() - start,
+                    elapsed_seconds=telemetry.wallclock() - start,
                     worker_pid=os.getpid(),
                 )
             )

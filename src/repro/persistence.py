@@ -76,10 +76,14 @@ def load_model(path: str | Path) -> Any:
     path = Path(path)
     if not path.exists():
         raise PersistenceError(f"no model file at {path}")
+    faults.checkpoint("persistence.load.read", path=str(path))
     try:
         with path.open("rb") as handle:
             envelope = pickle.load(handle)
     except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        # Corruption is *handled* (settled into a typed error the caller
+        # can act on), which is what the seam's accounting records.
+        faults.mark_recovered("persistence.load.read", path=str(path))
         raise PersistenceError(f"{path} is not a valid model file: {exc}") from exc
     if not isinstance(envelope, dict) or envelope.get("magic") != _MAGIC:
         raise PersistenceError(f"{path} is not a repro model file")

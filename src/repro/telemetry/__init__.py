@@ -53,7 +53,7 @@ from repro.telemetry.recorder import (
     recording,
 )
 from repro.telemetry.schema import TRACE_SCHEMA, validate_instance, validate_trace
-from repro.telemetry.spans import Span, span, traced
+from repro.telemetry.spans import Span, span, traced, wallclock
 from repro.telemetry.stitch import graft_snapshot
 
 __all__ = [
@@ -85,6 +85,7 @@ __all__ = [
     "trial",
     "validate_instance",
     "validate_trace",
+    "wallclock",
     "write_jsonl",
 ]
 

@@ -23,7 +23,20 @@ from typing import Callable
 # lookup of the active recorder is deferred to call time instead.
 # Annotations naming TelemetryRecorder are strings (PEP 563) on purpose.
 
-__all__ = ["Span", "SpanHandle", "span", "traced"]
+__all__ = ["Span", "SpanHandle", "span", "traced", "wallclock"]
+
+
+def wallclock() -> float:
+    """Monotonic seconds for duration measurement — the sanctioned clock.
+
+    Library code on the deterministic-core path must not read
+    ``time.perf_counter`` directly (rule DET001 flags it): ad-hoc clock
+    reads are exactly how wall time leaks into places a replay cannot
+    reproduce. Durations measured through this single chokepoint are
+    observability-only by construction — they feed ``wall_seconds``
+    telemetry fields, never results.
+    """
+    return time.perf_counter()
 
 
 @dataclass

@@ -15,17 +15,21 @@ from repro.analysis import (
     AnalysisCache,
     Baseline,
     ContractError,
+    EFFECT_TAGS,
     LayeringContract,
     Severity,
     all_rules,
+    analysis_salt,
     analyze_project,
     apply_baseline,
+    effect_analysis,
     iter_rng_flow_violations,
     render_json,
     render_text,
     suppressed_rules,
 )
 from repro.analysis.core import RULE_REGISTRY, SUPPRESS_ALL, Project
+from repro.analysis.rules import fork_policy, seam_catalog
 from repro.cli import main as cli_main
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -1414,3 +1418,876 @@ class TestGraphCli:
         committed = (REPO_ROOT / "docs" / "import_graph.dot").read_text()
         graph = Project.load([SRC_ROOT]).import_graph()
         assert committed == graph.to_dot(level="package")
+
+# --------------------------------------------------------------------------
+# Effect lattice + fixpoint propagation (the DET/SEAM/FORK substrate)
+
+
+class TestEffectEngine:
+    def _analysis(self, tmp_path, files):
+        write_tree(tmp_path, files)
+        project = Project.load([tmp_path])
+        return project, effect_analysis(project)
+
+    def test_effect_tags_are_the_documented_lattice(self):
+        assert EFFECT_TAGS == (
+            "clock", "env", "random", "order", "io", "process"
+        )
+
+    def test_direct_sites_classified(self, tmp_path):
+        _, analysis = self._analysis(tmp_path, {
+            "src/repro/util.py": """
+                import os
+                import time
+
+                def stamp():
+                    return time.time()
+
+                def knob():
+                    return os.environ.get("X")
+
+                def listing(d):
+                    return os.listdir(d)
+                """,
+        })
+        fx = analysis.function_effects
+        assert fx("repro.util", "stamp") == frozenset({"clock"})
+        assert fx("repro.util", "knob") == frozenset({"env"})
+        assert fx("repro.util", "listing") == frozenset({"order"})
+
+    def test_effects_propagate_to_callers(self, tmp_path):
+        _, analysis = self._analysis(tmp_path, {
+            "src/repro/util.py": """
+                import time
+
+                def leaf():
+                    return time.time()
+
+                def middle():
+                    return leaf()
+
+                def top():
+                    return middle()
+                """,
+        })
+        assert "clock" in analysis.function_effects("repro.util", "top")
+        assert ("repro.util", "top") not in {
+            (m, q)
+            for m, q in []
+        }  # direct sites stay at the leaf:
+        owners = [s.owner for s in analysis.direct_sites("repro.util")]
+        assert owners == ["repro.util.leaf"]
+
+    def test_sorted_wrapper_exempts_order_effect(self, tmp_path):
+        _, analysis = self._analysis(tmp_path, {
+            "src/repro/util.py": """
+                import os
+
+                def tidy(d):
+                    return sorted(os.listdir(d))
+
+                def messy(d):
+                    return os.listdir(d)
+                """,
+        })
+        assert analysis.function_effects("repro.util", "tidy") == frozenset()
+        assert analysis.function_effects("repro.util", "messy") == {"order"}
+
+    def test_set_iteration_is_an_order_effect(self, tmp_path):
+        _, analysis = self._analysis(tmp_path, {
+            "src/repro/util.py": """
+                def walk(items):
+                    for item in set(items):
+                        yield item
+                """,
+        })
+        (site,) = analysis.direct_sites("repro.util")
+        assert site.tag == "order"
+        assert "set" in site.detail
+
+    def test_unseeded_default_rng_is_random_seeded_is_not(self, tmp_path):
+        _, analysis = self._analysis(tmp_path, {
+            "src/repro/util.py": """
+                import numpy as np
+
+                def ambient():
+                    return np.random.default_rng()
+
+                def pinned(seed):
+                    return np.random.default_rng(seed)
+                """,
+        })
+        assert analysis.function_effects("repro.util", "ambient") == {"random"}
+        assert analysis.function_effects("repro.util", "pinned") == frozenset()
+
+    def test_unknown_tag_rejected(self, tmp_path):
+        _, analysis = self._analysis(tmp_path, {
+            "src/repro/util.py": "x = 1\n",
+        })
+        with pytest.raises(ValueError):
+            analysis.effect_functions("spooky")
+
+    def test_summary_new_fields_round_trip_through_json(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/util.py": """
+                import time
+
+                from repro import faults
+
+                _CACHE = {}
+
+                def seam(path):
+                    def _write():
+                        faults.checkpoint("store.write", path=path)
+                    faults.io_retry(_write, "store")
+
+                def stamp():
+                    try:
+                        return time.time()
+                    except OSError:
+                        return 0.0
+                """,
+        })
+        project = Project.load([tmp_path])
+        summary = project.summaries["repro.util"]
+        from repro.analysis import ModuleSummary
+
+        clone = ModuleSummary.from_dict(
+            json.loads(json.dumps(summary.to_dict()))
+        )
+        assert clone == summary
+        assert clone.globals_info == (("_CACHE", "mutable", 6),)
+        info = clone.functions["stamp"]
+        assert info.caught == ("OSError",)
+        assert any(tag == "clock" for tag, *_ in info.effects)
+        seam_info = clone.functions["seam"]
+        assert seam_info.retry_wraps == (("_write", "store", 11),)
+
+
+# --------------------------------------------------------------------------
+# Contract directives
+
+
+class TestContractDirectives:
+    def test_directives_parse_and_accumulate(self):
+        contract = LayeringContract.parse(
+            """
+            layer base: repro.config
+            core determinism: repro.experiments
+            core determinism: repro.parallel
+            seam raises: store report.store
+            """,
+            source="inline",
+        )
+        assert contract.directive("core determinism") == (
+            "repro.experiments", "repro.parallel"
+        )
+        assert contract.directive("seam raises") == ("store", "report.store")
+        assert contract.directive("fork entrypoints") == ()
+
+    def test_empty_directive_value_rejected(self):
+        with pytest.raises(ContractError):
+            LayeringContract.parse("core determinism:\n", source="inline")
+
+    def test_unknown_keyword_still_reports_layer_expectation(self):
+        with pytest.raises(ContractError, match="expected 'layer"):
+            LayeringContract.parse("flavor town: repro\n", source="inline")
+
+
+# --------------------------------------------------------------------------
+# DET001-DET004: determinism taint over the core's import closure
+
+DET_FILES = {
+    "src/repro/experiments/runner.py": """
+        from repro.util import stamp
+
+        def run():
+            return stamp()
+        """,
+    "src/repro/util.py": """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+}
+
+
+class TestDeterminismRules:
+    def test_clock_reachable_from_core_flagged_at_source(self, tmp_path):
+        write_tree(tmp_path, DET_FILES)
+        findings = analyze_project([tmp_path], rules=[RULE_REGISTRY["DET001"]])
+        (finding,) = findings
+        assert finding.rule == "DET001"
+        assert finding.path == "src/repro/util.py"
+        assert finding.line == 5  # the time.time() call, not the caller
+        assert "repro.util.stamp" in finding.message
+        assert "telemetry.wallclock()" in finding.message
+
+    def test_propagation_chain_rendered_from_core(self, tmp_path):
+        write_tree(tmp_path, DET_FILES)
+        (finding,) = analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["DET001"]]
+        )
+        assert (
+            "repro.experiments.runner.run -> repro.util.stamp"
+            in finding.message
+        )
+
+    def test_module_unreachable_from_core_not_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/offline.py": DET_FILES["src/repro/util.py"],
+        })
+        assert analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["DET001"]]
+        ) == []
+
+    def test_exempt_package_not_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/experiments/runner.py": """
+                from repro.telemetry.spans import stamp
+
+                def run():
+                    return stamp()
+                """,
+            "src/repro/telemetry/spans.py": DET_FILES["src/repro/util.py"],
+        })
+        assert analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["DET001"]]
+        ) == []
+
+    def test_contract_core_directive_overrides_default(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/offline.py": DET_FILES["src/repro/util.py"],
+            "src/repro/driver.py": """
+                import repro.offline
+                """,
+            "docs/ARCHITECTURE_CONTRACT": """
+                core determinism: repro.driver
+                """,
+        })
+        (finding,) = analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["DET001"]]
+        )
+        assert finding.path == "src/repro/offline.py"
+
+    def test_env_random_and_order_families_fire(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/experiments/runner.py": """
+                from repro.util import knob, roll, walk
+
+                def run(d):
+                    return knob(), roll(), walk(d)
+                """,
+            "src/repro/util.py": """
+                import os
+                import random
+
+                def knob():
+                    return os.environ.get("X")
+
+                def roll():
+                    return random.random()
+
+                def walk(d):
+                    return list(os.listdir(d))
+                """,
+        })
+        findings = analyze_project(
+            [tmp_path],
+            rules=[RULE_REGISTRY[r] for r in ("DET002", "DET003", "DET004")],
+        )
+        assert sorted(rule_ids(findings)) == ["DET002", "DET003", "DET004"]
+
+
+# --------------------------------------------------------------------------
+# noqa placement for inter-procedural findings
+
+class TestInterProceduralSuppression:
+    def test_rng010_noqa_sits_on_the_caller_call_site(self, tmp_path):
+        files = {
+            "src/repro/maker.py": CONSUMER_MODULE,
+            "src/repro/driver.py": """
+                from repro.maker import consume
+
+                def run(rng):
+                    return consume([1])  # repro: noqa[RNG010]
+                """,
+        }
+        write_tree(tmp_path, files)
+        assert analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["RNG010"]]
+        ) == []
+
+    def test_det_noqa_sits_on_the_propagation_source(self, tmp_path):
+        files = dict(DET_FILES)
+        files["src/repro/util.py"] = """
+            import time
+
+            def stamp():
+                return time.time()  # repro: noqa[DET001]
+            """
+        write_tree(tmp_path, files)
+        assert analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["DET001"]]
+        ) == []
+
+    def test_det_noqa_on_the_caller_does_not_suppress(self, tmp_path):
+        files = dict(DET_FILES)
+        files["src/repro/experiments/runner.py"] = """
+            from repro.util import stamp
+
+            def run():
+                return stamp()  # repro: noqa[DET001]
+            """
+        write_tree(tmp_path, files)
+        findings = analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["DET001"]]
+        )
+        assert rule_ids(findings) == ["DET001"]
+
+    def test_seam_noqa_sits_on_the_io_call(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/faults/plan.py": SEAM_PLAN,
+            "src/repro/store.py": """
+                def dump(path, text):
+                    with open(path, "w") as handle:  # repro: noqa[SEAM001]
+                        handle.write(text)
+                """,
+        })
+        assert analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["SEAM001"]]
+        ) == []
+
+    def test_fork_noqa_sits_on_the_global_binding(self, tmp_path):
+        files = dict(FORK_FILES)
+        files["src/repro/pool/worker.py"] = """
+            _CACHE = {}  # repro: noqa[FORK001]
+
+            def run_cell(x):
+                _CACHE[x] = x
+                return _CACHE[x]
+            """
+        write_tree(tmp_path, files)
+        assert analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["FORK001"]]
+        ) == []
+
+# --------------------------------------------------------------------------
+# SEAM001-SEAM003: fault-seam coverage
+
+SEAM_PLAN = """
+    CATALOG: dict[str, str] = {
+        "store.write": "io",
+        "store.replace": "io",
+        "cache.read": "corrupt",
+    }
+    """
+
+
+class TestSeamRules:
+    def test_family_disarmed_without_a_fault_catalog(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/store.py": """
+                def dump(path, text):
+                    with open(path, "w") as handle:
+                        handle.write(text)
+                """,
+        })
+        assert analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["SEAM001"]]
+        ) == []
+
+    def test_unseamed_io_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/faults/plan.py": SEAM_PLAN,
+            "src/repro/store.py": """
+                def dump(path, text):
+                    with open(path, "w") as handle:
+                        handle.write(text)
+                """,
+        })
+        (finding,) = analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["SEAM001"]]
+        )
+        assert finding.rule == "SEAM001"
+        assert finding.path == "src/repro/store.py"
+        assert "repro.store.dump" in finding.message
+
+    def test_checkpointed_function_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/faults/plan.py": SEAM_PLAN,
+            "src/repro/store.py": """
+                from repro import faults
+
+                def dump(path, text):
+                    faults.checkpoint("store.write", path=str(path))
+                    with open(path, "w") as handle:
+                        handle.write(text)
+                """,
+        })
+        assert analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["SEAM001"]]
+        ) == []
+
+    def test_io_retry_operand_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/faults/plan.py": SEAM_PLAN,
+            "src/repro/store.py": """
+                from repro import faults
+
+                def dump(path, text):
+                    def _write():
+                        with open(path, "w") as handle:
+                            handle.write(text)
+                    faults.io_retry(_write, "store")
+                """,
+        })
+        assert analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["SEAM001"]]
+        ) == []
+
+    def test_module_level_io_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/faults/plan.py": SEAM_PLAN,
+            "src/repro/store.py": """
+                BANNER = open("/etc/hostname").read()
+                """,
+        })
+        (finding,) = analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["SEAM001"]]
+        )
+        assert "import time" in finding.message
+
+    def test_uncataloged_checkpoint_is_drift(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/faults/plan.py": SEAM_PLAN,
+            "src/repro/store.py": """
+                from repro import faults
+
+                def read(path):
+                    faults.checkpoint("mystery.read", path=str(path))
+                    return path
+                """,
+        })
+        findings = analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["SEAM002"]]
+        )
+        assert any(
+            f.path == "src/repro/store.py" and "mystery.read" in f.message
+            for f in findings
+        )
+
+    def test_dead_catalog_entry_fails_lint(self, tmp_path):
+        """Catalog/code drift is a lint error anchored in the plan file."""
+        write_tree(tmp_path, {
+            "src/repro/faults/plan.py": SEAM_PLAN,
+            "src/repro/store.py": """
+                from repro import faults
+
+                def dump(path, text):
+                    faults.checkpoint("store.write", path=str(path))
+                    faults.checkpoint("store.replace", path=str(path))
+                    return text
+                """,
+        })
+        (finding,) = analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["SEAM002"]]
+        )
+        assert finding.path == "src/repro/faults/plan.py"
+        assert "'cache.read'" in finding.message
+        assert "no live checkpoint" in finding.message
+
+    def test_catalog_and_code_in_sync_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/faults/plan.py": SEAM_PLAN,
+            "src/repro/store.py": """
+                from repro import faults
+
+                def dump(path, text):
+                    def _write():
+                        return text
+                    faults.io_retry(_write, "store")
+
+                def read(path):
+                    faults.checkpoint("cache.read", path=str(path))
+                    return path
+                """,
+        })
+        assert analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["SEAM002"]]
+        ) == []
+
+    def test_corrupt_seam_needs_in_function_recovery(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/faults/plan.py": SEAM_PLAN,
+            "src/repro/store.py": """
+                from repro import faults
+
+                def read(path):
+                    faults.checkpoint("cache.read", path=str(path))
+                    return path.read_text()
+                """,
+        })
+        (finding,) = analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["SEAM003"]]
+        )
+        assert "mark_recovered" in finding.message
+
+    def test_corrupt_seam_with_recovery_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/faults/plan.py": SEAM_PLAN,
+            "src/repro/store.py": """
+                from repro import faults
+
+                def read(path):
+                    faults.checkpoint("cache.read", path=str(path))
+                    try:
+                        return path.read_text()
+                    except UnicodeDecodeError:
+                        faults.mark_recovered("cache.read", path=str(path))
+                        return None
+                """,
+        })
+        assert analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["SEAM003"]]
+        ) == []
+
+    def test_io_retry_with_no_handler_anywhere_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/faults/plan.py": SEAM_PLAN,
+            "src/repro/store.py": """
+                from repro import faults
+
+                def dump(path, text):
+                    def _write():
+                        return text
+                    faults.io_retry(_write, "store")
+                """,
+        })
+        (finding,) = analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["SEAM003"]]
+        )
+        assert "seam raises: store" in finding.message
+
+    def test_io_retry_declared_raise_by_contract_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": """
+                seam raises: store
+                """,
+            "src/repro/faults/plan.py": SEAM_PLAN,
+            "src/repro/store.py": """
+                from repro import faults
+
+                def dump(path, text):
+                    def _write():
+                        return text
+                    faults.io_retry(_write, "store")
+                """,
+        })
+        assert analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["SEAM003"]]
+        ) == []
+
+    def test_io_retry_caller_catching_oserror_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/faults/plan.py": SEAM_PLAN,
+            "src/repro/store.py": """
+                from repro import faults
+
+                def dump(path, text):
+                    def _write():
+                        return text
+                    faults.io_retry(_write, "store")
+
+                def safe_dump(path, text):
+                    try:
+                        return dump(path, text)
+                    except OSError:
+                        return None
+                """,
+        })
+        assert analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["SEAM003"]]
+        ) == []
+
+
+# --------------------------------------------------------------------------
+# FORK001-FORK002: fork safety
+
+FORK_CONTRACT = """
+    fork entrypoints: repro.pool.worker:run_cell
+    fork initializers: repro.pool.worker:init
+    """
+
+FORK_FILES = {
+    "docs/ARCHITECTURE_CONTRACT": FORK_CONTRACT,
+    "src/repro/pool/worker.py": """
+        _CACHE = {}
+
+        def run_cell(x):
+            _CACHE[x] = x
+            return _CACHE[x]
+        """,
+}
+
+
+class TestForkRules:
+    def test_family_disarmed_without_entry_points(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/pool/worker.py": "_CACHE = {}\n",
+        })
+        assert analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["FORK001"]]
+        ) == []
+
+    def test_unreinitialized_cache_flagged(self, tmp_path):
+        write_tree(tmp_path, FORK_FILES)
+        (finding,) = analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["FORK001"]]
+        )
+        assert finding.rule == "FORK001"
+        assert "repro.pool.worker._CACHE" in finding.message
+        assert "repro.pool.worker:run_cell" in finding.message
+
+    def test_initializer_rebinding_clears_the_finding(self, tmp_path):
+        files = dict(FORK_FILES)
+        files["src/repro/pool/worker.py"] = """
+            _CACHE = {}
+
+            def run_cell(x):
+                _CACHE[x] = x
+                return _CACHE[x]
+
+            def init():
+                global _CACHE
+                _CACHE = {}
+            """
+        write_tree(tmp_path, files)
+        assert analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["FORK001"]]
+        ) == []
+
+    def test_rebinding_through_a_called_helper_counts(self, tmp_path):
+        files = dict(FORK_FILES)
+        files["src/repro/pool/worker.py"] = """
+            _CACHE = {}
+
+            def run_cell(x):
+                _CACHE[x] = x
+                return _CACHE[x]
+
+            def _reset():
+                global _CACHE
+                _CACHE = {}
+
+            def init():
+                _reset()
+            """
+        write_tree(tmp_path, files)
+        assert analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["FORK001"]]
+        ) == []
+
+    def test_populated_literal_table_is_not_state(self, tmp_path):
+        files = dict(FORK_FILES)
+        files["src/repro/pool/worker.py"] = """
+            _TABLE = {"a": 1, "b": 2}
+
+            def run_cell(x):
+                return _TABLE[x]
+            """
+        write_tree(tmp_path, files)
+        assert analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["FORK001"]]
+        ) == []
+
+    def test_reachable_import_state_flagged(self, tmp_path):
+        files = dict(FORK_FILES)
+        files["src/repro/pool/worker.py"] = """
+            from repro.pool import shared
+
+            def run_cell(x):
+                return shared.get(x)
+            """
+        files["src/repro/pool/shared.py"] = """
+            _MEMO = {}
+
+            def get(x):
+                return _MEMO.get(x)
+            """
+        write_tree(tmp_path, files)
+        (finding,) = analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["FORK001"]]
+        )
+        assert "repro.pool.shared._MEMO" in finding.message
+
+    def test_module_level_lock_flagged(self, tmp_path):
+        files = dict(FORK_FILES)
+        files["src/repro/pool/worker.py"] = """
+            import threading
+
+            _LOCK = threading.Lock()
+
+            def run_cell(x):
+                with _LOCK:
+                    return x
+            """
+        write_tree(tmp_path, files)
+        (finding,) = analyze_project(
+            [tmp_path], rules=[RULE_REGISTRY["FORK002"]]
+        )
+        assert finding.rule == "FORK002"
+        assert "lock" in finding.message
+
+    def test_fork_policy_resolves_only_existing_functions(self, tmp_path):
+        write_tree(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": """
+                fork entrypoints: repro.pool.worker:missing
+                """,
+            "src/repro/pool/worker.py": "_CACHE = {}\n",
+        })
+        project = Project.load([tmp_path])
+        entrypoints, initializers = fork_policy(project)
+        assert entrypoints == ()
+
+
+# --------------------------------------------------------------------------
+# Cache salt (analyzer/contract content, not just file mtime+size)
+
+
+class TestCacheSalt:
+    BAD = "import numpy as np\nnp.random.seed(1)\n"
+
+    def _run(self, src, cache_dir, salt):
+        cache = AnalysisCache(cache_dir, salt=salt)
+        findings = analyze_project(
+            [src], rules=[RULE_REGISTRY["RNG001"]], cache=cache
+        )
+        return findings, cache
+
+    def test_same_salt_hits(self, tmp_path):
+        src = write_tree(tmp_path / "proj", {"src/mod.py": self.BAD})
+        cache_dir = tmp_path / "cache"
+        self._run(src, cache_dir, salt="rulepack-v1")
+        _, warm = self._run(src, cache_dir, salt="rulepack-v1")
+        assert warm.hits == 1 and warm.misses == 0
+
+    def test_changed_salt_invalidates_whole_cache(self, tmp_path):
+        """mtime+size alone cannot see rule edits; the salt must."""
+        src = write_tree(tmp_path / "proj", {"src/mod.py": self.BAD})
+        cache_dir = tmp_path / "cache"
+        self._run(src, cache_dir, salt="rulepack-v1")
+        findings, cache = self._run(src, cache_dir, salt="rulepack-v2")
+        assert cache.hits == 0 and cache.misses == 1
+        assert len(findings) == 1  # still correct, just recomputed
+
+    def test_salt_persisted_in_cache_payload(self, tmp_path):
+        src = write_tree(tmp_path / "proj", {"src/mod.py": self.BAD})
+        cache_dir = tmp_path / "cache"
+        self._run(src, cache_dir, salt="rulepack-v1")
+        payload = json.loads(
+            (cache_dir / "analysis-cache.json").read_text()
+        )
+        assert payload["salt"] == "rulepack-v1"
+
+    def test_analysis_salt_tracks_contract_content(self, tmp_path):
+        a = write_tree(tmp_path / "a", {
+            "docs/ARCHITECTURE_CONTRACT": "layer base: repro.config\n",
+        })
+        b = write_tree(tmp_path / "b", {
+            "docs/ARCHITECTURE_CONTRACT": "layer base: repro.exceptions\n",
+        })
+        c = write_tree(tmp_path / "c", {
+            "docs/ARCHITECTURE_CONTRACT": "layer base: repro.config\n",
+        })
+        assert analysis_salt(a) != analysis_salt(b)
+        assert analysis_salt(a) == analysis_salt(c)
+
+    def test_lint_cli_salts_the_cache(self, tmp_path, monkeypatch, capsys):
+        src = write_tree(tmp_path, {"src/mod.py": self.BAD})
+        monkeypatch.chdir(src)
+        cache_dir = src / ".cache"
+        assert cli_main(
+            ["lint", "src", "--cache-dir", str(cache_dir)]
+        ) == 1
+        capsys.readouterr()
+        payload = json.loads(
+            (cache_dir / "analysis-cache.json").read_text()
+        )
+        assert payload["salt"] == analysis_salt(src / "src")
+
+
+# --------------------------------------------------------------------------
+# --changed re-analyzes the reverse-dependency closure
+
+
+class TestChangedClosure:
+    def _git(self, cwd, *argv):
+        proc = subprocess.run(
+            [*GIT_ENV, *argv], cwd=cwd, capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    def _repo(self, tmp_path):
+        self._git(tmp_path, "init", "-q")
+        write_tree(tmp_path, {
+            "src/repro/maker.py": """
+                def consume(items):
+                    return items
+                """,
+            "src/repro/driver.py": """
+                from repro.maker import consume
+
+                def run(rng):
+                    return consume([1])
+                """,
+            "src/repro/bystander.py": """
+                import numpy as np
+                np.random.seed(9)
+                """,
+        })
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-qm", "seed")
+        return tmp_path
+
+    def test_changed_callee_surfaces_finding_on_unchanged_caller(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """Growing an rng parameter on the callee creates an RNG010 in
+        the *unchanged* caller; --changed must not miss it."""
+        repo = self._repo(tmp_path)
+        monkeypatch.chdir(repo)
+        assert cli_main(["lint", "src", "--changed", "--no-cache"]) == 0
+        capsys.readouterr()
+        (repo / "src/repro/maker.py").write_text(
+            "def consume(items, rng=None):\n    return items\n"
+        )
+        assert cli_main(["lint", "src", "--changed", "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "RNG010" in out
+        assert "driver.py" in out
+
+    def test_out_of_closure_findings_stay_invisible(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """The committed bystander offender is not in the changed
+        closure, so --changed keeps ignoring it."""
+        repo = self._repo(tmp_path)
+        monkeypatch.chdir(repo)
+        (repo / "src/repro/maker.py").write_text(
+            "def consume(items, rng=None):\n    return items\n"
+        )
+        cli_main(["lint", "src", "--changed", "--no-cache"])
+        out = capsys.readouterr().out
+        assert "bystander.py" not in out
+
+    def test_full_run_still_sees_everything(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        repo = self._repo(tmp_path)
+        monkeypatch.chdir(repo)
+        assert cli_main(["lint", "src", "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "bystander.py" in out
