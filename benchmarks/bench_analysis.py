@@ -59,7 +59,26 @@ def run_analysis_benchmark(cache_dir: Path, warm_rounds: int = 3) -> dict:
         warm_seconds.append(time.perf_counter() - start)
         warm_hits, warm_misses = warm_cache.hits, warm_cache.misses
 
-    modules = len(Project.load([SRC_ROOT]).modules)
+    # Cost fixpoint in isolation: cold (fresh project, summaries built
+    # from source) vs warm (summaries replayed from the cache above,
+    # only the multiplicity propagation itself re-runs).
+    from repro.analysis.cost import cost_analysis
+
+    start = time.perf_counter()
+    cold_project = Project.load([SRC_ROOT])
+    cost_analysis(cold_project)
+    cost_cold_seconds = time.perf_counter() - start
+
+    cost_warm_seconds = []
+    for _ in range(warm_rounds):
+        warm_project = Project.load(
+            [SRC_ROOT], cache=AnalysisCache(cache_dir, salt=salt)
+        )
+        start = time.perf_counter()
+        cost_analysis(warm_project)
+        cost_warm_seconds.append(time.perf_counter() - start)
+
+    modules = len(cold_project.modules)
     return {
         "version": 1,
         "benchmark": "repro.analysis full-repo lint of src/",
@@ -82,6 +101,11 @@ def run_analysis_benchmark(cache_dir: Path, warm_rounds: int = 3) -> dict:
             "cache_misses": warm_misses,
         },
         "warm_over_cold": round(min(warm_seconds) / cold_seconds, 4),
+        "cost_pass": {
+            "cold_seconds": round(cost_cold_seconds, 4),
+            "warm_seconds": round(min(cost_warm_seconds), 4),
+            "hotspots": len(cost_analysis(cold_project).hotspots()),
+        },
     }
 
 
@@ -93,6 +117,8 @@ def test_analysis_engine_cold_vs_warm(tmp_path):
     assert payload["warm"]["cache_misses"] == 0
     assert payload["warm"]["cache_hits"] == payload["modules"]
     assert payload["warm"]["seconds"] < payload["cold"]["seconds"]
+    assert payload["cost_pass"]["hotspots"] > 0
+    assert payload["cost_pass"]["warm_seconds"] < 2.0  # propagation only
 
 
 def test_committed_snapshot_schema():
@@ -100,8 +126,13 @@ def test_committed_snapshot_schema():
     harness writes (numbers are machine-dependent and not compared)."""
     payload = json.loads(SNAPSHOT_PATH.read_text(encoding="utf-8"))
     assert payload["version"] == 1
-    for key in ("salt", "modules", "rules", "findings", "cold", "warm"):
+    for key in (
+        "salt", "modules", "rules", "findings", "cold", "warm", "cost_pass",
+    ):
         assert key in payload, key
+    assert {"cold_seconds", "warm_seconds", "hotspots"} <= payload[
+        "cost_pass"
+    ].keys()
     for leg in ("cold", "warm"):
         assert {"seconds", "cache_hits", "cache_misses"} <= payload[leg].keys()
 

@@ -19,33 +19,34 @@ __all__ = ["Combiner", "MeanCombiner", "ConcatCombiner", "make_combiner"]
 
 
 class Combiner(abc.ABC):
-    """Reduces a ``(n_sequences, dim)`` stack to one feature vector."""
+    """Reduces a ``(n_sequences, dim)`` stack to one feature vector.
+
+    The whole-dataset form (:meth:`combine_dataset`) is the primitive —
+    it is what the adapter pipeline calls and what subclasses implement
+    as a single vectorized numpy expression. The per-record
+    :meth:`combine` is derived from it by treating one record as a
+    one-row dataset, so the two can never drift apart.
+    """
 
     name: str = ""
 
     @abc.abstractmethod
-    def combine(self, embeddings: np.ndarray) -> np.ndarray:
-        """Reduce one record's sequence embeddings to a single vector."""
-
     def combine_dataset(self, per_sequence: list[np.ndarray]) -> np.ndarray:
         """Combine a whole dataset at once.
 
         ``per_sequence`` holds one ``(n_records, dim)`` matrix per
         tokenizer sequence position; the result is ``(n_records, out_dim)``.
         """
-        stacked = np.stack(per_sequence, axis=1)  # (records, sequences, dim)
-        return np.vstack(
-            [self.combine(stacked[i]) for i in range(stacked.shape[0])]
-        )
+
+    def combine(self, embeddings: np.ndarray) -> np.ndarray:
+        """Reduce one record's sequence embeddings to a single vector."""
+        return self.combine_dataset([row[None, :] for row in embeddings])[0]
 
 
 class MeanCombiner(Combiner):
     """Average of the sequence embeddings (the paper's standard)."""
 
     name = "mean"
-
-    def combine(self, embeddings: np.ndarray) -> np.ndarray:
-        return embeddings.mean(axis=0)
 
     def combine_dataset(self, per_sequence: list[np.ndarray]) -> np.ndarray:
         return np.mean(per_sequence, axis=0)
@@ -55,9 +56,6 @@ class ConcatCombiner(Combiner):
     """Concatenation of the sequence embeddings (fixed-schema datasets)."""
 
     name = "concat"
-
-    def combine(self, embeddings: np.ndarray) -> np.ndarray:
-        return embeddings.reshape(-1)
 
     def combine_dataset(self, per_sequence: list[np.ndarray]) -> np.ndarray:
         return np.hstack(per_sequence)

@@ -60,8 +60,11 @@ class LocalWord2VecEmbedder:
         tokens = self._tokenizer.tokenize(text)
         if not tokens:
             return np.zeros(self._model.dim)
-        vectors = np.stack([self._model.vector(t) for t in tokens])
-        return vectors.mean(axis=0)
+        # One fancy-indexed gather instead of a per-token python loop;
+        # accessing ``vectors`` first preserves the NotFittedError.
+        vectors = self._model.vectors
+        ids = self._model.vocab.encode(tokens)
+        return vectors[np.asarray(ids)].mean(axis=0)
 
     def embed_pairs(self, sequences: list[PairSequence]) -> np.ndarray:
         """Segment-comparison readout over local embeddings."""

@@ -175,19 +175,22 @@ class EMAdapter:
                     telemetry.counter("adapter.cache.disk.misses").inc()
 
             n_sequences = self.tokenizer.sequence_count(dataset.schema)
-            # Tokenize every position up front, then embed
-            # position-by-position so each batch holds sequences of
-            # similar length (position i sequences share structure).
+            # Tokenize each pair once, then transpose to per-position
+            # batches so each embed batch holds sequences of similar
+            # length (position i sequences share structure). Tokenizing
+            # inside the position loop would redo the same work
+            # n_sequences times (PERF002).
             with telemetry.span(
                 "adapter.tokenize",
                 tokenizer=self.tokenizer.name,
                 positions=n_sequences,
             ):
+                per_pair = [
+                    self.tokenizer.sequences(pair, dataset.schema)
+                    for pair in dataset
+                ]
                 couples_by_position = [
-                    [
-                        self.tokenizer.sequences(pair, dataset.schema)[position]
-                        for pair in dataset
-                    ]
+                    [sequences[position] for sequences in per_pair]
                     for position in range(n_sequences)
                 ]
             per_position: list[np.ndarray] = []

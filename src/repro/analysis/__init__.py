@@ -22,6 +22,19 @@ non-baselined findings via ``tests/test_static_analysis.py``. See
 from repro.analysis.baseline import Baseline, BaselineResult, apply_baseline
 from repro.analysis.cache import AnalysisCache
 from repro.analysis.cli import analysis_salt
+from repro.analysis.cost import (
+    CostAnalysis,
+    DEFAULT_COST_ENTRYPOINTS,
+    DEFAULT_COST_EXPENSIVE,
+    DEFAULT_COST_HOT_LOOPS,
+    DEFAULT_COST_PURE,
+    DUCK_MAX,
+    Hotspot,
+    Multiplicity,
+    cost_analysis,
+    cost_policy,
+    spec_matches,
+)
 from repro.analysis.core import (
     FileRule,
     Finding,
@@ -54,10 +67,18 @@ from repro.analysis.graph import (
     ImportGraph,
     ImportRecord,
     LayeringContract,
+    LoopCall,
+    LoopInfo,
     ModuleSummary,
     summarize_module,
 )
-from repro.analysis.reporter import render_json, render_text, summarize
+from repro.analysis.reporter import (
+    render_hotspots_json,
+    render_hotspots_text,
+    render_json,
+    render_text,
+    summarize,
+)
 
 # Importing the package registers the built-in rule pack, so that
 # RULE_REGISTRY is populated for anyone who imported repro.analysis.
@@ -71,17 +92,27 @@ __all__ = [
     "CallResolver",
     "CallSite",
     "ContractError",
+    "CostAnalysis",
+    "DEFAULT_COST_ENTRYPOINTS",
+    "DEFAULT_COST_EXPENSIVE",
+    "DEFAULT_COST_HOT_LOOPS",
+    "DEFAULT_COST_PURE",
+    "DUCK_MAX",
     "EFFECT_TAGS",
     "EffectAnalysis",
     "EffectSite",
     "FileRule",
     "Finding",
     "FunctionInfo",
+    "Hotspot",
     "ImportEdge",
     "ImportGraph",
     "ImportRecord",
     "LayeringContract",
+    "LoopCall",
+    "LoopInfo",
     "ModuleSummary",
+    "Multiplicity",
     "Project",
     "ProjectRule",
     "RULE_REGISTRY",
@@ -94,9 +125,14 @@ __all__ = [
     "analyze",
     "analyze_project",
     "apply_baseline",
+    "cost_analysis",
+    "cost_policy",
     "effect_analysis",
     "iter_rng_flow_violations",
     "register_rule",
+    "spec_matches",
+    "render_hotspots_json",
+    "render_hotspots_text",
     "render_json",
     "render_text",
     "summarize",

@@ -32,7 +32,9 @@ DEFAULT_CACHE_DIR = ".repro-analysis-cache"
 #: versions are discarded wholesale rather than migrated.
 #: 2: ModuleSummary grew effect/seam/fork extracts (effects, checkpoints,
 #:    retry_wraps, caught, global_assigns, module_effects, globals_info).
-CACHE_VERSION = 2
+#: 3: loop-nest extracts for the cost analysis (FunctionInfo.loops /
+#:    loop_calls, CallSite.loops, the "method" callee shape).
+CACHE_VERSION = 3
 
 _CACHE_FILENAME = "analysis-cache.json"
 

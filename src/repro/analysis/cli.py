@@ -85,6 +85,18 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="dump the import graph in this format instead of linting",
     )
     parser.add_argument(
+        "--hotspots",
+        action="store_true",
+        help="rank reached functions by multiplicity x effect weight "
+        "instead of linting (honours --format and --top)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="number of hotspots to show (0 = all; default: 15)",
+    )
+    parser.add_argument(
         "--graph-level",
         choices=("module", "package"),
         default="module",
@@ -307,6 +319,24 @@ def run_lint(args: argparse.Namespace) -> int:
         else:
             print(graph.to_json(args.graph_level))
         project.save_cache()  # the graph build warms the cache too
+        return 0
+
+    if args.hotspots:
+        from repro.analysis.cost import cost_analysis
+        from repro.analysis.reporter import (
+            render_hotspots_json,
+            render_hotspots_text,
+        )
+
+        cost = cost_analysis(project)
+        ranked = cost.hotspots()
+        top = max(0, args.top)
+        shown = ranked[:top] if top else ranked
+        if args.format == "json":
+            print(render_hotspots_json(shown, total=len(ranked)))
+        else:
+            print(render_hotspots_text(shown, total=len(ranked)))
+        project.save_cache()  # the cost fixpoint warms the cache too
         return 0
 
     findings = analyze(project, rules)

@@ -45,6 +45,8 @@ __all__ = [
     "ImportGraph",
     "ImportRecord",
     "LayeringContract",
+    "LoopCall",
+    "LoopInfo",
     "ModuleSummary",
     "summarize_module",
 ]
@@ -102,7 +104,15 @@ class CallSite:
     * ``("name", f)`` — a bare-name call ``f(...)``;
     * ``("self", m)`` — a method call ``self.m(...)``;
     * ``("attr", base, a)`` — an attribute call ``base.a(...)`` where
-      ``base`` is a plain name (typically a module alias).
+      ``base`` is a plain name (typically a module alias);
+    * ``("method", base, a)`` — a chained-attribute method call
+      ``x.y.a(...)`` whose receiver is not a plain name. Never resolved
+      by :class:`CallResolver`; the cost analysis duck-types it.
+
+    ``loops`` holds the indices (into the owning
+    :attr:`FunctionInfo.loops`) of the loop frames enclosing the call,
+    outermost first — the raw material of the multiplicity propagation
+    in :mod:`repro.analysis.cost`.
     """
 
     callee: tuple[str, ...]
@@ -111,6 +121,7 @@ class CallSite:
     has_star_args: bool  #: ``*args`` or ``**kwargs`` present at the call
     lineno: int
     col: int
+    loops: tuple[int, ...] = ()
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -120,6 +131,7 @@ class CallSite:
             "has_star_args": self.has_star_args,
             "lineno": self.lineno,
             "col": self.col,
+            "loops": list(self.loops),
         }
 
     @classmethod
@@ -131,6 +143,126 @@ class CallSite:
             has_star_args=bool(payload["has_star_args"]),
             lineno=int(payload["lineno"]),  # type: ignore[arg-type]
             col=int(payload["col"]),  # type: ignore[arg-type]
+            loops=tuple(int(i) for i in payload.get("loops", ())),  # type: ignore[union-attr]
+        )
+
+
+@dataclass
+class LoopInfo:
+    """One loop frame (``for``/``while``/comprehension generator).
+
+    ``parent`` is the index of the enclosing loop frame within the same
+    function (-1 at top level), so nest chains can be reconstructed from
+    the flat tuple. ``bound`` holds the names the loop target binds;
+    ``is_const`` marks trip counts that are compile-time constants
+    (literal collections, ``range`` of constants) — such loops multiply
+    work by a fixed ``k`` rather than by the workload size.
+
+    ``simple_map``/``appends``/``subscript_by_bound`` summarize the
+    direct loop body for the vectorization rule (PERF003): a body of
+    plain assignments and ``list.append`` calls that subscripts a
+    *numpy-assigned* local by the loop variable is the classic
+    per-element loop a single fancy-indexing call replaces
+    (``subscript_by_bound`` carries that numpy evidence, not just the
+    subscript shape).
+    """
+
+    kind: str  #: "for" | "while" | "listcomp" | "setcomp" | "dictcomp" | "genexpr"
+    lineno: int
+    col: int
+    parent: int
+    bound: tuple[str, ...]
+    iter_repr: str  #: rendered iterable ("" for while loops)
+    iter_name: str  #: bare-name iterable id, "" otherwise
+    is_const: bool
+    has_break: bool = False
+    simple_map: bool = False
+    appends: tuple[str, ...] = ()
+    subscript_by_bound: bool = False
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "lineno": self.lineno,
+            "col": self.col,
+            "parent": self.parent,
+            "bound": list(self.bound),
+            "iter_repr": self.iter_repr,
+            "iter_name": self.iter_name,
+            "is_const": self.is_const,
+            "has_break": self.has_break,
+            "simple_map": self.simple_map,
+            "appends": list(self.appends),
+            "subscript_by_bound": self.subscript_by_bound,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "LoopInfo":
+        return cls(
+            kind=str(payload["kind"]),
+            lineno=int(payload["lineno"]),  # type: ignore[arg-type]
+            col=int(payload["col"]),  # type: ignore[arg-type]
+            parent=int(payload["parent"]),  # type: ignore[arg-type]
+            bound=tuple(payload["bound"]),  # type: ignore[arg-type]
+            iter_repr=str(payload["iter_repr"]),
+            iter_name=str(payload["iter_name"]),
+            is_const=bool(payload["is_const"]),
+            has_break=bool(payload.get("has_break", False)),
+            simple_map=bool(payload.get("simple_map", False)),
+            appends=tuple(payload.get("appends", ())),  # type: ignore[arg-type]
+            subscript_by_bound=bool(payload.get("subscript_by_bound", False)),
+        )
+
+
+@dataclass
+class LoopCall:
+    """One call expression observed under loop frames.
+
+    Unlike :class:`CallSite` this keeps *dynamic* callees too
+    (``self.tokenizer.sequences(...)``) — rendered in ``callee_repr`` —
+    because the PERF rules reason about hoistability, not just resolved
+    edges. ``deps`` are the bare names the call expression reads;
+    ``invariant`` lists the enclosing loop frames (indices into
+    :attr:`FunctionInfo.loops`, a subset of ``loops``) none of whose
+    bound-or-assigned names the call depends on: the call recomputes an
+    identical value once per iteration of each such loop.
+    """
+
+    callee_repr: str
+    callee: tuple[str, ...]  #: CallSite-style shape, or () when dynamic
+    lineno: int
+    col: int
+    loops: tuple[int, ...]
+    deps: tuple[str, ...]
+    invariant: tuple[int, ...]
+    effect_tag: str = ""  #: direct effect classification, "" when pure
+    numpy_ctor_comp: bool = False  #: numpy construction over an inline comp
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "callee_repr": self.callee_repr,
+            "callee": list(self.callee),
+            "lineno": self.lineno,
+            "col": self.col,
+            "loops": list(self.loops),
+            "deps": list(self.deps),
+            "invariant": list(self.invariant),
+            "effect_tag": self.effect_tag,
+            "numpy_ctor_comp": self.numpy_ctor_comp,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "LoopCall":
+        return cls(
+            callee_repr=str(payload["callee_repr"]),
+            callee=tuple(payload["callee"]),  # type: ignore[arg-type]
+            lineno=int(payload["lineno"]),  # type: ignore[arg-type]
+            col=int(payload["col"]),  # type: ignore[arg-type]
+            loops=tuple(int(i) for i in payload["loops"]),  # type: ignore[union-attr]
+            deps=tuple(payload["deps"]),  # type: ignore[arg-type]
+            invariant=tuple(int(i) for i in payload["invariant"]),  # type: ignore[union-attr]
+            effect_tag=str(payload.get("effect_tag", "")),
+            numpy_ctor_comp=bool(payload.get("numpy_ctor_comp", False)),
         )
 
 
@@ -166,6 +298,12 @@ class FunctionInfo:
     caught: tuple[str, ...] = ()
     #: names rebound via ``global`` statements in the body
     global_assigns: tuple[str, ...] = ()
+    #: every loop frame in the own body, in source order; ``parent``
+    #: indices point into this tuple
+    loops: tuple[LoopInfo, ...] = ()
+    #: call expressions under loop frames (plus numpy-of-comprehension
+    #: construction calls at any depth) — the PERF rules' raw material
+    loop_calls: tuple[LoopCall, ...] = ()
 
     def accepts(self) -> frozenset[str]:
         names = frozenset(self.params) | frozenset(self.kwonly)
@@ -201,6 +339,8 @@ class FunctionInfo:
             "retry_wraps": [list(r) for r in self.retry_wraps],
             "caught": list(self.caught),
             "global_assigns": list(self.global_assigns),
+            "loops": [loop.to_dict() for loop in self.loops],
+            "loop_calls": [call.to_dict() for call in self.loop_calls],
         }
 
     @classmethod
@@ -223,6 +363,12 @@ class FunctionInfo:
             retry_wraps=_marker_tuples(payload.get("retry_wraps", ())),
             caught=tuple(payload.get("caught", ())),  # type: ignore[arg-type]
             global_assigns=tuple(payload.get("global_assigns", ())),  # type: ignore[arg-type]
+            loops=tuple(
+                LoopInfo.from_dict(l) for l in payload.get("loops", ())  # type: ignore[union-attr]
+            ),
+            loop_calls=tuple(
+                LoopCall.from_dict(c) for c in payload.get("loop_calls", ())  # type: ignore[union-attr]
+            ),
         )
 
 
@@ -338,17 +484,28 @@ def _literal_exports(tree: ast.Module) -> tuple[tuple[str, ...] | None, int]:
     return None, 1
 
 
-def _call_site(node: ast.Call) -> CallSite | None:
-    """Extract a resolvable call shape, or None for dynamic callees."""
-    func = node.func
-    callee: tuple[str, ...] | None = None
+def _callee_shape(func: ast.expr) -> tuple[str, ...] | None:
+    """Shape-tag a call's ``func`` expression, or None when fully dynamic."""
     if isinstance(func, ast.Name):
-        callee = ("name", func.id)
-    elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
-        if func.value.id == "self":
-            callee = ("self", func.attr)
-        else:
-            callee = ("attr", func.value.id, func.attr)
+        return ("name", func.id)
+    if isinstance(func, ast.Attribute):
+        if isinstance(func.value, ast.Name):
+            if func.value.id == "self":
+                return ("self", func.attr)
+            return ("attr", func.value.id, func.attr)
+        root = func.value
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        if isinstance(root, ast.Name):
+            # ``x.y.m(...)`` — receiver type unknown; keep the root name
+            # and the method so duck-typed resolution can take a shot.
+            return ("method", root.id, func.attr)
+    return None
+
+
+def _call_site(node: ast.Call, loops: tuple[int, ...] = ()) -> CallSite | None:
+    """Extract a resolvable call shape, or None for dynamic callees."""
+    callee = _callee_shape(node.func)
     if callee is None:
         return None
     has_star = any(isinstance(a, ast.Starred) for a in node.args) or any(
@@ -363,7 +520,372 @@ def _call_site(node: ast.Call) -> CallSite | None:
         has_star_args=has_star,
         lineno=node.lineno,
         col=node.col_offset,
+        loops=loops,
     )
+
+
+# -------------------------------------------------------------- loop nests
+
+#: numpy construction/stacking functions: fed a Python-loop comprehension,
+#: they are the signature of a vectorizable per-element loop (PERF003).
+_NP_CTORS = frozenset(
+    {
+        "array", "asarray", "stack", "vstack", "hstack", "concatenate",
+        "column_stack", "row_stack", "fromiter",
+    }
+)
+
+#: Builtins cheap enough that calling them per comprehension element is
+#: not worth flagging (``len`` over ragged rows has no vectorized form).
+_CHEAP_BUILTINS = frozenset(
+    {
+        "len", "int", "float", "str", "bool", "bytes", "tuple", "list",
+        "abs", "min", "max", "round", "isinstance", "getattr", "id",
+        "repr", "format", "ord", "chr", "hash",
+    }
+)
+
+_COMP_KINDS = {
+    ast.ListComp: "listcomp",
+    ast.SetComp: "setcomp",
+    ast.DictComp: "dictcomp",
+    ast.GeneratorExp: "genexpr",
+}
+
+
+def _const_iter(node: ast.expr) -> bool:
+    """True when the iterable has a compile-time-constant trip count."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return all(isinstance(e, ast.Constant) for e in node.elts)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "range"
+    ):
+        return all(isinstance(a, ast.Constant) for a in node.args)
+    return False
+
+
+def _expr_repr(node: ast.expr | None, limit: int = 48) -> str:
+    if node is None:
+        return ""
+    try:
+        text = ast.unparse(node)
+    except ValueError:  # pragma: no cover - unparse is total on valid ASTs
+        return "<expr>"
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def _target_names(target: ast.expr) -> tuple[str, ...]:
+    return tuple(
+        sorted(
+            {
+                sub.id
+                for sub in ast.walk(target)
+                if isinstance(sub, ast.Name)
+            }
+        )
+    )
+
+
+def _call_deps(node: ast.Call) -> tuple[str, ...]:
+    """Bare names a call expression reads, minus comp/lambda-bound ones."""
+    bound: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, tuple(_COMP_KINDS)):
+            for gen in sub.generators:  # type: ignore[attr-defined]
+                bound.update(_target_names(gen.target))
+        elif isinstance(sub, ast.Lambda):
+            args = sub.args
+            bound.update(
+                a.arg
+                for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+            )
+    names = {
+        sub.id for sub in ast.walk(node) if isinstance(sub, ast.Name)
+    }
+    return tuple(sorted(names - bound))
+
+
+def _is_numpy_ctor_of_comp(
+    node: ast.Call, aliases: Mapping[str, tuple[str, str | None]]
+) -> bool:
+    """``np.vstack([f(x) for x in xs])``-shaped construction calls.
+
+    The comprehension must iterate a non-constant source and run a
+    non-trivial call per element — exactly the loop one vectorized
+    numpy call (or fancy indexing) replaces.
+    """
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name)):
+        return False
+    if _alias_module(aliases, func.value.id) != "numpy":
+        return False
+    if func.attr not in _NP_CTORS or not node.args:
+        return False
+    comp = node.args[0]
+    if not isinstance(comp, (ast.ListComp, ast.GeneratorExp)):
+        return False
+    if not comp.generators or _const_iter(comp.generators[0].iter):
+        return False
+    for sub in ast.walk(comp.elt):
+        if isinstance(sub, ast.Call):
+            inner = sub.func
+            if isinstance(inner, ast.Name) and inner.id in _CHEAP_BUILTINS:
+                continue
+            return True
+    return False
+
+
+def _simple_map_body(
+    body: Sequence[ast.stmt],
+) -> tuple[bool, tuple[str, ...]]:
+    """(is a plain per-element body, names appended to) for a loop body.
+
+    "Simple" means every statement is an assignment or a bare
+    ``name.append(...)`` expression — no control flow, no nested loops —
+    so the whole loop is a map over its iteration space.
+    """
+    appends: set[str] = set()
+    for stmt in body:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Attribute)
+            and stmt.value.func.attr == "append"
+            and isinstance(stmt.value.func.value, ast.Name)
+        ):
+            appends.add(stmt.value.func.value.id)
+            continue
+        return False, ()
+    return True, tuple(sorted(appends))
+
+
+def _subscript_bases(
+    body: Iterable[ast.stmt], bound: Sequence[str]
+) -> tuple[str, ...]:
+    """Plain names that ``body`` subscripts by a loop-bound name.
+
+    ``a[i]`` with ``i`` bound by the loop yields ``a``; attribute or
+    call bases are skipped — the caller cross-checks the returned names
+    against numpy-assigned locals, and only plain names can match.
+    """
+    wanted = set(bound)
+    if not wanted:
+        return ()
+    bases: set[str] = set()
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Subscript) and isinstance(
+                sub.value, ast.Name
+            ):
+                for name in ast.walk(sub.slice):
+                    if isinstance(name, ast.Name) and name.id in wanted:
+                        bases.add(sub.value.id)
+                        break
+    return tuple(sorted(bases))
+
+
+class _LoopScan:
+    """One recursive own-body walk collecting loop frames and loop calls.
+
+    Produces the inputs of the PERF rule family and the cost analysis:
+    the flat :class:`LoopInfo` tuple, the :class:`LoopCall` records, and
+    an ``id(Call node) -> enclosing loop indices`` map used to annotate
+    :class:`CallSite` entries. Nested function/class definitions are
+    skipped (they get their own :class:`FunctionInfo`); lambda bodies are
+    attributed to the enclosing function, consistent with effect
+    scanning.
+    """
+
+    def __init__(self, aliases: Mapping[str, tuple[str, str | None]]):
+        self.aliases = aliases
+        self.loops: list[LoopInfo] = []
+        self.variants: list[set[str]] = []  #: per-frame bound/assigned names
+        #: (deps, stack, node) triples finalized into LoopCalls at the end
+        self._raw_calls: list[tuple[ast.Call, tuple[int, ...]]] = []
+        self.call_stacks: dict[int, tuple[int, ...]] = {}
+        #: per-loop names subscripted by a bound name (parallel to loops)
+        self._sub_bases: list[tuple[str, ...]] = []
+        #: locals assigned from numpy-alias expressions, anywhere in body
+        self.np_assigned: set[str] = set()
+
+    # ------------------------------------------------------------- helpers
+
+    def _mark_variant(self, names: Iterable[str], stack: tuple[int, ...]) -> None:
+        for idx in stack:
+            self.variants[idx].update(names)
+
+    def _open(
+        self,
+        kind: str,
+        node: ast.AST,
+        bound: tuple[str, ...],
+        iter_node: ast.expr | None,
+        stack: tuple[int, ...],
+        body: Sequence[ast.stmt] = (),
+    ) -> int:
+        iter_name = (
+            iter_node.id
+            if isinstance(iter_node, ast.Name)
+            else ""
+        )
+        simple, appends = (
+            _simple_map_body(body) if body else (kind != "while", ())
+        )
+        self.loops.append(
+            LoopInfo(
+                kind=kind,
+                lineno=node.lineno,
+                col=node.col_offset,
+                parent=stack[-1] if stack else -1,
+                bound=bound,
+                iter_repr=_expr_repr(iter_node),
+                iter_name=iter_name,
+                is_const=_const_iter(iter_node) if iter_node is not None else False,
+                simple_map=simple,
+                appends=appends,
+            )
+        )
+        self._sub_bases.append(_subscript_bases(body, bound) if body else ())
+        idx = len(self.loops) - 1
+        self.variants.append(set())
+        # Bound names vary within their own frame, and within any outer
+        # frame whose variants the *iterable* reads: ``for j in ys[i]``
+        # makes j vary with i's frame too, but ``for pair in dataset``
+        # under a position loop leaves pair's sweep identical per
+        # position — the loop-interchange hoist PERF002 exists to catch.
+        iter_deps = (
+            {n.id for n in ast.walk(iter_node) if isinstance(n, ast.Name)}
+            if iter_node is not None
+            else set()
+        )
+        carried = tuple(
+            f for f in stack if iter_deps & self.variants[f]
+        )
+        self._mark_variant(bound, (*carried, idx))
+        return idx
+
+    # ---------------------------------------------------------------- walk
+
+    def visit(self, node: ast.AST, stack: tuple[int, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self.visit(node.iter, stack)
+            bound = _target_names(node.target)
+            idx = self._open("for", node, bound, node.iter, stack, node.body)
+            inner = (*stack, idx)
+            for stmt in node.body:
+                self.visit(stmt, inner)
+            # ``else`` runs once, after the loop — outside the frame.
+            for stmt in node.orelse:
+                self.visit(stmt, stack)
+            return
+        if isinstance(node, ast.While):
+            idx = self._open("while", node, (), None, stack, node.body)
+            inner = (*stack, idx)
+            self.visit(node.test, inner)
+            for stmt in node.body:
+                self.visit(stmt, inner)
+            for stmt in node.orelse:
+                self.visit(stmt, stack)
+            return
+        comp_kind = _COMP_KINDS.get(type(node))
+        if comp_kind is not None:
+            inner = stack
+            for gen in node.generators:  # type: ignore[attr-defined]
+                # The first iterable is evaluated outside the comp; each
+                # later one re-evaluates per outer-generator element.
+                self.visit(gen.iter, inner)
+                idx = self._open(
+                    comp_kind, node, _target_names(gen.target), gen.iter, inner
+                )
+                inner = (*inner, idx)
+                for if_clause in gen.ifs:
+                    self.visit(if_clause, inner)
+            if isinstance(node, ast.DictComp):
+                self.visit(node.key, inner)
+                self.visit(node.value, inner)
+            else:
+                self.visit(node.elt, inner)  # type: ignore[attr-defined]
+            return
+        if isinstance(node, ast.Break):
+            for idx in reversed(stack):
+                if self.loops[idx].kind in ("for", "while"):
+                    self.loops[idx].has_break = True
+                    break
+            return
+        if isinstance(node, ast.Call):
+            if stack or _is_numpy_ctor_of_comp(node, self.aliases):
+                self.call_stacks[id(node)] = stack
+                self._raw_calls.append((node, stack))
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                self._mark_variant(_target_names(target), stack)
+            if node.value is not None and any(
+                isinstance(sub, ast.Name)
+                and _alias_module(self.aliases, sub.id) == "numpy"
+                for sub in ast.walk(node.value)
+            ):
+                for target in targets:
+                    self.np_assigned.update(_target_names(target))
+        elif isinstance(node, ast.NamedExpr):
+            self._mark_variant(_target_names(node.target), stack)
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            self._mark_variant(_target_names(node.optional_vars), stack)
+        for child in ast.iter_child_nodes(node):
+            self.visit(child, stack)
+
+    # ------------------------------------------------------------ finalize
+
+    def finalize(self) -> None:
+        """Resolve the per-loop numpy-evidence flag once the body-wide
+        set of numpy-assigned locals is complete."""
+        for loop, bases in zip(self.loops, self._sub_bases):
+            loop.subscript_by_bound = bool(set(bases) & self.np_assigned)
+
+    def loop_calls(self) -> tuple[LoopCall, ...]:
+        """Finalize records once every variant set has fully accumulated."""
+        records = []
+        for node, stack in self._raw_calls:
+            deps = set(_call_deps(node))
+            invariant = tuple(
+                idx for idx in stack if not (deps & self.variants[idx])
+            )
+            hit = _classify_call(node, self.aliases)
+            records.append(
+                LoopCall(
+                    callee_repr=_expr_repr(node.func, limit=60),
+                    callee=_callee_shape(node.func) or (),
+                    lineno=node.lineno,
+                    col=node.col_offset,
+                    loops=stack,
+                    deps=tuple(sorted(deps)),
+                    invariant=invariant,
+                    effect_tag=hit[0] if hit is not None else "",
+                    numpy_ctor_comp=_is_numpy_ctor_of_comp(node, self.aliases),
+                )
+            )
+        return tuple(records)
+
+
+def _scan_loops(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    aliases: Mapping[str, tuple[str, str | None]],
+) -> _LoopScan:
+    scan = _LoopScan(aliases)
+    for stmt in node.body:
+        scan.visit(stmt, ())
+    scan.finalize()
+    return scan
 
 
 # ----------------------------------------------------------- effect scanning
@@ -661,10 +1183,11 @@ def _function_info(
     retry_wraps: list[tuple[str, str, int]] = []
     caught: set[str] = set()
     global_assigns: set[str] = set()
+    loop_scan = _scan_loops(node, aliases)
     own_body = list(_walk_own_body(node))
     for sub in own_body:
         if isinstance(sub, ast.Call):
-            site = _call_site(sub)
+            site = _call_site(sub, loops=loop_scan.call_stacks.get(id(sub), ()))
             if site is not None:
                 calls.append(site)
             func = sub.func
@@ -710,6 +1233,8 @@ def _function_info(
         retry_wraps=tuple(retry_wraps),
         caught=tuple(sorted(caught)),
         global_assigns=tuple(sorted(global_assigns)),
+        loops=tuple(loop_scan.loops),
+        loop_calls=loop_scan.loop_calls(),
     )
 
 
@@ -1171,6 +1696,10 @@ class LayeringContract:
         seam raises: persistence.save
         fork entrypoints: repro.parallel.executor:_execute_cell
         fork initializers: repro.parallel.executor:_init_worker
+        cost entrypoints: repro.matching.pipeline:EMPipeline
+        cost expensive: repro.nn.transformer:TransformerEncoder.encode
+        cost pure: stable_digest
+        cost hot loops: repro.data.blocking
 
     Repeated directives accumulate. Unknown keywords are parse errors.
     """
@@ -1187,6 +1716,10 @@ class LayeringContract:
         "seam raises",
         "fork entrypoints",
         "fork initializers",
+        "cost entrypoints",
+        "cost expensive",
+        "cost pure",
+        "cost hot loops",
     )
 
     def directive(self, name: str) -> tuple[str, ...]:

@@ -15,6 +15,7 @@ from repro.analysis.rules import (  # noqa: F401 - registration side effects
     forksafety,
     generic,
     observability,
+    perf,
     rng,
     seams,
     search_space,
@@ -44,6 +45,12 @@ from repro.analysis.rules.generic import (
     ShadowedBuiltinRule,
 )
 from repro.analysis.rules.observability import PrintInLibraryCodeRule
+from repro.analysis.rules.perf import (
+    ExpensiveCallAtPairDepthRule,
+    LoopInvariantPureCallRule,
+    PerElementNumpyRule,
+    QuadraticPairLoopRule,
+)
 from repro.analysis.rules.rng import (
     DroppedRngThreadingRule,
     HardcodedGeneratorSeedRule,
@@ -68,6 +75,7 @@ __all__ = [
     "DEFAULT_SEAM_EXEMPT",
     "DroppedRngThreadingRule",
     "EnvironmentReadRule",
+    "ExpensiveCallAtPairDepthRule",
     "FitReturnsSelfRule",
     "ForkHandleRule",
     "ForkMutableStateRule",
@@ -75,10 +83,13 @@ __all__ = [
     "ImportCycleRule",
     "LayeringContractRule",
     "LegacyGlobalRngRule",
+    "LoopInvariantPureCallRule",
     "MissingExportRule",
     "MutableDefaultRule",
+    "PerElementNumpyRule",
     "PredictGuardRule",
     "PrintInLibraryCodeRule",
+    "QuadraticPairLoopRule",
     "SeamExceptionFlowRule",
     "SearchSpaceConformanceRule",
     "ShadowedBuiltinRule",
@@ -98,6 +109,7 @@ __all__ = [
     "forksafety",
     "generic",
     "observability",
+    "perf",
     "rng",
     "seam_catalog",
     "seams",

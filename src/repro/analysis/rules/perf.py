@@ -1,0 +1,326 @@
+"""Hot-path cost rules: PERF001–PERF004.
+
+Built on the :mod:`repro.analysis.cost` multiplicity fixpoint: every
+function reachable from a workload entry point carries a symbolic
+``once | per-record | per-pair | per-pair×k`` multiplicity, and every
+call site knows the loop frames around it plus which of those frames
+its arguments are *invariant* in. The four rules are the mechanical
+version of the profiling questions an EM reproduction keeps asking:
+
+- **PERF001** — an *expensive* call (transformer forward, disk I/O,
+  subprocess; declared via ``cost expensive`` or inferred from the
+  effect fixpoint) executing at per-pair multiplicity whose arguments
+  are invariant in at least one enclosing loop. Hoist it out or cache
+  it keyed on the varying side — the AnyMatch-style per-entity-vs-
+  per-pair waste, caught statically.
+- **PERF002** — a *pure* computation (all resolvable callees effect-
+  free, or declared ``cost pure``) repeated inside a hot loop with
+  identical arguments per iteration of some frame. Same hoist, milder
+  stakes, so a warning.
+- **PERF003** — a per-element numpy call in a Python loop: either a
+  numpy constructor fed a comprehension that calls non-trivial code
+  per element (``np.vstack([f(r) for r in rows])``), or a plain
+  append-accumulator loop subscripting arrays by its loop variable —
+  both have a vectorized or fancy-indexed form.
+- **PERF004** — accidental quadratic: nested ``for`` loops iterating
+  two *distinct function parameters* directly. Outside the sanctioned
+  blocking layer (``cost hot loops``), pair enumeration is exactly the
+  blow-up blocking exists to avoid.
+
+Findings anchor at the call (or inner loop) line, so one
+``# repro: noqa[PERF00x]`` at the source silences every path at once.
+Messages render the multiplicity and the witness chain from the entry
+point, e.g. ``repro.adapter.pipeline:EMAdapter.transform -[for pair in
+dataset]-> …`` — the chain is the *why*, the line is the *where*.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    ProjectRule,
+    Severity,
+    register_rule,
+)
+from repro.analysis.cost import CostAnalysis, cost_analysis
+from repro.analysis.graph import RNG_PARAM_NAMES, FunctionInfo, LoopCall
+
+__all__ = [
+    "ExpensiveCallAtPairDepthRule",
+    "LoopInvariantPureCallRule",
+    "PerElementNumpyRule",
+    "QuadraticPairLoopRule",
+]
+
+
+def _owner_functions(project: Project):
+    for module in sorted(project.summaries):
+        summary = project.summaries[module]
+        for qualname, info in summary.functions.items():
+            yield module, summary.rel_path, qualname, info
+
+
+def _resolved(
+    cost: CostAnalysis, module: str, qualname: str, call: LoopCall
+):
+    """Cost-level callee candidates of one loop call, () when dynamic."""
+    if not call.callee:
+        return ()
+    site = _as_site(call)
+    return cost.resolve_candidates(module, qualname, site)
+
+
+def _as_site(call: LoopCall):
+    from repro.analysis.graph import CallSite
+
+    return CallSite(
+        callee=call.callee,
+        num_positional=0,
+        keywords=(),
+        has_star_args=False,
+        lineno=call.lineno,
+        col=call.col,
+        loops=call.loops,
+    )
+
+
+def _callee_name(call: LoopCall) -> str:
+    """The final name segment a dynamic callee answers to."""
+    return call.callee_repr.rsplit(".", 1)[-1]
+
+
+def _invariant_frames(info: FunctionInfo, call: LoopCall) -> str:
+    parts = []
+    for idx in call.invariant:
+        if 0 <= idx < len(info.loops):
+            loop = info.loops[idx]
+            parts.append(
+                "while-loop" if loop.kind == "while"
+                else f"`for {', '.join(loop.bound) or '_'} in {loop.iter_repr}`"
+            )
+    return ", ".join(parts)
+
+
+def _chain_suffix(cost: CostAnalysis, module: str, qualname: str) -> str:
+    chain = cost.chain(module, qualname)
+    return f" [{' '.join(chain)}]" if len(chain) > 1 else ""
+
+
+@register_rule
+class ExpensiveCallAtPairDepthRule(ProjectRule):
+    """PERF001 — expensive work at per-pair depth with invariant args."""
+
+    id = "PERF001"
+    severity = Severity.ERROR
+    description = (
+        "An expensive call (declared via `cost expensive`, or doing "
+        "transitive I/O / process work) runs at per-pair multiplicity "
+        "while its arguments are invariant in an enclosing loop: hoist "
+        "it above that loop or cache it keyed on the varying side."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        cost = cost_analysis(project)
+        for module, rel_path, qualname, info in _owner_functions(project):
+            suffix = _chain_suffix(cost, module, qualname)
+            for call in info.loop_calls:
+                if not call.loops or not call.invariant:
+                    continue
+                candidates = _resolved(cost, module, qualname, call)
+                expensive = (
+                    call.effect_tag in ("io", "process")
+                    or cost.expensive_name(_callee_name(call))
+                    or any(cost.is_expensive(*key) for key in candidates)
+                )
+                if not expensive:
+                    continue
+                mult = cost.site_multiplicity(module, qualname, call.loops)
+                if mult.rank < 2:
+                    continue
+                yield self.project_finding(
+                    rel_path,
+                    f"{module}:{qualname} calls expensive "
+                    f"`{call.callee_repr}(...)` at {mult.render()} "
+                    f"multiplicity, but the call is invariant in "
+                    f"{_invariant_frames(info, call)}; hoist it above "
+                    f"that loop or cache it keyed on what varies"
+                    f"{suffix}",
+                    lineno=call.lineno,
+                    col=call.col,
+                )
+
+
+@register_rule
+class LoopInvariantPureCallRule(ProjectRule):
+    """PERF002 — loop-invariant pure computation repeated in a hot loop."""
+
+    id = "PERF002"
+    severity = Severity.WARNING
+    description = (
+        "A pure computation (every resolvable callee effect-free, or "
+        "declared `cost pure`) repeats inside a hot (per-pair+) loop "
+        "nest with arguments that are invariant in one of the "
+        "enclosing frames — the classic hoisting opportunity. Calls "
+        "fed an rng and calls that construct fresh objects are exempt: "
+        "hoisting those changes semantics, not just cost."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        cost = cost_analysis(project)
+        for module, rel_path, qualname, info in _owner_functions(project):
+            suffix = _chain_suffix(cost, module, qualname)
+            for call in info.loop_calls:
+                if not call.loops or not call.invariant:
+                    continue
+                if call.effect_tag:
+                    continue  # impure direct effect — PERF001's turf
+                if set(call.deps) & set(RNG_PARAM_NAMES):
+                    continue  # rng streams are stateful: not hoistable
+                candidates = _resolved(cost, module, qualname, call)
+                if candidates:
+                    if any(k[1].endswith(".__init__") for k in candidates):
+                        continue  # fresh-object construction per iteration
+                    if not all(cost.is_pure(*key) for key in candidates):
+                        continue
+                    if any(cost.is_expensive(*key) for key in candidates):
+                        continue  # PERF001 owns expensive callees
+                elif not cost.pure_name(_callee_name(call)):
+                    continue  # dynamic and undeclared: purity unknown
+                mult = cost.site_multiplicity(module, qualname, call.loops)
+                if mult.rank < 2:
+                    continue
+                yield self.project_finding(
+                    rel_path,
+                    f"{module}:{qualname} recomputes pure "
+                    f"`{call.callee_repr}(...)` at {mult.render()} "
+                    f"multiplicity though it is invariant in "
+                    f"{_invariant_frames(info, call)}; hoist it out of "
+                    f"that loop"
+                    f"{suffix}",
+                    lineno=call.lineno,
+                    col=call.col,
+                )
+
+
+@register_rule
+class PerElementNumpyRule(ProjectRule):
+    """PERF003 — per-element numpy work in a Python loop."""
+
+    id = "PERF003"
+    severity = Severity.WARNING
+    description = (
+        "A numpy constructor fed a per-element comprehension "
+        "(`np.vstack([f(r) for r in rows])`), or an append-accumulator "
+        "loop subscripting arrays by its loop variable: both are one "
+        "vectorized call (or one fancy-indexing expression) in disguise."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        cost = cost_analysis(project)
+        for module, rel_path, qualname, info in _owner_functions(project):
+            if cost.sanctioned_hot(module, qualname):
+                continue  # blessed hot loops may do per-element work
+            if cost.declared_expensive(module, qualname):
+                continue  # the hot primitive itself, not a caller
+            suffix = _chain_suffix(cost, module, qualname)
+            for call in info.loop_calls:
+                if not call.numpy_ctor_comp:
+                    continue
+                mult = cost.site_multiplicity(module, qualname, call.loops)
+                if mult.bump(1).rank < 2:
+                    continue  # below per-pair: not worth the rewrite
+                yield self.project_finding(
+                    rel_path,
+                    f"{module}:{qualname} builds an array with "
+                    f"`{call.callee_repr}(...)` over a per-element "
+                    f"Python comprehension (effective "
+                    f"{mult.bump(1).render()} work); replace the "
+                    f"comprehension with one vectorized numpy call"
+                    f"{suffix}",
+                    lineno=call.lineno,
+                    col=call.col,
+                )
+            for idx, loop in enumerate(info.loops):
+                if (
+                    loop.kind != "for"
+                    or loop.is_const
+                    or loop.has_break
+                    or not loop.simple_map
+                    or not loop.appends
+                    or not loop.subscript_by_bound
+                ):
+                    continue
+                if any(
+                    inner.parent == idx for inner in info.loops
+                ):
+                    continue  # not a flat per-element body
+                mult = cost.site_multiplicity(module, qualname, (idx,))
+                yield self.project_finding(
+                    rel_path,
+                    f"{module}:{qualname} fills "
+                    f"{', '.join(f'`{n}`' for n in loop.appends)} "
+                    f"one element at a time in `for "
+                    f"{', '.join(loop.bound)} in {loop.iter_repr}` "
+                    f"({mult.render()} work) while indexing numpy "
+                    f"arrays by the loop variable; use one vectorized "
+                    f"/ fancy-indexed numpy expression instead"
+                    f"{suffix}",
+                    lineno=loop.lineno,
+                    col=loop.col,
+                )
+
+
+@register_rule
+class QuadraticPairLoopRule(ProjectRule):
+    """PERF004 — nested iteration over two table-like parameters."""
+
+    id = "PERF004"
+    severity = Severity.ERROR
+    description = (
+        "Nested `for` loops iterating two distinct function parameters "
+        "directly enumerate the cross product — the quadratic blow-up "
+        "the blocking layer exists to avoid. Only modules declared in "
+        "`cost hot loops` may do this."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        cost = cost_analysis(project)
+        for module, rel_path, qualname, info in _owner_functions(project):
+            if cost.sanctioned_hot(module, qualname):
+                continue
+            suffix = _chain_suffix(cost, module, qualname)
+            params = set(info.params) - {"self", "cls"}
+            for idx, loop in enumerate(info.loops):
+                if loop.kind == "while" or loop.iter_name not in params:
+                    continue
+                parent = loop.parent
+                while parent >= 0:
+                    outer = info.loops[parent]
+                    if (
+                        outer.kind != "while"
+                        and outer.iter_name in params
+                        and outer.iter_name != loop.iter_name
+                    ):
+                        mult = cost.site_multiplicity(
+                            module, qualname, (parent, idx)
+                        )
+                        yield self.project_finding(
+                            rel_path,
+                            f"{module}:{qualname} nests `for "
+                            f"{', '.join(loop.bound)} in "
+                            f"{loop.iter_name}` inside `for "
+                            f"{', '.join(outer.bound)} in "
+                            f"{outer.iter_name}` — a quadratic "
+                            f"({mult.render()}) sweep over both "
+                            f"inputs; route pair enumeration through "
+                            f"the blocking layer or declare the "
+                            f"module under `cost hot loops`"
+                            f"{suffix}",
+                            lineno=loop.lineno,
+                            col=loop.col,
+                        )
+                        break
+                    parent = outer.parent

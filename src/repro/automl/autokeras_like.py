@@ -113,7 +113,9 @@ class AutoKerasLike(AutoMLSystem):
                     np.array([s for _v, s in observations]),
                 )
                 pool = [self._sample_architecture() for _ in range(32)]
-                encoded = np.vstack([self._encode(p) for p in pool])
+                # The pool is a constant 32 candidate configs, not
+                # workload-sized data: vectorizing buys nothing.
+                encoded = np.vstack([self._encode(p) for p in pool])  # repro: noqa[PERF003]
                 mean, std = surrogate.predict(encoded)
                 best = max(s for _v, s in observations)
                 ei = expected_improvement(mean, std, best)

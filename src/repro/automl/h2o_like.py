@@ -91,7 +91,9 @@ class H2OAutoMLLike(AutoMLSystem):
         for entry in self._base_entries:
             oof = np.zeros(len(y))
             for train_idx, test_idx in splitter.split(y):
-                fold_model = entry.config.build(seed=self.seed)
+                # A fresh model per fold is required: hoisting would
+                # leak fitted state across CV splits.
+                fold_model = entry.config.build(seed=self.seed)  # repro: noqa[PERF002]
                 fold_model.fit(X[train_idx], y[train_idx])
                 oof[test_idx] = fold_model.predict_proba(X[test_idx])[:, 1]
             oof_columns.append(oof)

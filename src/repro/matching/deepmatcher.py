@@ -102,7 +102,9 @@ class DeepMatcherHybrid:
         tokens = self._tokenizer.tokenize(text)[:40]
         if not tokens:
             return np.zeros((1, self.embedding_dim))
-        return np.stack([self._token_vector(t) for t in tokens])
+        # Token vectors are dict-memoized hash buckets; a vectorized
+        # form would need to rebuild the cache as an array first.
+        return np.stack([self._token_vector(t) for t in tokens])  # repro: noqa[PERF003]
 
     # ------------------------------------------------------ summarization
 

@@ -129,17 +129,14 @@ def precision_recall_curve(
     order = np.argsort(-proba, kind="mergesort")
     sorted_true = y_true[order]
     sorted_scores = proba[order]
-    distinct = np.flatnonzero(np.diff(sorted_scores)).tolist() + [len(proba) - 1]
+    distinct = np.append(np.flatnonzero(np.diff(sorted_scores)), len(proba) - 1)
     tp_cum = np.cumsum(sorted_true)
+    tp = tp_cum[distinct].astype(np.float64)
     n_pos = max(1, int(y_true.sum()))
-    precisions, recalls, thresholds = [], [], []
-    for idx in distinct:
-        tp = float(tp_cum[idx])
-        predicted_pos = idx + 1
-        precisions.append(tp / predicted_pos)
-        recalls.append(tp / n_pos)
-        thresholds.append(float(sorted_scores[idx]))
-    return np.array(precisions), np.array(recalls), np.array(thresholds)
+    precisions = tp / (distinct + 1)
+    recalls = tp / n_pos
+    thresholds = sorted_scores[distinct]
+    return precisions, recalls, thresholds
 
 
 def best_f1_threshold(y_true: np.ndarray, proba: np.ndarray) -> tuple[float, float]:

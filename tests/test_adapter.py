@@ -139,6 +139,30 @@ class TestCombiners:
         with pytest.raises(UnknownModelError):
             make_combiner("max")
 
+    def test_vectorized_dataset_matches_per_record_loop(self):
+        """combine_dataset must stay bit-identical to combining each
+        record separately (the pre-vectorization reference)."""
+        rng = np.random.default_rng(7)
+        per_sequence = [rng.normal(size=(5, 3)) for _ in range(4)]
+        stacked = np.stack(per_sequence, axis=1)  # (records, sequences, dim)
+        for combiner in (MeanCombiner(), ConcatCombiner()):
+            reference = np.vstack(
+                [combiner.combine(stacked[i]) for i in range(stacked.shape[0])]
+            )
+            assert np.array_equal(
+                combiner.combine_dataset(per_sequence), reference
+            )
+
+    def test_derived_combine_keeps_original_semantics(self):
+        rng = np.random.default_rng(11)
+        embeddings = rng.normal(size=(4, 6))
+        assert np.array_equal(
+            MeanCombiner().combine(embeddings), embeddings.mean(axis=0)
+        )
+        assert np.array_equal(
+            ConcatCombiner().combine(embeddings), embeddings.reshape(-1)
+        )
+
 
 class TestEMAdapter:
     def test_transform_shape_mean(self):
@@ -178,6 +202,25 @@ class TestEMAdapter:
             HybridTokenizer(), TransformerEmbedder("bert"), MeanCombiner()
         )
         assert adapter.tokenizer.name == "hybrid"
+
+    def test_tokenize_hoist_is_bit_identical(self):
+        """transform's tokenize-once-and-transpose path must match the
+        per-position re-tokenization reference exactly."""
+        clear_adapter_cache()
+        adapter = EMAdapter("hybrid", "dbert", "mean", cache=False)
+        dataset = make_dataset()
+        n_sequences = adapter.tokenizer.sequence_count(dataset.schema)
+        couples_by_position = [
+            [
+                adapter.tokenizer.sequences(pair, dataset.schema)[position]
+                for pair in dataset
+            ]
+            for position in range(n_sequences)
+        ]
+        reference = adapter.combiner.combine_dataset(
+            [adapter.embedder.embed_pairs(c) for c in couples_by_position]
+        )
+        assert np.array_equal(adapter.transform(dataset), reference)
 
 
 class TestNoAdapterFeaturizers:

@@ -84,3 +84,14 @@ class TestLocalEmbedder:
 
     def test_name_includes_corpus(self, embedder):
         assert "S-DA" in embedder.name
+
+    def test_pool_matches_per_token_gather(self, embedder):
+        """The fancy-indexed pooling must stay bit-identical to stacking
+        one vector per token (the pre-vectorization reference)."""
+        model = embedder._model
+        for text in ("query processing", "data integration systems", "zzz"):
+            tokens = embedder._tokenizer.tokenize(text)
+            reference = np.stack(
+                [model.vector(t) for t in tokens]
+            ).mean(axis=0)
+            assert np.array_equal(embedder._pool(text), reference)

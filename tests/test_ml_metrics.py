@@ -115,6 +115,31 @@ class TestThresholding:
         _p, recalls, _t = precision_recall_curve(y, proba)
         assert (np.diff(recalls) >= -1e-12).all()
 
+    def test_curve_matches_per_threshold_loop(self):
+        """The fancy-indexed curve must stay bit-identical to walking
+        the distinct thresholds one by one (the pre-vectorization
+        reference), ties included."""
+        rng = np.random.default_rng(3)
+        y = rng.integers(0, 2, size=60)
+        proba = np.round(rng.random(60), 1)  # coarse grid forces ties
+        precisions, recalls, thresholds = precision_recall_curve(y, proba)
+
+        order = np.argsort(-proba, kind="mergesort")
+        sorted_true = np.asarray(y)[order]
+        sorted_scores = np.asarray(proba, dtype=np.float64)[order]
+        distinct = np.flatnonzero(np.diff(sorted_scores)).tolist() + [59]
+        tp_cum = np.cumsum(sorted_true)
+        n_pos = max(1, int(y.sum()))
+        ref_p, ref_r, ref_t = [], [], []
+        for idx in distinct:
+            tp = float(tp_cum[idx])
+            ref_p.append(tp / (idx + 1))
+            ref_r.append(tp / n_pos)
+            ref_t.append(float(sorted_scores[idx]))
+        assert np.array_equal(precisions, np.array(ref_p))
+        assert np.array_equal(recalls, np.array(ref_r))
+        assert np.array_equal(thresholds, np.array(ref_t))
+
     def test_best_threshold_beats_default(self):
         # Heavily imbalanced scores where 0.5 is a bad cut.
         y = np.array([0] * 90 + [1] * 10)

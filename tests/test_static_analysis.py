@@ -3,6 +3,7 @@ reporters, graphs, cache, CLI — and the tier-1 self-lint gate over ``src/``.""
 
 from __future__ import annotations
 
+import ast
 import json
 import shutil
 import subprocess
@@ -2291,3 +2292,740 @@ class TestChangedClosure:
         assert cli_main(["lint", "src", "--no-cache"]) == 1
         out = capsys.readouterr().out
         assert "bystander.py" in out
+
+
+# --------------------------------------------------------------------------
+# Loop-nest extraction: the LoopInfo/LoopCall inputs of the cost analysis
+
+
+def _function(code, qualname="f"):
+    tree = ast.parse(textwrap.dedent(code))
+    from repro.analysis import summarize_module
+
+    return summarize_module(tree, "m", "m.py", False).functions[qualname]
+
+
+class TestLoopExtraction:
+    def test_kinds_parents_and_bounds(self):
+        info = _function("""
+            def f(xs):
+                for x in xs:
+                    while x:
+                        g(x)
+                ys = [g(v) for v in xs]
+                return ys
+            """)
+        kinds = [(loop.kind, loop.parent) for loop in info.loops]
+        assert kinds == [("for", -1), ("while", 0), ("listcomp", -1)]
+        assert info.loops[0].bound == ("x",)
+        assert info.loops[0].iter_name == "xs"
+        assert info.loops[2].bound == ("v",)
+        stacks = {c.callee_repr: c.loops for c in info.loop_calls}
+        assert stacks["g"] in ({(0, 1), (2,)}, stacks["g"])  # per-call below
+        by_line = sorted(info.loop_calls, key=lambda c: c.lineno)
+        assert by_line[0].loops == (0, 1)
+        assert by_line[1].loops == (2,)
+
+    def test_constant_trip_counts_detected(self):
+        info = _function("""
+            def f(n, xs):
+                for i in range(3):
+                    g(i)
+                for j in range(n):
+                    g(j)
+                for t in (1, 2, 3):
+                    g(t)
+            """)
+        assert [loop.is_const for loop in info.loops] == [True, False, True]
+
+    def test_break_marks_the_nearest_loop(self):
+        info = _function("""
+            def f(xs):
+                for x in xs:
+                    for y in xs:
+                        if y:
+                            break
+            """)
+        assert not info.loops[0].has_break
+        assert info.loops[1].has_break
+
+    def test_else_clause_is_outside_the_frame(self):
+        info = _function("""
+            def f(xs):
+                for x in xs:
+                    pass
+                else:
+                    g(1)
+            """)
+        assert info.loop_calls == ()  # outside every frame: no record
+        (site,) = info.calls
+        assert site.loops == ()
+
+    def test_first_comp_iterable_evaluated_outside(self):
+        info = _function("""
+            def f(ys):
+                return [g(x) for x in h(ys)]
+            """)
+        by_name = {c.callee_repr: c.loops for c in info.loop_calls}
+        assert "h" not in by_name  # evaluated once, outside the frame
+        assert len(by_name["g"]) == 1
+        frames = {site.callee[-1]: site.loops for site in info.calls}
+        assert frames["h"] == ()
+        assert len(frames["g"]) == 1
+
+    def test_later_comp_iterables_inside_earlier_frames(self):
+        info = _function("""
+            def f(xs):
+                return [x for x in xs for y in g(x)]
+            """)
+        (call,) = info.loop_calls
+        assert len(call.loops) == 1  # inside the x frame only
+
+    def test_nested_defs_get_their_own_loops(self):
+        tree = ast.parse(textwrap.dedent("""
+            def f(xs):
+                def inner(ys):
+                    for y in ys:
+                        g(y)
+                for x in xs:
+                    inner(x)
+            """))
+        from repro.analysis import summarize_module
+
+        functions = summarize_module(tree, "m", "m.py", False).functions
+        assert len(functions["f"].loops) == 1  # inner's loop not counted
+        assert len(functions["f.inner"].loops) == 1
+        (outer_call,) = functions["f"].loop_calls
+        assert outer_call.callee_repr == "inner"
+
+    def test_lambda_bodies_attributed_to_the_enclosing_function(self):
+        info = _function("""
+            def f(xs):
+                for x in xs:
+                    k = lambda v: g(v)
+            """)
+        reprs = [c.callee_repr for c in info.loop_calls]
+        assert "g" in reprs
+
+    def test_loop_invariance_per_frame(self):
+        info = _function("""
+            def f(xs, ys, cfg):
+                for i in xs:
+                    for j in ys:
+                        g(cfg)
+                        h(j)
+            """)
+        by_name = {c.callee_repr: c for c in info.loop_calls}
+        assert by_name["g"].invariant == (0, 1)  # cfg never varies
+        assert by_name["h"].invariant == (0,)  # j is fresh per i? no:
+        # ys does not depend on i, so h(j)'s sweep repeats per i — the
+        # loop-interchange hoist — and frame 0 counts as invariant.
+
+    def test_carried_dependence_defeats_interchange(self):
+        info = _function("""
+            def f(xs, ys):
+                for i in xs:
+                    for j in ys[i]:
+                        h(j)
+            """)
+        (call,) = info.loop_calls
+        assert call.invariant == ()  # j's sweep really changes with i
+
+    def test_assignment_varies_all_open_frames(self):
+        info = _function("""
+            def f(xs, ys):
+                for i in xs:
+                    acc = step(i)
+                    for j in ys:
+                        h(acc)
+            """)
+        by_name = {c.callee_repr: c for c in info.loop_calls}
+        assert by_name["h"].invariant == (1,)  # acc changes per i
+
+    def test_loop_fields_round_trip_through_json(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/m.py": """
+                import numpy as np
+
+                def f(xs, table):
+                    out = []
+                    arr = np.zeros(3)
+                    for i in xs:
+                        out.append(arr[i])
+                    while xs:
+                        g(xs)
+                        break
+                    return np.vstack([g(x) for x in xs])
+                """,
+        })
+        summary = Project.load([tmp_path]).summaries["repro.m"]
+        info = summary.functions["f"]
+        assert any(loop.subscript_by_bound for loop in info.loops)
+        assert any(call.numpy_ctor_comp for call in info.loop_calls)
+        clone = type(summary).from_dict(
+            json.loads(json.dumps(summary.to_dict()))
+        )
+        assert clone == summary
+
+
+# --------------------------------------------------------------------------
+# The multiplicity lattice and the cost fixpoint
+
+
+class TestMultiplicityLattice:
+    def test_ordering_is_the_join(self):
+        from repro.analysis import Multiplicity
+
+        once = Multiplicity(0)
+        per_pair = Multiplicity(2)
+        assert max(once, per_pair) == per_pair
+        assert max(Multiplicity(2, k=True), per_pair) == Multiplicity(2, True)
+
+    def test_bump_and_render(self):
+        from repro.analysis import Multiplicity
+
+        m = Multiplicity(0)
+        assert m.render() == "once"
+        assert m.bump(1).render() == "per-record"
+        assert m.bump(2).render() == "per-pair"
+        assert m.bump(2, const_loops=1).render() == "per-pair×k"
+        assert m.bump(7).render() == "per-pair×k"  # overflow caps with ×k
+        assert m.bump(7).rank == Multiplicity.MAX_RANK
+
+    def test_spec_matches_shapes(self):
+        from repro.analysis import spec_matches
+
+        assert spec_matches("repro.a:C.m", "repro.a", "C.m")
+        assert spec_matches("repro.a:C", "repro.a", "C.m")  # class covers
+        assert not spec_matches("repro.a:C.m", "repro.b", "C.m")
+        assert spec_matches("repro.a", "repro.a.sub", "f")  # module subtree
+        assert not spec_matches("repro.a", "repro.ab", "f")
+        assert spec_matches("embed", "anything", "Encoder.embed")  # bare
+        assert not spec_matches("embed", "anything", "Encoder.embed_all")
+
+
+COST_CONTRACT = """
+layer base: repro
+cost entrypoints: repro.app:main
+cost expensive: repro.heavy:embed
+cost hot loops: repro.blocking
+"""
+
+
+class TestCostAnalysis:
+    def _cost(self, tmp_path, files):
+        from repro.analysis import cost_analysis
+
+        write_tree(tmp_path, files)
+        return cost_analysis(Project.load([tmp_path]))
+
+    def test_propagation_through_loop_frames(self, tmp_path):
+        cost = self._cost(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/app.py": """
+                from repro.util import per_record, per_pair
+
+                def main(pairs):
+                    for pair in pairs:
+                        per_record(pair)
+                        for side in pair:
+                            per_pair(side)
+                """,
+            "src/repro/util.py": """
+                def per_record(x):
+                    return x
+
+                def per_pair(x):
+                    return x
+                """,
+        })
+        assert cost.multiplicity("repro.app", "main").render() == "once"
+        assert cost.multiplicity("repro.util", "per_record").render() == "per-record"
+        assert cost.multiplicity("repro.util", "per_pair").render() == "per-pair"
+
+    def test_constant_loops_ride_as_k(self, tmp_path):
+        cost = self._cost(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/app.py": """
+                from repro.util import leaf
+
+                def main(pairs):
+                    for pair in pairs:
+                        for layer in range(4):
+                            leaf(pair)
+                """,
+            "src/repro/util.py": "def leaf(x):\n    return x\n",
+        })
+        assert cost.multiplicity("repro.util", "leaf").render() == "per-record×k"
+
+    def test_recursion_caps_at_the_lattice_top(self, tmp_path):
+        cost = self._cost(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/app.py": """
+                def main(xs):
+                    for x in xs:
+                        main(xs)
+                """,
+        })
+        assert cost.multiplicity("repro.app", "main").render() == "per-pair×k"
+
+    def test_duck_resolution_reaches_receiver_typed_methods(self, tmp_path):
+        cost = self._cost(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": (
+                "layer base: repro\ncost entrypoints: repro.app:App.run\n"
+            ),
+            "src/repro/enc.py": """
+                class Encoder:
+                    def embed_rows(self, x):
+                        return x
+                """,
+            "src/repro/app.py": """
+                class App:
+                    def run(self, items):
+                        for item in items:
+                            self.encoder.embed_rows(item)
+                """,
+        })
+        mult = cost.multiplicity("repro.enc", "Encoder.embed_rows")
+        assert mult is not None and mult.render() == "per-record"
+
+    def test_unreached_site_assumed_once(self, tmp_path):
+        cost = self._cost(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/orphan.py": """
+                def lonely(xs):
+                    for x in xs:
+                        for y in x:
+                            g(y)
+                """,
+        })
+        assert cost.multiplicity("repro.orphan", "lonely") is None
+        site = cost.site_multiplicity("repro.orphan", "lonely", (0, 1))
+        assert site.render() == "per-pair"
+
+    def test_chain_renders_loop_frames(self, tmp_path):
+        cost = self._cost(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/heavy.py": "def embed(batch):\n    return batch\n",
+            "src/repro/app.py": """
+                from repro.heavy import embed
+
+                def main(pairs):
+                    for pair in pairs:
+                        embed(pair)
+                """,
+        })
+        chain = cost.chain("repro.heavy", "embed")
+        assert chain[0] == "repro.app:main"
+        assert "-[for pair in pairs]->" in chain[1]
+
+    def test_hotspots_rank_expensive_first(self, tmp_path):
+        cost = self._cost(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/heavy.py": "def embed(batch):\n    return batch\n",
+            "src/repro/util.py": "def cheap(x):\n    return x\n",
+            "src/repro/app.py": """
+                from repro.heavy import embed
+                from repro.util import cheap
+
+                def main(pairs):
+                    for pair in pairs:
+                        cheap(pair)
+                        for side in pair:
+                            embed(side)
+                """,
+        })
+        spots = cost.hotspots()
+        assert (spots[0].module, spots[0].qualname) == ("repro.heavy", "embed")
+        assert spots[0].reason == "declared expensive"
+        assert spots[0].multiplicity.render() == "per-pair"
+        top = cost.hotspots(top=1)
+        assert len(top) == 1
+        payload = spots[0].to_dict()
+        assert set(payload) == {
+            "module", "qualname", "lineno", "multiplicity", "weight",
+            "score", "reason", "chain",
+        }
+
+
+# --------------------------------------------------------------------------
+# PERF001-PERF004: the hot-path rule family
+
+
+class TestPerfRules:
+    def _lint(self, tmp_path, files, rule):
+        write_tree(tmp_path, files)
+        return analyze_project([tmp_path], rules=[RULE_REGISTRY[rule]])
+
+    def test_perf001_expensive_call_with_invariant_args(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/heavy.py": "def embed(batch):\n    return batch\n",
+            "src/repro/app.py": """
+                from repro.heavy import embed
+
+                def main(pairs, model):
+                    out = []
+                    for pair in pairs:
+                        for side in pair:
+                            out.append(embed(model))
+                    return out
+                """,
+        }, "PERF001")
+        assert rule_ids(findings) == ["PERF001"]
+        assert findings[0].severity is Severity.ERROR
+        assert "per-pair" in findings[0].message
+        assert "hoist" in findings[0].message
+
+    def test_perf001_varying_args_clean(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/heavy.py": "def embed(batch):\n    return batch\n",
+            "src/repro/app.py": """
+                from repro.heavy import embed
+
+                def main(pairs):
+                    out = []
+                    for pair in pairs:
+                        for side in pair:
+                            out.append(embed(side))
+                    return out
+                """,
+        }, "PERF001")
+        assert findings == []
+
+    def test_perf001_noqa_at_the_call_site(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/heavy.py": "def embed(batch):\n    return batch\n",
+            "src/repro/app.py": """
+                from repro.heavy import embed
+
+                def main(pairs, model):
+                    out = []
+                    for pair in pairs:
+                        for side in pair:
+                            out.append(embed(model))  # repro: noqa[PERF001]
+                    return out
+                """,
+        }, "PERF001")
+        assert findings == []
+
+    def test_perf002_loop_invariant_pure_call(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/util.py": "def norm(cfg):\n    return cfg\n",
+            "src/repro/app.py": """
+                from repro.util import norm
+
+                def main(pairs, cfg):
+                    acc = []
+                    for pair in pairs:
+                        for item in pair:
+                            acc.append(norm(cfg))
+                    return acc
+                """,
+        }, "PERF002")
+        assert rule_ids(findings) == ["PERF002"]
+        assert findings[0].severity is Severity.WARNING
+        assert "invariant" in findings[0].message
+
+    def test_perf002_loop_interchange_case(self, tmp_path):
+        """The sweep over pairs repeats identically per position — the
+        exact shape fixed in the adapter pipeline this PR."""
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/util.py": "def tok(p, s):\n    return (p, s)\n",
+            "src/repro/app.py": """
+                from repro.util import tok
+
+                def main(pairs, schema, n):
+                    return [
+                        [tok(pair, schema)[pos] for pair in pairs]
+                        for pos in range(n)
+                    ]
+                """,
+        }, "PERF002")
+        assert rule_ids(findings) == ["PERF002"]
+        assert "for pos in range(n)" in findings[0].message
+
+    def test_perf002_rng_fed_calls_exempt(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/util.py": "def draw(rng):\n    return rng\n",
+            "src/repro/app.py": """
+                from repro.util import draw
+
+                def main(pairs, rng):
+                    acc = []
+                    for pair in pairs:
+                        for item in pair:
+                            acc.append(draw(rng))
+                    return acc
+                """,
+        }, "PERF002")
+        assert findings == []
+
+    def test_perf002_constructors_exempt(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/app.py": """
+                class Model:
+                    def __init__(self, depth=3):
+                        self.depth = depth
+
+                def main(pairs, depth):
+                    acc = []
+                    for pair in pairs:
+                        for item in pair:
+                            acc.append(Model(depth))
+                    return acc
+                """,
+        }, "PERF002")
+        assert findings == []
+
+    def test_perf003_numpy_ctor_over_comprehension(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/util.py": "def encode(r):\n    return r\n",
+            "src/repro/app.py": """
+                import numpy as np
+
+                from repro.feats import featurize
+
+                def main(rows):
+                    for row in rows:
+                        featurize(row)
+                """,
+            "src/repro/feats.py": """
+                import numpy as np
+
+                from repro.util import encode
+
+                def featurize(row):
+                    return np.vstack([encode(r) for r in row])
+                """,
+        }, "PERF003")
+        assert rule_ids(findings) == ["PERF003"]
+        assert "np.vstack" in findings[0].message
+        assert "vectorized" in findings[0].message
+
+    def test_perf003_cheap_elements_clean(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/app.py": """
+                import numpy as np
+
+                def main(rows):
+                    out = []
+                    for row in rows:
+                        out.append(np.asarray([len(r) for r in row]))
+                    return out
+                """,
+        }, "PERF003")
+        assert findings == []
+
+    def test_perf003_append_loop_with_numpy_subscripts(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/app.py": """
+                import numpy as np
+
+                def gather(ids):
+                    table = np.zeros((4, 4))
+                    out = []
+                    for i in ids:
+                        out.append(table[i])
+                    return out
+                """,
+        }, "PERF003")
+        assert rule_ids(findings) == ["PERF003"]
+        assert "`out`" in findings[0].message
+        assert "fancy-indexed" in findings[0].message
+
+    def test_perf003_break_bounded_loop_clean(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/app.py": """
+                import numpy as np
+
+                def gather(ids):
+                    table = np.zeros((4, 4))
+                    out = []
+                    for i in ids:
+                        out.append(table[i])
+                        break
+                    return out
+                """,
+        }, "PERF003")
+        assert findings == []
+
+    def test_perf003_non_numpy_subscripts_clean(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/app.py": """
+                def gather(ids, table):
+                    out = []
+                    for i in ids:
+                        out.append(table[i])
+                    return out
+                """,
+        }, "PERF003")
+        assert findings == []
+
+    def test_perf003_sanctioned_hot_module_exempt(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/blocking.py": """
+                import numpy as np
+
+                def gather(ids):
+                    table = np.zeros((4, 4))
+                    out = []
+                    for i in ids:
+                        out.append(table[i])
+                    return out
+                """,
+        }, "PERF003")
+        assert findings == []
+
+    def test_perf004_nested_parameter_iteration(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/app.py": """
+                def cross(left, right):
+                    hits = []
+                    for a in left:
+                        for b in right:
+                            hits.append((a, b))
+                    return hits
+                """,
+        }, "PERF004")
+        assert rule_ids(findings) == ["PERF004"]
+        assert findings[0].severity is Severity.ERROR
+        assert "quadratic" in findings[0].message
+        assert "blocking" in findings[0].message
+
+    def test_perf004_same_parameter_twice_clean(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/app.py": """
+                def pairs_of(items):
+                    hits = []
+                    for a in items:
+                        for b in items:
+                            hits.append((a, b))
+                    return hits
+                """,
+        }, "PERF004")
+        assert findings == []
+
+    def test_perf004_blessed_blocking_module_exempt(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/blocking.py": """
+                def cross(left, right):
+                    hits = []
+                    for a in left:
+                        for b in right:
+                            hits.append((a, b))
+                    return hits
+                """,
+        }, "PERF004")
+        assert findings == []
+
+    def test_perf001_message_renders_the_call_chain(self, tmp_path):
+        findings = self._lint(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/heavy.py": "def embed(batch):\n    return batch\n",
+            "src/repro/app.py": """
+                from repro.heavy import embed
+                from repro.work import stage
+
+                def main(pairs, model):
+                    for pair in pairs:
+                        stage(pair, model)
+                """,
+            "src/repro/work.py": """
+                from repro.heavy import embed
+
+                def stage(pair, model):
+                    for side in pair:
+                        embed(model)
+                """,
+        }, "PERF001")
+        assert rule_ids(findings) == ["PERF001"]
+        assert "repro.app:main" in findings[0].message
+        assert "-[for pair in pairs]->" in findings[0].message
+
+
+# --------------------------------------------------------------------------
+# The --hotspots report: library ranking on src/ plus the CLI surface
+
+
+class TestHotspotReport:
+    def test_adapter_embed_path_ranks_hot_on_src(self):
+        from repro.analysis import cost_analysis
+
+        project = Project.load([SRC_ROOT])
+        cost = cost_analysis(project)
+        mult = cost.multiplicity(
+            "repro.transformers.pretrained",
+            "PretrainedEncoder._sequence_matrix",
+        )
+        assert mult is not None and mult.rank >= 2
+        top = {
+            (spot.module, spot.qualname) for spot in cost.hotspots(top=5)
+        }
+        assert (
+            "repro.transformers.pretrained",
+            "PretrainedEncoder._sequence_matrix",
+        ) in top
+        assert (
+            "repro.adapter.embedder",
+            "TransformerEmbedder.embed_pairs",
+        ) in top
+
+    def test_cli_hotspots_text(self, tmp_path, monkeypatch, capsys):
+        write_tree(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/heavy.py": "def embed(batch):\n    return batch\n",
+            "src/repro/app.py": """
+                from repro.heavy import embed
+
+                def main(pairs):
+                    for pair in pairs:
+                        embed(pair)
+                """,
+        })
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", "src", "--hotspots", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.heavy:embed" in out
+        assert "[per-record]" in out
+        assert "declared expensive" in out
+
+    def test_cli_hotspots_json(self, tmp_path, monkeypatch, capsys):
+        write_tree(tmp_path, {
+            "docs/ARCHITECTURE_CONTRACT": COST_CONTRACT,
+            "src/repro/heavy.py": "def embed(batch):\n    return batch\n",
+            "src/repro/app.py": """
+                from repro.heavy import embed
+
+                def main(pairs):
+                    for pair in pairs:
+                        embed(pair)
+                """,
+        })
+        monkeypatch.chdir(tmp_path)
+        assert cli_main([
+            "lint", "src", "--hotspots", "--format", "json",
+            "--top", "1", "--no-cache",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shown"] == 1
+        assert payload["total"] >= 2
+        spot = payload["hotspots"][0]
+        assert spot["module"] == "repro.heavy"
+        assert spot["multiplicity"] == "per-record"
+        assert isinstance(spot["chain"], list)
