@@ -1,203 +1,120 @@
 """Ablation benchmarks for the design choices DESIGN.md calls out.
 
-Each ablation isolates one adapter/AutoML design decision on a compact
-dataset subset:
+The measurements live in the registry (:mod:`repro.bench.suites.ablations`,
+``repro-em bench --list`` shows them); each test here runs one spec and
+asserts the shape findings on its detail payload:
 
 * combiner: mean vs concat;
 * tokenizer: unstructured vs attr vs hybrid (incl. the Dirty case);
 * search strategy: SMBO vs random search at equal budget;
-* class balance: the future-work data augmentation on vs off.
+* class balance: the future-work data augmentation on vs off;
+* embedder source: dataset-local Word2Vec vs simulated pre-trained;
+* matcher generations: Magellan vs DeepMatcher vs adapted AutoML.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from conftest import save_and_print
 
-from repro.adapter import EMAdapter
-from repro.adapter.augmentation import balance_dataset
-from repro.data import load_dataset, split_dataset
 from repro.experiments.tables import render_table
-from repro.matching import EMPipeline
-from repro.ml.metrics import f1_score
-
-_SCALE = 0.06
-_MAX_MODELS = 6
 
 
-def _pipeline_f1(splits, tokenizer, embedder, combiner="mean", automl="h2o"):
-    pipeline = EMPipeline(
-        adapter=EMAdapter(tokenizer, embedder, combiner),
-        automl=automl,
-        budget_hours=1.0,
-        max_models=_MAX_MODELS,
-    )
-    pipeline.fit(splits.train, splits.valid)
-    return 100.0 * pipeline.score(splits.test)
+@pytest.fixture(scope="module", autouse=True)
+def _suites():
+    from repro.bench import load_suites
+
+    load_suites()
 
 
-def test_ablation_combiner(benchmark, output_dir):
+def _run(name: str):
+    from repro.bench import get_spec, run_spec
+
+    return run_spec(get_spec(name))
+
+
+def _save(output_dir, name: str, title: str, columns, scores: dict) -> None:
+    text = render_table(title, columns, [[k, v] for k, v in scores.items()])
+    save_and_print(output_dir, name, text)
+
+
+def test_ablation_combiner(output_dir):
     """Mean vs concat combiner on a structured dataset."""
-    splits = split_dataset(load_dataset("S-DA", scale=_SCALE))
-
-    def run():
-        return {
-            "mean": _pipeline_f1(splits, "attr", "albert", "mean"),
-            "concat": _pipeline_f1(splits, "attr", "albert", "concat"),
-        }
-
-    scores = benchmark.pedantic(run, rounds=1, iterations=1)
-    text = render_table(
+    result = _run("ablation_combiner")
+    scores = result.detail["scores"]
+    _save(
+        output_dir,
+        "ablation_combiner",
         "Ablation: combiner (S-DA, attr+albert)",
         ["Combiner", "F1"],
-        [[k, v] for k, v in scores.items()],
+        scores,
     )
-    save_and_print(output_dir, "ablation_combiner", text)
     assert all(v > 40 for v in scores.values())
+    assert result.metrics["f1_mean"] == scores["mean"]
 
 
-def test_ablation_tokenizer_on_dirty(benchmark, output_dir):
+def test_ablation_tokenizer_on_dirty(output_dir):
     """All three tokenizer modes on Dirty data: hybrid must lead attr."""
-    splits = split_dataset(load_dataset("D-DA", scale=_SCALE))
-
-    def run():
-        return {
-            mode: _pipeline_f1(splits, mode, "albert")
-            for mode in ("unstructured", "attr", "hybrid")
-        }
-
-    scores = benchmark.pedantic(run, rounds=1, iterations=1)
-    text = render_table(
+    scores = _run("ablation_tokenizer").detail["scores"]
+    _save(
+        output_dir,
+        "ablation_tokenizer",
         "Ablation: tokenizer mode (D-DA, albert)",
         ["Tokenizer", "F1"],
-        [[k, v] for k, v in scores.items()],
+        scores,
     )
-    save_and_print(output_dir, "ablation_tokenizer", text)
     assert scores["hybrid"] >= scores["attr"] - 2.0
 
 
-def test_ablation_search_strategy(benchmark, output_dir):
+def test_ablation_search_strategy(output_dir):
     """SMBO (AutoSklearn) vs pure random search (H2O) at equal budget."""
-    splits = split_dataset(load_dataset("S-AG", scale=_SCALE))
-
-    def run():
-        return {
-            "smbo": _pipeline_f1(splits, "hybrid", "albert", automl="autosklearn"),
-            "random": _pipeline_f1(splits, "hybrid", "albert", automl="h2o"),
-        }
-
-    scores = benchmark.pedantic(run, rounds=1, iterations=1)
-    text = render_table(
+    scores = _run("ablation_search").detail["scores"]
+    _save(
+        output_dir,
+        "ablation_search",
         "Ablation: search strategy (S-AG, hybrid+albert)",
         ["Strategy", "F1"],
-        [[k, v] for k, v in scores.items()],
+        scores,
     )
-    save_and_print(output_dir, "ablation_search", text)
     assert all(np.isfinite(v) for v in scores.values())
 
 
-def test_ablation_augmentation(benchmark, output_dir):
+def test_ablation_augmentation(output_dir):
     """Future-work item 1: balancing the training split by augmentation."""
-    splits = split_dataset(load_dataset("S-WA", scale=_SCALE))
-    adapter = EMAdapter("hybrid", "albert")
-
-    def run():
-        plain = EMPipeline(adapter=adapter, automl="h2o", max_models=_MAX_MODELS)
-        plain.fit(splits.train, splits.valid)
-        balanced_train = balance_dataset(
-            splits.train, target_match_fraction=0.35,
-            rng=np.random.default_rng(0),
-        )
-        balanced = EMPipeline(
-            adapter=adapter, automl="h2o", max_models=_MAX_MODELS
-        )
-        balanced.fit(balanced_train, splits.valid)
-        return {
-            "imbalanced": 100.0 * f1_score(
-                splits.test.labels, plain.predict(splits.test)
-            ),
-            "balanced": 100.0 * f1_score(
-                splits.test.labels, balanced.predict(splits.test)
-            ),
-        }
-
-    scores = benchmark.pedantic(run, rounds=1, iterations=1)
-    text = render_table(
+    scores = _run("ablation_augmentation").detail["scores"]
+    _save(
+        output_dir,
+        "ablation_augmentation",
         "Ablation: training-split augmentation (S-WA, hybrid+albert)",
         ["Training data", "F1"],
-        [[k, v] for k, v in scores.items()],
+        scores,
     )
-    save_and_print(output_dir, "ablation_augmentation", text)
     assert all(np.isfinite(v) for v in scores.values())
 
 
-def test_ablation_local_vs_pretrained_embedder(benchmark, output_dir):
+def test_ablation_local_vs_pretrained_embedder(output_dir):
     """Future-work item 2: dataset-local Word2Vec embeddings vs ALBERT."""
-    from repro.adapter.local_embedder import LocalWord2VecEmbedder
-    from repro.data import load_dataset
-
-    dataset = load_dataset("S-DA", scale=_SCALE)
-    splits = split_dataset(dataset)
-
-    def run():
-        local = LocalWord2VecEmbedder.from_dataset(dataset, dim=48, epochs=2)
-        return {
-            "albert (simulated pre-trained)": _pipeline_f1(
-                splits, "attr", "albert"
-            ),
-            "local word2vec": _f1_with_embedder(splits, local),
-        }
-
-    scores = benchmark.pedantic(run, rounds=1, iterations=1)
-    text = render_table(
+    scores = _run("ablation_local_embedder").detail["scores"]
+    _save(
+        output_dir,
+        "ablation_local_embedder",
         "Ablation: embedder source (S-DA, attr tokenizer)",
         ["Embedder", "F1"],
-        [[k, v] for k, v in scores.items()],
+        scores,
     )
-    save_and_print(output_dir, "ablation_local_embedder", text)
     assert all(v > 30 for v in scores.values())
 
 
-def _f1_with_embedder(splits, embedder):
-    pipeline = EMPipeline(
-        adapter=EMAdapter("attr", embedder, "mean", cache=False),
-        automl="h2o",
-        budget_hours=1.0,
-        max_models=_MAX_MODELS,
-    )
-    pipeline.fit(splits.train, splits.valid)
-    return 100.0 * pipeline.score(splits.test)
-
-
-def test_ablation_matcher_families(benchmark, output_dir):
+def test_ablation_matcher_families(output_dir):
     """Three generations of EM systems on one dataset: Magellan-style
     features, DeepMatcher, and the adapted AutoML pipeline."""
-    from repro.matching import DeepMatcherHybrid, MagellanMatcher
-
-    splits = split_dataset(load_dataset("S-DA", scale=_SCALE))
-
-    def run():
-        scores = {}
-        magellan = MagellanMatcher(seed=0)
-        magellan.fit(splits.train, splits.valid)
-        scores["magellan features + GBM"] = 100.0 * f1_score(
-            splits.test.labels, magellan.predict(splits.test)
-        )
-        deep = DeepMatcherHybrid(seed=0)
-        deep.fit(splits.train, splits.valid)
-        scores["deepmatcher (hybrid)"] = 100.0 * f1_score(
-            splits.test.labels, deep.predict(splits.test)
-        )
-        scores["EM adapter + AutoML"] = _pipeline_f1(
-            splits, "hybrid", "albert", automl="autosklearn"
-        )
-        return scores
-
-    scores = benchmark.pedantic(run, rounds=1, iterations=1)
-    text = render_table(
+    scores = _run("ablation_matchers").detail["scores"]
+    _save(
+        output_dir,
+        "ablation_matchers",
         "Ablation: matcher generations (S-DA)",
         ["Matcher", "F1"],
-        [[k, v] for k, v in scores.items()],
+        scores,
     )
-    save_and_print(output_dir, "ablation_matchers", text)
     assert all(v > 40 for v in scores.values())

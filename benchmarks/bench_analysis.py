@@ -1,116 +1,30 @@
 """Benchmark the ``repro.analysis`` engine: cold vs warm full-repo lint.
 
-Runs the complete rule pack (including the inter-procedural
-``DET``/``SEAM``/``FORK`` families) over ``src/`` twice — once against a
-fresh cache directory (cold: every module parsed, summarized, and
-checked) and then warm (parses, summaries, and file-rule findings
-replayed from the salted cache) — and records wall times, cache
-hit/miss counters, and module/finding counts.
+The measurement itself lives in the registry
+(:mod:`repro.bench.suites.analysis`, spec name ``analysis``); refresh
+the committed snapshot at the repo root with::
 
-Run it directly to refresh the committed snapshot at the repo root::
+    PYTHONPATH=src repro-em bench --only analysis --update-baselines
 
-    PYTHONPATH=src python benchmarks/bench_analysis.py   # -> BENCH_analysis.json
-
-or through pytest, which exercises the same harness into a throwaway
-directory and asserts the cache's perf contract (warm < cold).
+This pytest module exercises the same harness into a throwaway
+directory and asserts the cache's perf contract (warm < cold), plus
+that the committed ``BENCH_analysis.json`` stays schema-valid and keeps
+the legacy detail keys its pre-registry readers expect.
 """
 
 from __future__ import annotations
 
 import json
-import sys
-import tempfile
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
-SRC_ROOT = REPO_ROOT / "src"
 SNAPSHOT_PATH = REPO_ROOT / "BENCH_analysis.json"
-
-
-def run_analysis_benchmark(cache_dir: Path, warm_rounds: int = 3) -> dict:
-    """Time one cold and ``warm_rounds`` warm full-repo analysis runs.
-
-    Returns the ``BENCH_analysis.json`` payload. ``cache_dir`` must not
-    hold a previous cache — the first run is the cold leg by definition.
-    """
-    from repro.analysis import (
-        AnalysisCache,
-        Project,
-        all_rules,
-        analysis_salt,
-        analyze_project,
-    )
-
-    salt = analysis_salt(SRC_ROOT)
-
-    cold_cache = AnalysisCache(cache_dir, salt=salt)
-    start = time.perf_counter()
-    cold_findings = analyze_project([SRC_ROOT], cache=cold_cache)
-    cold_seconds = time.perf_counter() - start
-
-    warm_seconds = []
-    warm_hits = warm_misses = 0
-    warm_findings: list = []
-    for _ in range(warm_rounds):
-        warm_cache = AnalysisCache(cache_dir, salt=salt)
-        start = time.perf_counter()
-        warm_findings = analyze_project([SRC_ROOT], cache=warm_cache)
-        warm_seconds.append(time.perf_counter() - start)
-        warm_hits, warm_misses = warm_cache.hits, warm_cache.misses
-
-    # Cost fixpoint in isolation: cold (fresh project, summaries built
-    # from source) vs warm (summaries replayed from the cache above,
-    # only the multiplicity propagation itself re-runs).
-    from repro.analysis.cost import cost_analysis
-
-    start = time.perf_counter()
-    cold_project = Project.load([SRC_ROOT])
-    cost_analysis(cold_project)
-    cost_cold_seconds = time.perf_counter() - start
-
-    cost_warm_seconds = []
-    for _ in range(warm_rounds):
-        warm_project = Project.load(
-            [SRC_ROOT], cache=AnalysisCache(cache_dir, salt=salt)
-        )
-        start = time.perf_counter()
-        cost_analysis(warm_project)
-        cost_warm_seconds.append(time.perf_counter() - start)
-
-    modules = len(cold_project.modules)
-    return {
-        "version": 1,
-        "benchmark": "repro.analysis full-repo lint of src/",
-        "salt": salt,
-        "modules": modules,
-        "rules": len(all_rules()),
-        "findings": {
-            "cold": len(cold_findings),
-            "warm": len(warm_findings),
-        },
-        "cold": {
-            "seconds": round(cold_seconds, 4),
-            "cache_hits": cold_cache.hits,
-            "cache_misses": cold_cache.misses,
-        },
-        "warm": {
-            "seconds": round(min(warm_seconds), 4),
-            "rounds": warm_rounds,
-            "cache_hits": warm_hits,
-            "cache_misses": warm_misses,
-        },
-        "warm_over_cold": round(min(warm_seconds) / cold_seconds, 4),
-        "cost_pass": {
-            "cold_seconds": round(cost_cold_seconds, 4),
-            "warm_seconds": round(min(cost_warm_seconds), 4),
-            "hotspots": len(cost_analysis(cold_project).hotspots()),
-        },
-    }
 
 
 def test_analysis_engine_cold_vs_warm(tmp_path):
     """The payload is well-formed and the warm leg beats the cold leg."""
+    from repro.bench.suites.analysis import run_analysis_benchmark
+
     payload = run_analysis_benchmark(tmp_path / "cache", warm_rounds=2)
     assert payload["findings"]["cold"] == payload["findings"]["warm"] == 0
     assert payload["cold"]["cache_hits"] == 0
@@ -121,33 +35,35 @@ def test_analysis_engine_cold_vs_warm(tmp_path):
     assert payload["cost_pass"]["warm_seconds"] < 2.0  # propagation only
 
 
+def test_analysis_spec_registered():
+    """The registry owns the benchmark: quick tier, gated cache metrics."""
+    from repro.bench import get_spec, load_suites
+
+    load_suites()
+    spec = get_spec("analysis")
+    assert spec.tier == "quick"
+    gated = {p.name for p in spec.metrics if p.gate}
+    assert {"warm_over_cold", "findings", "warm_cache_misses"} <= gated
+
+
 def test_committed_snapshot_schema():
-    """``BENCH_analysis.json`` at the repo root stays in the shape this
-    harness writes (numbers are machine-dependent and not compared)."""
+    """``BENCH_analysis.json`` at the repo root is a schema-valid v2
+    envelope whose detail keeps the version-1 payload keys (numbers are
+    machine-dependent and not compared)."""
+    from repro.bench import SCHEMA_VERSION, validate_payload
+
     payload = json.loads(SNAPSHOT_PATH.read_text(encoding="utf-8"))
-    assert payload["version"] == 1
+    validate_payload(payload)
+    assert payload["schema_version"] == SCHEMA_VERSION == 2
+    assert payload["name"] == "analysis"
+
+    detail = payload["detail"]
     for key in (
         "salt", "modules", "rules", "findings", "cold", "warm", "cost_pass",
     ):
-        assert key in payload, key
-    assert {"cold_seconds", "warm_seconds", "hotspots"} <= payload[
+        assert key in detail, key
+    assert {"cold_seconds", "warm_seconds", "hotspots"} <= detail[
         "cost_pass"
     ].keys()
     for leg in ("cold", "warm"):
-        assert {"seconds", "cache_hits", "cache_misses"} <= payload[leg].keys()
-
-
-def main(argv: list[str] | None = None) -> int:
-    args = list(sys.argv[1:] if argv is None else argv)
-    output = Path(args[0]) if args else SNAPSHOT_PATH
-    with tempfile.TemporaryDirectory(prefix="repro-bench-analysis-") as tmp:
-        payload = run_analysis_benchmark(Path(tmp) / "cache")
-    output.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
-    print(json.dumps(payload, indent=2, sort_keys=True))
-    return 0
-
-
-if __name__ == "__main__":
-    raise SystemExit(main())
+        assert {"seconds", "cache_hits", "cache_misses"} <= detail[leg].keys()

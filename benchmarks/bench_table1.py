@@ -14,18 +14,14 @@ def test_table1_registry(benchmark, output_dir):
     assert "28707" in text and "18.63" in text
 
 
-def test_table1_generated(benchmark, output_dir, experiment_config):
-    """Generate every dataset at bench scale and measure its statistics."""
-    text = benchmark.pedantic(
-        lambda: run_table1(scale=experiment_config.scale, generate=True),
-        rounds=1,
-        iterations=1,
-    )
-    save_and_print(output_dir, "table1_generated", text)
-    # The generators must realise the registered match rates closely.
-    from repro.experiments.table1 import table1_rows
+def test_table1_generated(output_dir):
+    """Generate every dataset at bench scale and measure its statistics
+    through the registry spec (``repro-em bench --only table1``)."""
+    from repro.bench import get_spec, load_suites, run_spec
 
-    nominal = {r["dataset"]: r["match_percent"] for r in table1_rows()}
-    measured = table1_rows(scale=experiment_config.scale, generate=True)
-    for row in measured:
-        assert abs(row["match_percent"] - nominal[row["dataset"]]) < 2.0
+    load_suites()
+    result = run_spec(get_spec("table1"))
+    save_and_print(output_dir, "table1_generated", result.detail["text"])
+    # The generators must realise the registered match rates closely.
+    assert result.metrics["max_match_rate_drift"] < 2.0
+    assert result.metrics["datasets"] == len(result.detail["rows"]) == 12

@@ -1,8 +1,9 @@
 """Benchmark for Table 3 — the adapter grid (tokenizers x embedders).
 
-Shape assertions: the hybrid tokenizer wins on most datasets (especially
-the Dirty ones), and ALBERT is the most frequent best embedder — the two
-findings the paper's Section 5.2 highlights.
+The measurement lives in the registry spec ``table3`` (full tier); the
+shape assertions stay here: the hybrid tokenizer wins on most datasets
+(especially the Dirty ones), and the embedders land in a tight band —
+the two findings the paper's Section 5.2 highlights.
 """
 
 from __future__ import annotations
@@ -10,42 +11,28 @@ from __future__ import annotations
 import numpy as np
 from conftest import parallel_prefetch, save_and_print
 
-from repro.experiments import ExperimentRunner, run_table3
-from repro.experiments.table3 import table3_rows
 from repro.transformers import EMBEDDER_NAMES
 
 
-def test_table3(benchmark, output_dir, experiment_config):
+def test_table3(output_dir, experiment_config):
     parallel_prefetch(experiment_config, 3)
-    runner = ExperimentRunner(experiment_config)
+    from repro.bench import get_spec, load_suites, run_spec
 
-    def compute():
-        return {
-            system: table3_rows(system, runner)
-            for system in ("autosklearn", "autogluon", "h2o")
-        }
+    load_suites()
+    result = run_spec(get_spec("table3"))
+    grids = result.detail["grids"]
+    save_and_print(output_dir, "table3", result.detail["text"])
 
-    grids = benchmark.pedantic(compute, rounds=1, iterations=1)
-    text = run_table3(experiment_config)
-    save_and_print(output_dir, "table3", text)
-
-    hybrid_wins = 0
-    cells = 0
     embedder_means: dict[str, list[float]] = {e: [] for e in EMBEDDER_NAMES}
     for rows in grids.values():
         for row in rows:
-            attr_best = max(row[f"attr_{e}"] for e in EMBEDDER_NAMES)
-            hybrid_best = max(row[f"hybrid_{e}"] for e in EMBEDDER_NAMES)
-            if hybrid_best >= attr_best:
-                hybrid_wins += 1
             for e in EMBEDDER_NAMES:
                 embedder_means[e].append(
                     max(row[f"attr_{e}"], row[f"hybrid_{e}"])
                 )
-            cells += 1
 
     # Hybrid tokenization wins the majority of (system, dataset) cells.
-    assert hybrid_wins / cells > 0.5
+    assert result.metrics["hybrid_win_rate"] > 0.5
     # The five embedders land in a tight band: no architecture dominates
     # or degenerates, so the adapter's benefit is architecture-robust.
     # (Known deviation from the paper, see EXPERIMENTS.md: the paper finds

@@ -1,38 +1,30 @@
 """Benchmark for Table 4 — adapter impact deltas.
 
-Shape assertion: the EM adapter lifts every AutoML system's average F1 by
-a large positive margin (the paper reports +24.96, +28.02 and +23.6 for
-AutoSklearn, AutoGluon and H2OAutoML).
+The measurement lives in the registry spec ``table4`` (full tier).
+Shape assertion: the EM adapter lifts every AutoML system's average F1
+by a large positive margin (the paper reports +24.96, +28.02 and +23.6
+for AutoSklearn, AutoGluon and H2OAutoML).
 """
 
 from __future__ import annotations
 
 from conftest import parallel_prefetch, save_and_print
 
-from repro.experiments import ExperimentRunner, run_table4
-from repro.experiments.table4 import average_deltas, table4_rows
 
-
-def test_table4(benchmark, output_dir, experiment_config):
+def test_table4(output_dir, experiment_config):
     parallel_prefetch(experiment_config, 4)
-    runner = ExperimentRunner(experiment_config)
-    rows = benchmark.pedantic(
-        lambda: table4_rows(runner), rounds=1, iterations=1
-    )
-    text = run_table4(experiment_config)
-    save_and_print(output_dir, "table4", text)
+    from repro.bench import get_spec, load_suites, run_spec
 
-    deltas = average_deltas(rows)
-    for system, delta in deltas.items():
+    load_suites()
+    result = run_spec(get_spec("table4"))
+    rows = result.detail["rows"]
+    save_and_print(output_dir, "table4", result.detail["text"])
+
+    for system in ("autosklearn", "autogluon", "h2o"):
+        delta = result.metrics[f"{system}_adapter_delta"]
         # Large positive average improvement for every system.
         assert delta > 10.0, (system, delta)
 
     # The adapter improves the clear majority of (dataset, system) cells.
-    improved = sum(
-        1
-        for row in rows
-        for system in ("autosklearn", "autogluon", "h2o")
-        if row[f"{system}_delta"] > 0
-    )
-    total = len(rows) * 3
-    assert improved / total > 0.8
+    assert result.metrics["improved_cell_rate"] > 0.8
+    assert result.metrics["datasets"] == len(rows)

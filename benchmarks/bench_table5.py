@@ -1,30 +1,27 @@
 """Benchmark for Table 5 — adapted AutoML vs DeepMatcher under budgets.
 
+The measurement lives in the registry spec ``table5`` (full tier).
 Shape assertions: with the best adapter (hybrid + ALBERT), AutoML is
-comparable to or better than DeepMatcher on most datasets within a small
-tolerance, and a 6h budget never hurts relative to 1h on average.
+comparable to or better than DeepMatcher on most datasets within a
+small tolerance, and a 6h budget never hurts relative to 1h on average.
 """
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import parallel_prefetch, save_and_print
-
-from repro.experiments import ExperimentRunner, run_table5
-from repro.experiments.table5 import table5_rows
 
 _SYSTEMS = ("autosklearn", "autogluon", "h2o")
 _TOLERANCE = 7.5  # F1 points; the paper uses 2.0 at full scale.
 
 
-def test_table5(benchmark, output_dir, experiment_config):
+def test_table5(output_dir, experiment_config):
     parallel_prefetch(experiment_config, 5)
-    runner = ExperimentRunner(experiment_config)
-    rows = benchmark.pedantic(
-        lambda: table5_rows(runner), rounds=1, iterations=1
-    )
-    text = run_table5(experiment_config)
-    save_and_print(output_dir, "table5", text)
+    from repro.bench import get_spec, load_suites, run_spec
+
+    load_suites()
+    result = run_spec(get_spec("table5"))
+    rows = result.detail["rows"]
+    save_and_print(output_dir, "table5", result.detail["text"])
 
     comparable = 0
     for row in rows:
@@ -35,11 +32,8 @@ def test_table5(benchmark, output_dir, experiment_config):
     # benchmark (paper: 9/12 at 1h, 11/12 at 6h).
     assert comparable >= len(rows) * 0.6
 
-    mean_1h = np.mean(
-        [max(row[f"{s}_1h"] for s in _SYSTEMS) for row in rows]
-    )
-    mean_6h = np.mean(
-        [max(row[f"{s}_6h"] for s in _SYSTEMS) for row in rows]
-    )
     # More budget never hurts on average.
-    assert mean_6h >= mean_1h - 1.0
+    assert (
+        result.metrics["best_6h_f1_mean"]
+        >= result.metrics["best_1h_f1_mean"] - 1.0
+    )

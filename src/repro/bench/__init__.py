@@ -1,0 +1,88 @@
+"""Declarative benchmark registry with persisted perf baselines.
+
+``repro.bench`` turns the repo's benchmarks from print-and-exit scripts
+into a registry of :class:`BenchmarkSpec` definitions that execute in
+isolation (fresh :mod:`repro.telemetry` recorder, memory-profiling
+hooks, wall-clock timing), emit machine-readable ``BENCH_<name>.json``
+files validated against ``docs/bench_schema.json``, and compare every
+run against the committed baseline with per-metric tolerance bands —
+the regression gate that makes "measurably faster" verifiable across
+PRs.
+
+Specs live in two tiers:
+
+* ``quick`` — seconds-to-minutes, run per PR by the CI ``bench-quick``
+  job with the tolerance gate (components, ablations, the analysis
+  engine);
+* ``full`` — the paper-table regenerations (hours at full scale), run
+  on demand.
+
+Usage::
+
+    repro-em bench --list                 # what is registered
+    repro-em bench --tier quick           # run + gate against baselines
+    repro-em bench --only analysis --update-baselines
+
+or programmatically::
+
+    from repro.bench import get_spec, load_suites, run_spec
+
+    load_suites()
+    result = run_spec(get_spec("analysis"))
+    print(result.metrics["cold_seconds"])
+
+See ``docs/BENCHMARKS.md`` for the registry model and tolerance
+policy.
+"""
+
+from repro.bench.baseline import (
+    SCHEMA_VERSION,
+    MetricComparison,
+    SpecComparison,
+    baseline_path,
+    build_payload,
+    compare_payload,
+    environment_stamp,
+    load_payload,
+    write_payload,
+)
+from repro.bench.runner import BenchmarkResult, run_spec
+from repro.bench.schema import BENCH_SCHEMA, validate_payload
+from repro.bench.spec import (
+    AUTO_METRIC_POLICIES,
+    TIERS,
+    BenchContext,
+    BenchmarkSpec,
+    MetricPolicy,
+    get_spec,
+    register,
+    registered_specs,
+    scratch_registry,
+)
+from repro.bench.suites import load_suites
+
+__all__ = [
+    "AUTO_METRIC_POLICIES",
+    "BENCH_SCHEMA",
+    "BenchContext",
+    "BenchmarkResult",
+    "BenchmarkSpec",
+    "MetricComparison",
+    "MetricPolicy",
+    "SCHEMA_VERSION",
+    "SpecComparison",
+    "TIERS",
+    "baseline_path",
+    "build_payload",
+    "compare_payload",
+    "environment_stamp",
+    "get_spec",
+    "load_payload",
+    "load_suites",
+    "register",
+    "registered_specs",
+    "run_spec",
+    "scratch_registry",
+    "validate_payload",
+    "write_payload",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.bench`` — run the benchmark registry."""
+
+import sys
+
+from repro.bench.cli import main
+
+sys.exit(main())

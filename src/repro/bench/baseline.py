@@ -1,0 +1,311 @@
+"""``BENCH_<name>.json`` payloads, environment stamps, and the gate.
+
+A payload is the schema-versioned envelope around one executed spec:
+the environment stamp (stable facts about the machine and configured
+scale — identical across fixed-seed re-runs), every metric with the
+tolerance policy that governs it, and the spec's free-form detail
+payload. Baselines are these files committed at the repo root; the
+tolerance gate compares a fresh payload against the committed one
+per-metric and reports regressions by name with the relative delta.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.bench.runner import BenchmarkResult
+from repro.bench.spec import MetricPolicy
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "MetricComparison",
+    "SpecComparison",
+    "baseline_path",
+    "build_payload",
+    "compare_payload",
+    "environment_stamp",
+    "load_payload",
+    "write_payload",
+]
+
+#: Version of the ``BENCH_<name>.json`` envelope; the pre-registry
+#: ``BENCH_analysis.json`` was version 1.
+SCHEMA_VERSION = 2
+
+
+def environment_stamp() -> dict:
+    """Stable facts about this run's environment.
+
+    Everything here is constant across repeated fixed-seed runs on one
+    machine — comparisons use it to flag baselines recorded under a
+    different interpreter, hardware, or experiment scale.
+    """
+    from repro.experiments.config import ExperimentConfig
+
+    config = ExperimentConfig()
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "numpy": np.__version__,
+        "repro": repro.__version__,
+        "scale": config.scale,
+        "max_models": config.max_models,
+    }
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays so payloads serialize."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(item) for item in value.tolist()]
+    return value
+
+
+def build_payload(result: BenchmarkResult) -> dict:
+    """The ``BENCH_<name>.json`` envelope of one executed spec."""
+    metrics = {}
+    for name in sorted(result.metrics):
+        policy = result.spec.policy_for(name)
+        metrics[name] = {
+            "value": _jsonable(result.metrics[name]),
+            "unit": policy.unit,
+            "direction": policy.direction,
+            "tolerance": policy.tolerance,
+            "gate": policy.gate,
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": result.name,
+        "tier": result.tier,
+        "created_unix": time.time(),
+        "environment": environment_stamp(),
+        "metrics": metrics,
+        "detail": _jsonable(result.detail),
+    }
+
+
+def baseline_path(root: str | Path, name: str) -> Path:
+    """Where the committed baseline of ``name`` lives under ``root``."""
+    return Path(root) / f"BENCH_{name}.json"
+
+
+def write_payload(payload: dict, path: str | Path) -> Path:
+    """Serialize a payload (sorted keys, trailing newline) to ``path``."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(_jsonable(payload), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def load_payload(path: str | Path) -> dict | None:
+    """A previously written payload, or ``None`` when absent."""
+    target = Path(path)
+    if not target.exists():
+        return None
+    return json.loads(target.read_text(encoding="utf-8"))
+
+
+# ------------------------------------------------------------- the gate
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric of one spec measured against its baseline."""
+
+    name: str
+    status: str  # ok | regression | improvement | new-metric |
+    #              missing-metric | informational
+    current: float | None
+    baseline: float | None
+    delta: float | None  # relative when baseline != 0, absolute at 0
+    message: str
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("regression", "missing-metric")
+
+
+@dataclass
+class SpecComparison:
+    """Every metric comparison of one spec, plus the overall verdict."""
+
+    name: str
+    baseline_found: bool
+    environment_matches: bool = True
+    comparisons: list[MetricComparison] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[MetricComparison]:
+        return [c for c in self.comparisons if c.failed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        """One line per metric, gate verdict first."""
+        if not self.baseline_found:
+            return (
+                f"{self.name}: NO BASELINE — run "
+                f"`repro-em bench --only {self.name} --update-baselines` "
+                "and commit the result"
+            )
+        verdict = "ok" if self.ok else (
+            f"REGRESSION ({len(self.failures)} metric(s))"
+        )
+        lines = [f"{self.name}: {verdict}"]
+        if not self.environment_matches:
+            lines.append(
+                "  note: baseline was recorded in a different environment"
+            )
+        for comparison in self.comparisons:
+            lines.append(f"  {comparison.message}")
+        return "\n".join(lines)
+
+
+def _policy_from_payload(name: str, entry: dict) -> MetricPolicy:
+    return MetricPolicy(
+        name,
+        unit=str(entry.get("unit", "")),
+        direction=str(entry.get("direction", "lower_better")),
+        tolerance=float(entry.get("tolerance", 0.25)),
+        gate=bool(entry.get("gate", True)),
+    )
+
+
+def _compare_metric(
+    name: str, policy: MetricPolicy, current: float, base: float
+) -> MetricComparison:
+    if base != 0:
+        delta = (current - base) / abs(base)
+        delta_text = f"{delta:+.1%}"
+    else:
+        delta = current - base
+        delta_text = f"{delta:+.4g} (absolute; baseline is 0)"
+    if policy.direction == "lower_better":
+        regressed = delta > policy.tolerance
+        improved = delta < -policy.tolerance
+    elif policy.direction == "higher_better":
+        regressed = delta < -policy.tolerance
+        improved = delta > policy.tolerance
+    else:  # two_sided
+        regressed = abs(delta) > policy.tolerance
+        improved = False
+    unit = f" {policy.unit}" if policy.unit else ""
+    if not policy.gate:
+        status = "informational"
+        verdict = "not gated"
+    elif regressed:
+        status = "regression"
+        verdict = f"REGRESSED beyond ±{policy.tolerance:.0%}"
+    elif improved:
+        status = "improvement"
+        verdict = "improved"
+    else:
+        status = "ok"
+        verdict = "within band"
+    message = (
+        f"{name}: {current:.6g}{unit} vs baseline {base:.6g}{unit} "
+        f"({delta_text}, {policy.direction}, tolerance ±{policy.tolerance:.0%})"
+        f" — {verdict}"
+    )
+    return MetricComparison(
+        name=name,
+        status=status,
+        current=current,
+        baseline=base,
+        delta=delta,
+        message=message,
+    )
+
+
+def compare_payload(current: dict, baseline: dict | None) -> SpecComparison:
+    """Gate one fresh payload against its committed baseline.
+
+    Policies come from the *current* payload (the spec is the source of
+    truth; a PR that tightens a tolerance re-judges the old numbers).
+    A gated metric present in the baseline but absent from the run is a
+    failure — silently losing a measured signal is itself a regression.
+    New metrics and a missing baseline file are reported, not failed,
+    so adding coverage never blocks the PR that adds it.
+    """
+    name = str(current.get("name", "?"))
+    if baseline is None:
+        return SpecComparison(name=name, baseline_found=False)
+
+    current_metrics: dict = current.get("metrics", {})
+    baseline_metrics: dict = baseline.get("metrics", {})
+    comparison = SpecComparison(
+        name=name,
+        baseline_found=True,
+        environment_matches=(
+            current.get("environment") == baseline.get("environment")
+        ),
+    )
+    for metric_name in sorted(set(current_metrics) | set(baseline_metrics)):
+        entry = current_metrics.get(metric_name)
+        base_entry = baseline_metrics.get(metric_name)
+        if entry is None:
+            policy = _policy_from_payload(metric_name, base_entry)
+            if policy.gate:
+                comparison.comparisons.append(
+                    MetricComparison(
+                        name=metric_name,
+                        status="missing-metric",
+                        current=None,
+                        baseline=float(base_entry["value"]),
+                        delta=None,
+                        message=(
+                            f"{metric_name}: gated metric present in the "
+                            "baseline but missing from this run — MISSING"
+                        ),
+                    )
+                )
+            continue
+        policy = _policy_from_payload(metric_name, entry)
+        if base_entry is None:
+            comparison.comparisons.append(
+                MetricComparison(
+                    name=metric_name,
+                    status="new-metric",
+                    current=float(entry["value"]),
+                    baseline=None,
+                    delta=None,
+                    message=(
+                        f"{metric_name}: {float(entry['value']):.6g} — new "
+                        "metric, no baseline yet"
+                    ),
+                )
+            )
+            continue
+        comparison.comparisons.append(
+            _compare_metric(
+                metric_name,
+                policy,
+                float(entry["value"]),
+                float(base_entry["value"]),
+            )
+        )
+    return comparison

@@ -1,0 +1,85 @@
+"""Isolated benchmark execution.
+
+Each spec runs under a fresh :class:`~repro.telemetry.TelemetryRecorder`
+(so counters and spans start at zero and nothing leaks between specs),
+inside the :func:`~repro.telemetry.memory_profile` hook, with the
+runner owning the wall clock. Three metrics are recorded automatically
+— ``wall_seconds``, ``tracemalloc_peak_kb``, ``peak_rss_kb`` — and any
+telemetry counters the spec names in ``counters`` are copied out of the
+run's snapshot (cache hit/miss totals, fault counters, ...).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro import telemetry
+from repro.bench.spec import BenchContext, BenchmarkSpec
+from repro.telemetry import memory_profile, snapshot
+
+__all__ = ["BenchmarkResult", "run_spec"]
+
+
+@dataclass
+class BenchmarkResult:
+    """One executed spec: its metrics, detail payload, and trace."""
+
+    spec: BenchmarkSpec
+    metrics: dict[str, float]
+    detail: dict
+    trace: dict
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def tier(self) -> str:
+        return self.spec.tier
+
+
+def _counter_values(trace: dict, names: tuple[str, ...]) -> dict[str, float]:
+    """The requested counter totals from a snapshot (absent => 0.0)."""
+    found = {
+        line["name"]: float(line.get("value", 0.0))
+        for line in trace.get("metrics", [])
+        if line.get("type") == "counter"
+    }
+    return {name: found.get(name, 0.0) for name in names}
+
+
+def run_spec(spec: BenchmarkSpec) -> BenchmarkResult:
+    """Execute one spec in isolation and return its result.
+
+    The spec's explicit metrics win over the automatic ones, so a
+    workload that times an inner phase can publish that as its own
+    ``wall_seconds`` if the harness overhead would drown the signal.
+    """
+    context = BenchContext()
+    with telemetry.recording() as recorder:
+        if spec.profile_memory:
+            with memory_profile() as profile:
+                start = time.perf_counter()
+                detail = spec.run(context)
+                wall = time.perf_counter() - start
+        else:
+            profile = None
+            start = time.perf_counter()
+            detail = spec.run(context)
+            wall = time.perf_counter() - start
+    trace = snapshot(recorder)
+
+    metrics = {"wall_seconds": round(wall, 4)}
+    if profile is not None:
+        metrics["tracemalloc_peak_kb"] = round(profile.tracemalloc_peak_kb, 1)
+        metrics["peak_rss_kb"] = round(profile.peak_rss_kb, 1)
+    metrics.update(_counter_values(trace, spec.counters))
+    metrics.update(context.metrics)
+
+    if not isinstance(detail, dict):
+        raise TypeError(
+            f"benchmark {spec.name!r}: run() must return a dict detail "
+            f"payload, got {type(detail).__name__}"
+        )
+    return BenchmarkResult(spec=spec, metrics=metrics, detail=detail, trace=trace)

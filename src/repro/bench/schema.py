@@ -1,0 +1,92 @@
+"""The ``BENCH_<name>.json`` schema and its validator.
+
+The same schema is checked in at ``docs/bench_schema.json`` (a sync
+test keeps the two identical) so CI and external tooling can validate
+benchmark baselines without importing this package. Validation reuses
+the stdlib Draft-7-subset validator from :mod:`repro.telemetry.schema`.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.schema import validate_instance
+
+__all__ = ["BENCH_SCHEMA", "validate_payload"]
+
+_ENVIRONMENT = {
+    "type": "object",
+    "properties": {
+        "python": {"type": "string"},
+        "implementation": {"type": "string"},
+        "platform": {"type": "string"},
+        "machine": {"type": "string"},
+        "cpu_count": {"type": "integer", "minimum": 1},
+        "numpy": {"type": "string"},
+        "repro": {"type": "string"},
+        "scale": {"type": "number", "minimum": 0},
+        "max_models": {"type": "integer", "minimum": 1},
+    },
+    "required": [
+        "python",
+        "platform",
+        "machine",
+        "cpu_count",
+        "numpy",
+        "repro",
+        "scale",
+    ],
+    "additionalProperties": False,
+}
+
+_METRIC = {
+    "type": "object",
+    "properties": {
+        "value": {"type": "number"},
+        "unit": {"type": "string"},
+        "direction": {"enum": ["lower_better", "higher_better", "two_sided"]},
+        "tolerance": {"type": "number", "minimum": 0},
+        "gate": {"type": "boolean"},
+    },
+    "required": ["value", "direction", "tolerance", "gate"],
+    "additionalProperties": False,
+}
+
+#: One ``BENCH_<name>.json`` file (see ``docs/bench_schema.json``).
+BENCH_SCHEMA: dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro.bench baseline file",
+    "description": (
+        "One BENCH_<name>.json benchmark result emitted by the "
+        "repro.bench registry (repro-em bench): a schema-versioned, "
+        "environment-stamped set of metrics with the tolerance "
+        "policies the regression gate applies, plus the spec's "
+        "free-form detail payload."
+    ),
+    "type": "object",
+    "properties": {
+        "schema_version": {"type": "integer", "minimum": 2},
+        "name": {"type": "string"},
+        "tier": {"enum": ["quick", "full"]},
+        "created_unix": {"type": "number"},
+        "environment": _ENVIRONMENT,
+        "metrics": {"type": "object", "additionalProperties": _METRIC},
+        "detail": {"type": "object"},
+    },
+    "required": [
+        "schema_version",
+        "name",
+        "tier",
+        "environment",
+        "metrics",
+        "detail",
+    ],
+    "additionalProperties": False,
+}
+
+
+def validate_payload(payload: object) -> None:
+    """Raise :class:`ValueError` listing every schema violation."""
+    errors = validate_instance(payload, BENCH_SCHEMA)
+    if errors:
+        raise ValueError(
+            "invalid benchmark payload: " + "; ".join(errors)
+        )

@@ -1,0 +1,218 @@
+"""Benchmark definitions and the process-global spec registry.
+
+A :class:`BenchmarkSpec` is declarative: a name, a tier, a ``run``
+callable that executes the workload and returns a JSON-able detail
+payload, and the :class:`MetricPolicy` tolerance bands the regression
+gate applies to each metric it emits. Registration is
+import-triggered (see :mod:`repro.bench.suites`) and deduplicated by
+name — two specs competing for one name is a programming error, not a
+last-writer-wins.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = [
+    "AUTO_METRIC_POLICIES",
+    "TIERS",
+    "BenchContext",
+    "BenchmarkSpec",
+    "MetricPolicy",
+    "get_spec",
+    "register",
+    "registered_specs",
+    "scratch_registry",
+]
+
+#: The two execution tiers: ``quick`` runs per PR in CI, ``full`` is
+#: the paper-table regeneration suite run on demand.
+TIERS: tuple[str, ...] = ("quick", "full")
+
+#: Comparison directions the tolerance gate understands.
+DIRECTIONS: tuple[str, ...] = ("lower_better", "higher_better", "two_sided")
+
+
+@dataclass(frozen=True)
+class MetricPolicy:
+    """How the regression gate treats one metric of one spec.
+
+    ``tolerance`` is a relative band on the baseline value: a
+    ``lower_better`` metric regresses when the current value exceeds
+    ``baseline * (1 + tolerance)``, a ``higher_better`` one when it
+    falls below ``baseline * (1 - tolerance)``, and ``two_sided`` when
+    the relative delta leaves ``±tolerance``. Against a zero baseline
+    the band is applied absolutely. ``gate=False`` records the metric
+    in the baseline without ever failing on it (wall-noise context like
+    peak RSS).
+    """
+
+    name: str
+    unit: str = ""
+    direction: str = "lower_better"
+    tolerance: float = 0.25
+    gate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise ValueError(
+                f"metric {self.name!r}: direction must be one of "
+                f"{DIRECTIONS}, got {self.direction!r}"
+            )
+        if self.tolerance < 0:
+            raise ValueError(
+                f"metric {self.name!r}: tolerance must be >= 0, "
+                f"got {self.tolerance}"
+            )
+
+
+#: Policies for the metrics every run records automatically (the
+#: runner's own timing and the profiling hooks). Wall clocks get wide
+#: bands — they absorb machine variance, not logic changes; peak RSS is
+#: informational because ``ru_maxrss`` is monotone over the process.
+AUTO_METRIC_POLICIES: dict[str, MetricPolicy] = {
+    "wall_seconds": MetricPolicy(
+        "wall_seconds", unit="s", direction="lower_better", tolerance=2.0
+    ),
+    "tracemalloc_peak_kb": MetricPolicy(
+        "tracemalloc_peak_kb",
+        unit="KiB",
+        direction="lower_better",
+        tolerance=1.0,
+    ),
+    "peak_rss_kb": MetricPolicy(
+        "peak_rss_kb", unit="KiB", direction="lower_better", gate=False
+    ),
+}
+
+
+class BenchContext:
+    """Handed to every spec's ``run`` callable to record metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, float] = {}
+
+    def metric(self, name: str, value: float) -> None:
+        """Record (or overwrite) one named scalar metric."""
+        self._metrics[str(name)] = float(value)
+
+    @property
+    def metrics(self) -> dict[str, float]:
+        return dict(self._metrics)
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One registered benchmark.
+
+    ``run(ctx)`` executes the workload under a fresh telemetry recorder
+    and returns the JSON-able ``detail`` payload; explicit metrics go
+    through ``ctx.metric``. ``counters`` names telemetry counters to
+    copy from the run's snapshot into the metrics (cache hit/miss
+    rates). ``profile_memory`` turns the tracemalloc hook off for
+    long workloads where allocation tracking is all cost and no
+    signal.
+    """
+
+    name: str
+    tier: str
+    run: Callable[[BenchContext], dict]
+    metrics: tuple[MetricPolicy, ...] = ()
+    counters: tuple[str, ...] = ()
+    description: str = ""
+    profile_memory: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name or self.name != self.name.strip():
+            raise ValueError(f"invalid benchmark name {self.name!r}")
+        if self.tier not in TIERS:
+            raise ValueError(
+                f"benchmark {self.name!r}: tier must be one of {TIERS}, "
+                f"got {self.tier!r}"
+            )
+        declared = [policy.name for policy in self.metrics]
+        if len(declared) != len(set(declared)):
+            raise ValueError(
+                f"benchmark {self.name!r} declares duplicate metric policies"
+            )
+
+    def policy_for(self, metric_name: str) -> MetricPolicy:
+        """The declared policy of a metric, the automatic-metric
+        default, or an ungated informational fallback."""
+        for policy in self.metrics:
+            if policy.name == metric_name:
+                return policy
+        auto = AUTO_METRIC_POLICIES.get(metric_name)
+        if auto is not None:
+            return auto
+        return MetricPolicy(metric_name, direction="two_sided", gate=False)
+
+
+_REGISTRY: dict[str, BenchmarkSpec] = {}
+
+
+def register(spec: BenchmarkSpec) -> BenchmarkSpec:
+    """Add a spec to the registry; duplicate names are an error.
+
+    Re-registering the *same object* is a no-op, so
+    :func:`~repro.bench.suites.load_suites` is idempotent and can
+    restore the built-ins after a :func:`scratch_registry` block
+    discarded them.
+    """
+    existing = _REGISTRY.get(spec.name)
+    if existing is spec:
+        return spec
+    if existing is not None:
+        raise ValueError(
+            f"benchmark {spec.name!r} is already registered "
+            f"(tier {existing.tier!r}); names must be unique"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def registered_specs(
+    tier: str | None = None, only: tuple[str, ...] | None = None
+) -> list[BenchmarkSpec]:
+    """Registered specs, name-sorted, optionally filtered by tier and
+    an explicit name subset. Unknown ``only`` names raise."""
+    if only is not None:
+        unknown = sorted(set(only) - set(_REGISTRY))
+        if unknown:
+            raise KeyError(
+                f"unknown benchmark(s): {', '.join(unknown)}; "
+                f"registered: {', '.join(sorted(_REGISTRY))}"
+            )
+    specs = [
+        spec
+        for name, spec in sorted(_REGISTRY.items())
+        if (tier is None or spec.tier == tier)
+        and (only is None or name in only)
+    ]
+    return specs
+
+
+def get_spec(name: str) -> BenchmarkSpec:
+    """The registered spec of that name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; registered: "
+            f"{', '.join(sorted(_REGISTRY)) or '(none)'}"
+        ) from None
+
+
+@contextmanager
+def scratch_registry() -> Iterator[dict[str, BenchmarkSpec]]:
+    """Swap in an empty registry for a ``with`` block (test isolation);
+    the previous registry is restored on exit."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = {}
+    try:
+        yield _REGISTRY
+    finally:
+        _REGISTRY = previous

@@ -1,0 +1,23 @@
+"""Built-in benchmark suites.
+
+Each suite module builds its specs into a module-level ``SPECS`` list;
+:func:`load_suites` — the one entry point the CLI and tests use —
+registers them all. Re-registration of the same spec objects is a
+no-op, so repeated calls (and calls after a
+:func:`~repro.bench.spec.scratch_registry` block discarded the
+registry) are safe.
+"""
+
+from __future__ import annotations
+
+__all__ = ["load_suites"]
+
+
+def load_suites() -> None:
+    """Import every built-in suite and register its specs."""
+    from repro.bench.spec import register
+    from repro.bench.suites import ablations, analysis, components, tables
+
+    for module in (ablations, analysis, components, tables):
+        for spec in module.SPECS:
+            register(spec)

@@ -1,0 +1,258 @@
+"""Ablation specs: the design-choice studies from DESIGN.md.
+
+Migrated from ``benchmarks/bench_ablations.py``; the pytest file now
+runs these specs and keeps its shape assertions. Each spec isolates one
+adapter/AutoML design decision on a compact dataset subset. F1 scores
+are deterministic under the pinned scale and seeds, so they gate with a
+tight two-sided band — a quality regression fails the bench even when
+the wall clock is fine. Wall times ride the cache state (cold vs warm
+``.repro_cache``), so they are informational only.
+"""
+
+from __future__ import annotations
+
+from repro.bench.spec import BenchmarkSpec, MetricPolicy
+
+#: Registered by :func:`repro.bench.suites.load_suites`.
+SPECS: list[BenchmarkSpec] = []
+
+_SCALE = 0.06
+_MAX_MODELS = 6
+
+#: Deterministic quality metric: identical inputs reproduce the exact
+#: score, so the band only absorbs float/BLAS drift across platforms.
+_F1 = dict(direction="two_sided", tolerance=0.02)
+
+
+def _pipeline_f1(splits, tokenizer, embedder, combiner="mean", automl="h2o"):
+    from repro.adapter import EMAdapter
+    from repro.matching import EMPipeline
+
+    pipeline = EMPipeline(
+        adapter=EMAdapter(tokenizer, embedder, combiner),
+        automl=automl,
+        budget_hours=1.0,
+        max_models=_MAX_MODELS,
+    )
+    pipeline.fit(splits.train, splits.valid)
+    return 100.0 * pipeline.score(splits.test)
+
+
+def _splits(name):
+    from repro.data import load_dataset, split_dataset
+
+    return split_dataset(load_dataset(name, scale=_SCALE))
+
+
+def _score_metrics(ctx, scores: dict) -> dict:
+    for key, value in scores.items():
+        ctx.metric(f"f1_{key}", value)
+    return {"scale": _SCALE, "max_models": _MAX_MODELS, "scores": scores}
+
+
+def _run_combiner(ctx) -> dict:
+    splits = _splits("S-DA")
+    return _score_metrics(
+        ctx,
+        {
+            "mean": _pipeline_f1(splits, "attr", "albert", "mean"),
+            "concat": _pipeline_f1(splits, "attr", "albert", "concat"),
+        },
+    )
+
+
+SPECS.append(
+    BenchmarkSpec(
+        name="ablation_combiner",
+        tier="quick",
+        run=_run_combiner,
+        description="mean vs concat combiner (S-DA, attr+albert)",
+        profile_memory=False,
+        metrics=(
+            MetricPolicy("f1_mean", **_F1),
+            MetricPolicy("f1_concat", **_F1),
+            MetricPolicy("wall_seconds", unit="s", gate=False),
+        ),
+    )
+)
+
+
+def _run_tokenizer(ctx) -> dict:
+    splits = _splits("D-DA")
+    return _score_metrics(
+        ctx,
+        {
+            mode: _pipeline_f1(splits, mode, "albert")
+            for mode in ("unstructured", "attr", "hybrid")
+        },
+    )
+
+
+SPECS.append(
+    BenchmarkSpec(
+        name="ablation_tokenizer",
+        tier="quick",
+        run=_run_tokenizer,
+        description="tokenizer modes on Dirty data (D-DA, albert)",
+        profile_memory=False,
+        metrics=(
+            MetricPolicy("f1_unstructured", **_F1),
+            MetricPolicy("f1_attr", **_F1),
+            MetricPolicy("f1_hybrid", **_F1),
+            MetricPolicy("wall_seconds", unit="s", gate=False),
+        ),
+    )
+)
+
+
+def _run_search_strategy(ctx) -> dict:
+    splits = _splits("S-AG")
+    return _score_metrics(
+        ctx,
+        {
+            "smbo": _pipeline_f1(splits, "hybrid", "albert", automl="autosklearn"),
+            "random": _pipeline_f1(splits, "hybrid", "albert", automl="h2o"),
+        },
+    )
+
+
+SPECS.append(
+    BenchmarkSpec(
+        name="ablation_search",
+        tier="quick",
+        run=_run_search_strategy,
+        description="SMBO vs random search at equal budget (S-AG)",
+        profile_memory=False,
+        metrics=(
+            MetricPolicy("f1_smbo", **_F1),
+            MetricPolicy("f1_random", **_F1),
+            MetricPolicy("wall_seconds", unit="s", gate=False),
+        ),
+    )
+)
+
+
+def _run_augmentation(ctx) -> dict:
+    from repro.adapter import EMAdapter
+    from repro.adapter.augmentation import balance_dataset
+    from repro.matching import EMPipeline
+    from repro.ml.metrics import f1_score
+
+    splits = _splits("S-WA")
+    adapter = EMAdapter("hybrid", "albert")
+    plain = EMPipeline(adapter=adapter, automl="h2o", max_models=_MAX_MODELS)
+    plain.fit(splits.train, splits.valid)
+    from repro.config import rng_for
+
+    balanced_train = balance_dataset(
+        splits.train,
+        target_match_fraction=0.35,
+        rng=rng_for("bench", "ablation_augmentation"),
+    )
+    balanced = EMPipeline(adapter=adapter, automl="h2o", max_models=_MAX_MODELS)
+    balanced.fit(balanced_train, splits.valid)
+    return _score_metrics(
+        ctx,
+        {
+            "imbalanced": 100.0
+            * f1_score(splits.test.labels, plain.predict(splits.test)),
+            "balanced": 100.0
+            * f1_score(splits.test.labels, balanced.predict(splits.test)),
+        },
+    )
+
+
+SPECS.append(
+    BenchmarkSpec(
+        name="ablation_augmentation",
+        tier="quick",
+        run=_run_augmentation,
+        description="training-split augmentation on vs off (S-WA)",
+        profile_memory=False,
+        metrics=(
+            MetricPolicy("f1_imbalanced", **_F1),
+            MetricPolicy("f1_balanced", **_F1),
+            MetricPolicy("wall_seconds", unit="s", gate=False),
+        ),
+    )
+)
+
+
+def _run_local_embedder(ctx) -> dict:
+    from repro.adapter import EMAdapter
+    from repro.adapter.local_embedder import LocalWord2VecEmbedder
+    from repro.data import load_dataset, split_dataset
+    from repro.matching import EMPipeline
+
+    dataset = load_dataset("S-DA", scale=_SCALE)
+    splits = split_dataset(dataset)
+    local = LocalWord2VecEmbedder.from_dataset(dataset, dim=48, epochs=2)
+    local_pipeline = EMPipeline(
+        adapter=EMAdapter("attr", local, "mean", cache=False),
+        automl="h2o",
+        budget_hours=1.0,
+        max_models=_MAX_MODELS,
+    )
+    local_pipeline.fit(splits.train, splits.valid)
+    return _score_metrics(
+        ctx,
+        {
+            "albert": _pipeline_f1(splits, "attr", "albert"),
+            "local_word2vec": 100.0 * local_pipeline.score(splits.test),
+        },
+    )
+
+
+SPECS.append(
+    BenchmarkSpec(
+        name="ablation_local_embedder",
+        tier="quick",
+        run=_run_local_embedder,
+        description="dataset-local Word2Vec vs simulated pre-trained ALBERT",
+        profile_memory=False,
+        metrics=(
+            MetricPolicy("f1_albert", **_F1),
+            MetricPolicy("f1_local_word2vec", **_F1),
+            MetricPolicy("wall_seconds", unit="s", gate=False),
+        ),
+    )
+)
+
+
+def _run_matcher_families(ctx) -> dict:
+    from repro.matching import DeepMatcherHybrid, MagellanMatcher
+    from repro.ml.metrics import f1_score
+
+    splits = _splits("S-DA")
+    scores = {}
+    magellan = MagellanMatcher(seed=0)
+    magellan.fit(splits.train, splits.valid)
+    scores["magellan"] = 100.0 * f1_score(
+        splits.test.labels, magellan.predict(splits.test)
+    )
+    deep = DeepMatcherHybrid(seed=0)
+    deep.fit(splits.train, splits.valid)
+    scores["deepmatcher"] = 100.0 * f1_score(
+        splits.test.labels, deep.predict(splits.test)
+    )
+    scores["adapted_automl"] = _pipeline_f1(
+        splits, "hybrid", "albert", automl="autosklearn"
+    )
+    return _score_metrics(ctx, scores)
+
+
+SPECS.append(
+    BenchmarkSpec(
+        name="ablation_matchers",
+        tier="quick",
+        run=_run_matcher_families,
+        description="matcher generations: Magellan vs DeepMatcher vs adapted AutoML",
+        profile_memory=False,
+        metrics=(
+            MetricPolicy("f1_magellan", **_F1),
+            MetricPolicy("f1_deepmatcher", **_F1),
+            MetricPolicy("f1_adapted_automl", **_F1),
+            MetricPolicy("wall_seconds", unit="s", gate=False),
+        ),
+    )
+)

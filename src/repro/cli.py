@@ -10,6 +10,7 @@ Subcommands::
     repro-em trace --validate trace.jsonl                   Check a trace file
     repro-em lint [paths] [--format json] [--baseline F]    Static analysis
     repro-em chaos [--plans N] [--seed S] [--jobs N]        Crash-safety drill
+    repro-em bench [--tier quick] [--only A,B] [--json]     Perf regression gate
 
 ``table``, ``match``, and ``trace`` accept ``--telemetry off|text|json``
 (plus ``--trace-file PATH`` for ``json``): the run is recorded by
@@ -257,6 +258,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.cli import run_bench
+
+    return run_bench(args)
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.parallel import run_chaos
 
@@ -364,6 +371,16 @@ def main(argv: list[str] | None = None) -> int:
 
     add_lint_arguments(p_lint)
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the registered benchmarks and gate each metric against "
+        "its committed BENCH_<name>.json baseline",
+    )
+    from repro.bench.cli import add_bench_arguments
+
+    add_bench_arguments(p_bench)
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_chaos = sub.add_parser(
         "chaos",

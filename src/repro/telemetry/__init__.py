@@ -43,8 +43,10 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    percentile_from_buckets,
 )
 from repro.telemetry.metrics import NULL_INSTRUMENT as _NULL_INSTRUMENT
+from repro.telemetry.profiling import MemoryProfile, memory_profile, peak_rss_kb
 from repro.telemetry.recorder import (
     TelemetryRecorder,
     active,
@@ -62,6 +64,7 @@ __all__ = [
     "Event",
     "Gauge",
     "Histogram",
+    "MemoryProfile",
     "MetricsRegistry",
     "SECONDS_BUCKETS",
     "Span",
@@ -76,6 +79,9 @@ __all__ = [
     "gauge",
     "graft_snapshot",
     "histogram",
+    "memory_profile",
+    "peak_rss_kb",
+    "percentile_from_buckets",
     "read_jsonl",
     "recording",
     "render_text",

@@ -176,6 +176,8 @@ def _render_rollups(spans: list[dict]) -> list[str]:
 
 
 def _render_metrics(metrics: list[dict]) -> list[str]:
+    from repro.telemetry.metrics import percentile_from_buckets
+
     lines: list[str] = []
     for metric in metrics:
         name = metric.get("name", "?")
@@ -184,9 +186,18 @@ def _render_metrics(metrics: list[dict]) -> list[str]:
             count = metric.get("count", 0)
             total = metric.get("sum", 0.0)
             mean = total / count if count else 0.0
+            bounds = metric.get("bounds", [])
+            counts = metric.get("counts", [])
+            quantiles = {
+                f"p{q}": percentile_from_buckets(bounds, counts, q)
+                for q in (50, 90, 99)
+            }
+            quantile_text = " ".join(
+                f"{label}<={value:.4g}" for label, value in quantiles.items()
+            )
             lines.append(
                 f"{name:<36} histogram  n={count} sum={total:.4g} "
-                f"mean={mean:.4g}"
+                f"mean={mean:.4g} {quantile_text}"
             )
         else:
             lines.append(

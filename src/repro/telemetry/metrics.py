@@ -14,6 +14,7 @@ around the paper's 1h/6h budgets) and wall-clock stage durations.
 from __future__ import annotations
 
 from bisect import bisect_left
+from math import ceil
 
 __all__ = [
     "Counter",
@@ -22,6 +23,7 @@ __all__ = [
     "MetricsRegistry",
     "BUDGET_HOURS_BUCKETS",
     "SECONDS_BUCKETS",
+    "percentile_from_buckets",
 ]
 
 #: Simulated-hours buckets for :meth:`SimulatedClock.charge` amounts —
@@ -34,6 +36,34 @@ BUDGET_HOURS_BUCKETS: tuple[float, ...] = (
 SECONDS_BUCKETS: tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
 )
+
+
+def percentile_from_buckets(
+    bounds: tuple[float, ...] | list[float],
+    counts: list[int],
+    q: float,
+) -> float:
+    """The ``q``-th percentile (``0 <= q <= 100``) of a bucketed
+    distribution, as the upper bound of the bucket holding that rank.
+
+    Bucket histograms discard exact values, so this is the standard
+    conservative estimate: the smallest boundary known to be >= the
+    requested fraction of observations. Observations in the overflow
+    bucket clamp to the largest finite bound. An empty distribution
+    reports 0.0.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = max(1, ceil(q / 100.0 * total))
+    cumulative = 0
+    for bound, count in zip(bounds, counts):
+        cumulative += count
+        if cumulative >= rank:
+            return float(bound)
+    return float(bounds[-1])
 
 
 class Counter:
@@ -108,6 +138,12 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile estimated from the bucket counts
+        (see :func:`percentile_from_buckets`) — p50/p90/p99 for latency
+        reporting without storing individual observations."""
+        return percentile_from_buckets(self.bounds, self.counts, q)
 
     def to_dict(self) -> dict:
         return {

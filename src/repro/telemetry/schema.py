@@ -6,10 +6,12 @@ Every line of a ``--telemetry json`` trace must match
 and external tooling can validate traces without importing this
 package.
 
-The validator implements exactly the Draft-7 subset the schema uses —
-``type``, ``properties``, ``required``, ``additionalProperties``,
-``items``, ``enum``, ``oneOf``, ``const``, ``minimum`` — rather than
-depending on the ``jsonschema`` package (the repo is stdlib+numpy only).
+The validator implements exactly the Draft-7 subset the repo's schemas
+use — ``type``, ``properties``, ``required``, ``additionalProperties``
+(boolean or schema-valued), ``items``, ``enum``, ``oneOf``, ``const``,
+``minimum`` — rather than depending on the ``jsonschema`` package (the
+repo is stdlib+numpy only). ``docs/bench_schema.json``
+(:mod:`repro.bench.schema`) is validated with the same subset.
 """
 
 from __future__ import annotations
@@ -157,11 +159,14 @@ def _check(instance: object, schema: dict, path: str, errors: list[str]) -> None
             if name not in instance:
                 errors.append(f"{path}: missing required property {name!r}")
         properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties")
         for name, value in instance.items():
             if name in properties:
                 _check(value, properties[name], f"{path}.{name}", errors)
-            elif schema.get("additionalProperties") is False:
+            elif additional is False:
                 errors.append(f"{path}: unexpected property {name!r}")
+            elif isinstance(additional, dict):
+                _check(value, additional, f"{path}.{name}", errors)
     elif isinstance(instance, list) and "items" in schema:
         for index, item in enumerate(instance):
             _check(item, schema["items"], f"{path}[{index}]", errors)

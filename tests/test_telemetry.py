@@ -186,6 +186,39 @@ class TestMetrics:
         with pytest.raises(ValueError):
             Histogram("empty", ())
 
+    def test_histogram_percentiles(self):
+        hist = Histogram("h", (0.1, 1.0, 10.0))
+        for value in (0.05, 0.2, 0.3, 0.9, 2.0):
+            hist.observe(value)
+        # counts = [1, 3, 1, 0]; the estimate is the upper bound of the
+        # bucket holding the requested rank.
+        assert hist.percentile(0) == 0.1
+        assert hist.percentile(50) == 1.0
+        assert hist.percentile(90) == 10.0
+        assert hist.percentile(100) == 10.0
+
+    def test_percentile_from_buckets_edges(self):
+        from repro.telemetry import percentile_from_buckets
+
+        # Empty distribution reports 0.0.
+        assert percentile_from_buckets((1.0, 2.0), [0, 0, 0], 50) == 0.0
+        # Overflow observations clamp to the largest finite bound.
+        assert percentile_from_buckets((1.0, 2.0), [0, 0, 5], 99) == 2.0
+        with pytest.raises(ValueError):
+            percentile_from_buckets((1.0,), [1, 0], 101)
+        with pytest.raises(ValueError):
+            percentile_from_buckets((1.0,), [1, 0], -0.5)
+
+    def test_render_text_includes_histogram_percentiles(self):
+        with telemetry.recording() as recorder:
+            for value in (0.05, 0.2, 0.7):
+                telemetry.histogram("stage.seconds", (0.1, 0.5, 1.0)).observe(
+                    value
+                )
+        report = render_text(snapshot(recorder))
+        assert "p50<=0.5" in report
+        assert "p99<=1" in report
+
     def test_registry_get_or_create(self):
         registry = MetricsRegistry()
         assert registry.counter("a") is registry.counter("a")
