@@ -19,6 +19,11 @@ extension (:mod:`repro.adapter.augmentation`).
 from repro.adapter.augmentation import balance_dataset, shuffle_attribute, swap_pair
 from repro.adapter.combiner import Combiner, ConcatCombiner, MeanCombiner, make_combiner
 from repro.adapter.embedder import TransformerEmbedder
+from repro.adapter.entity_store import (
+    EntityStore,
+    clear_entity_store,
+    entity_store,
+)
 from repro.adapter.features import (
     NativeTabularFeaturizer,
     Word2VecFeaturizer,
@@ -39,6 +44,7 @@ __all__ = [
     "Combiner",
     "ConcatCombiner",
     "EMAdapter",
+    "EntityStore",
     "HybridTokenizer",
     "LocalWord2VecEmbedder",
     "MeanCombiner",
@@ -50,6 +56,8 @@ __all__ = [
     "Word2VecFeaturizer",
     "balance_dataset",
     "clear_adapter_cache",
+    "clear_entity_store",
+    "entity_store",
     "make_combiner",
     "make_tokenizer",
     "shuffle_attribute",

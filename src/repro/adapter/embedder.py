@@ -15,15 +15,29 @@ untrained, standing in for the learned pooler of a real checkpoint.
 ``layers="first_last"`` (default) reads the embedding layer and the final
 hidden layer; ``layers="last"`` reads only the final one; ``layers=
 "last4"`` mirrors the paper's concatenation-of-last-four variant.
+
+Since the canonical exact-length-bucketed forward
+(:func:`repro.transformers.pad_length_buckets`) makes every vector a
+pure function of the couple's content, :meth:`embed_pairs` deduplicates
+couples within a call and can serve them from the content-addressed
+:class:`~repro.adapter.entity_store.EntityStore` across calls: warm
+couples skip the transformer entirely, and cold couples are assembled
+from per-entity *half* records so each entity text is tokenized and
+embedded once however many pairs it appears in.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.adapter.entity_store import EntityStore
 from repro.adapter.tokenizer import PairSequence
 from repro.exceptions import UnknownModelError
-from repro.transformers import PretrainedEncoder, load_pretrained
+from repro.transformers import (
+    PretrainedEncoder,
+    load_pretrained,
+    pad_length_buckets,
+)
 
 __all__ = ["TransformerEmbedder"]
 
@@ -84,25 +98,108 @@ class TransformerEmbedder:
 
     # ------------------------------------------------------------- embed
 
-    def embed_pairs(self, sequences: list[PairSequence]) -> np.ndarray:
-        """Embed ``(left, right)`` value couples, one vector per couple."""
+    #: Duck-typed capability flag checked by :class:`~repro.adapter.pipeline.EMAdapter`
+    #: before passing a ``store`` (alternative embedders such as
+    #: :class:`~repro.adapter.local_embedder.LocalWord2VecEmbedder`
+    #: keep the plain ``embed_pairs(sequences)`` signature).
+    supports_entity_store = True
+
+    def _sequence_key(self, couple: PairSequence) -> int:
+        from repro.config import ENCODE_VERSION, stable_digest
+
+        return stable_digest(
+            "pair-seq", ENCODE_VERSION, self.name, couple[0], couple[1]
+        )
+
+    def _half_key(self, text: str) -> int:
+        from repro.config import ENCODE_VERSION, stable_digest
+
+        # Keyed by architecture, not layers: the token matrix depends
+        # only on the tokenizer + embedding table, so bert/first_last
+        # and bert/last4 share half records.
+        return stable_digest(
+            "entity-half", ENCODE_VERSION, self.architecture, text
+        )
+
+    def _entity_half(
+        self,
+        text: str,
+        store: EntityStore | None,
+        local: dict[str, tuple[np.ndarray, np.ndarray]],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One entity's (matrix, sep_positions), via call memo and store."""
+        half = local.get(text)
+        if half is not None:
+            return half
+        if store is not None:
+            record = store.load(self._half_key(text))
+            if record is not None:
+                half = (record["matrix"], record["sep_positions"])
+                local[text] = half
+                return half
+        half = self._encoder.entity_half(text)
+        if store is not None:
+            store.save(
+                self._half_key(text),
+                {"matrix": half[0], "sep_positions": half[1]},
+            )
+        local[text] = half
+        return half
+
+    def embed_pairs(
+        self,
+        sequences: list[PairSequence],
+        store: EntityStore | None = None,
+    ) -> np.ndarray:
+        """Embed ``(left, right)`` value couples, one vector per couple.
+
+        With a ``store``, finished couple vectors are served from (and
+        written back to) the entity store; cold couples are assembled
+        from cached per-entity halves. Without one, the same bits are
+        computed from scratch — the bucketed forward makes every vector
+        content-determined, so store-on and store-off agree exactly.
+        """
+        out = np.zeros((len(sequences), self.output_dim))
+        if not sequences:
+            return out
+        rows_of: dict[PairSequence, list[int]] = {}
+        for row, couple in enumerate(sequences):
+            rows_of.setdefault(couple, []).append(row)
+        missing: list[PairSequence] = []
+        for couple in rows_of:
+            record = (
+                store.load(self._sequence_key(couple))
+                if store is not None
+                else None
+            )
+            if record is None:
+                missing.append(couple)
+            else:
+                out[rows_of[couple]] = record["vector"]
+        if not missing:
+            return out
         encoder = self._encoder
-        texts = [encoder.pair_text(left, right) for left, right in sequences]
-        prepared = [encoder._sequence_matrix(text) for text in texts]
-        out = np.zeros((len(texts), self.output_dim))
-        order = np.argsort([len(m) for m, _s in prepared], kind="stable")
-        for start in range(0, len(order), self.batch_size):
-            batch_ids = order[start : start + self.batch_size]
-            batch = [prepared[i] for i in batch_ids]
-            max_len = max(len(m) for m, _s in batch)
-            padded = np.zeros((len(batch), max_len, encoder.dim))
-            mask = np.zeros((len(batch), max_len), dtype=bool)
-            segments = np.zeros((len(batch), max_len), dtype=np.int64)
-            for row, (matrix, seg) in enumerate(batch):
-                padded[row, : len(matrix)] = matrix
-                mask[row, : len(matrix)] = True
-                segments[row, : len(seg)] = seg
-            out[batch_ids] = self._readout(padded, mask, segments)
+        halves: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        prepared = [
+            encoder.assemble_pair(
+                self._entity_half(left, store, halves),
+                self._entity_half(right, store, halves),
+            )
+            for left, right in missing
+        ]
+        for chunk, stacked, mask, segments in pad_length_buckets(
+            prepared, self.batch_size
+        ):
+            block = self._readout(stacked, mask, segments)
+            for local_index, vector in zip(chunk, block):
+                couple = missing[local_index]
+                if store is not None:
+                    # Copy: a row view would pin the whole block in the
+                    # store's memory tier while only counting one row.
+                    store.save(
+                        self._sequence_key(couple), {"vector": vector.copy()}
+                    )
+                out[rows_of[couple]] = vector
         return out
 
     def _selected_layers(

@@ -1,0 +1,239 @@
+"""Content-addressed entity-embedding store (ROADMAP item 1).
+
+Every entity recurs in many candidate pairs, but the pre-refactor
+adapter re-ran the transformer forward for each *pair*. This module is
+the reuse layer under :meth:`TransformerEmbedder.embed_pairs`: arrays
+derived from an entity (or a pair of entities) are stored under a
+64-bit :func:`repro.config.stable_digest` of their full provenance —
+``ENCODE_VERSION``, encoder identity, and the exact text — so a record
+is valid wherever the same content shows up again, across datasets,
+splits, processes, and parallel workers.
+
+Two record kinds live here, both plain ``dict[str, np.ndarray]``
+bundles (the store itself is agnostic):
+
+* *half* records — the token-embedding matrix and ``[sep]`` positions
+  of one entity text under one encoder;
+* *sequence* records — the finished readout vector of one
+  ``(left, right)`` couple under one embedder.
+
+Tiers mirror the pair-matrix cache in :mod:`repro.adapter.pipeline`:
+a byte-bounded in-memory LRU (:class:`ByteBudgetLRU`) in front of an
+``.npz``-per-record disk tier under ``cache_root()/entity``. Disk
+writes are atomic (mkstemp + ``os.replace``) under
+:func:`repro.faults.io_retry` with ``adapter.entity.store.*``
+checkpoints; reads recover from corrupt or zero-byte files by deleting
+the record and recomputing (``adapter.entity.read`` seam). Every tier
+transition is counted under ``adapter.entity_cache.*``.
+
+The module-level singleton is rebound (not mutated) by
+:func:`clear_entity_store`, which :func:`repro.parallel.executor._init_worker`
+calls so forked workers never inherit a parent's hot cache (FORK001).
+"""
+
+from __future__ import annotations
+
+import os
+import zipfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro import faults, telemetry
+
+__all__ = ["ByteBudgetLRU", "EntityStore", "clear_entity_store", "entity_store"]
+
+
+class ByteBudgetLRU:
+    """An LRU mapping bounded by the byte size of its values.
+
+    Used for both the adapter matrix cache and the entity store's memory
+    tier. The budget is resolved lazily through ``budget_fn`` (a
+    :mod:`repro.config` reader) so each rebound instance re-reads the
+    environment knob — tests and workers see the current setting, and
+    the deterministic core itself never touches ``os.environ``.
+
+    Eviction changes only *what is resident*, never what is computed:
+    every entry is content-addressed and deterministic, so a re-miss
+    recomputes (or re-reads from disk) byte-identical data.
+    """
+
+    def __init__(
+        self,
+        budget_fn: Callable[[], int | None],
+        metric_prefix: str,
+    ) -> None:
+        self._budget_fn = budget_fn
+        self._budget: int | None = None
+        self._resolved = False
+        self._prefix = metric_prefix
+        self._entries: OrderedDict[object, tuple[object, int]] = OrderedDict()
+        self._resident_bytes = 0
+
+    @property
+    def budget(self) -> int | None:
+        if not self._resolved:
+            self._budget = self._budget_fn()
+            self._resolved = True
+        return self._budget
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._resident_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def get(self, key: object):
+        """Return the cached value (now most-recently-used) or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            telemetry.counter(f"{self._prefix}.memory.misses").inc()
+            return None
+        self._entries.move_to_end(key)
+        telemetry.counter(f"{self._prefix}.memory.hits").inc()
+        return entry[0]
+
+    def put(self, key: object, value: object, nbytes: int) -> None:
+        """Insert ``value`` and evict least-recently-used entries.
+
+        The newest entry is never evicted — a single oversized matrix
+        still gets cached (otherwise back-to-back transforms of one
+        large dataset would thrash), it just pushes everything else out.
+        """
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._resident_bytes -= old[1]
+        self._entries[key] = (value, nbytes)
+        self._resident_bytes += nbytes
+        budget = self.budget
+        if budget is not None:
+            while self._resident_bytes > budget and len(self._entries) > 1:
+                _evicted, (_value, size) = self._entries.popitem(last=False)
+                self._resident_bytes -= size
+                telemetry.counter(f"{self._prefix}.memory.evictions").inc()
+        telemetry.gauge(f"{self._prefix}.memory.resident_bytes").set(
+            self._resident_bytes
+        )
+
+
+def _bundle_nbytes(arrays: dict[str, np.ndarray]) -> int:
+    return sum(a.nbytes for a in arrays.values())
+
+
+class EntityStore:
+    """Memory + disk tiers for content-addressed embedding records."""
+
+    def __init__(self) -> None:
+        from repro.config import entity_cache_budget_bytes
+
+        self._memory = ByteBudgetLRU(
+            entity_cache_budget_bytes, "adapter.entity_cache"
+        )
+
+    @staticmethod
+    def _disk_dir() -> Path | None:
+        """``cache_root()/entity``, or None when disk caching is off."""
+        from repro.config import cache_root
+
+        root = cache_root()
+        if root is None:
+            return None
+        return root / "entity"
+
+    def _path(self, key: int) -> Path | None:
+        disk = self._disk_dir()
+        if disk is None:
+            return None
+        return disk / f"{key:016x}.npz"
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._memory.resident_bytes
+
+    def load(self, key: int) -> dict[str, np.ndarray] | None:
+        """Fetch a record bundle by digest (memory first, then disk)."""
+        arrays = self._memory.get(key)
+        if arrays is not None:
+            return arrays
+        path = self._path(key)
+        if path is None:
+            return None
+        if not path.exists():
+            telemetry.counter("adapter.entity_cache.disk.misses").inc()
+            return None
+        faults.checkpoint("adapter.entity.read", path=str(path))
+        try:
+            with np.load(path) as payload:
+                arrays = {name: payload[name] for name in payload.files}
+        except (OSError, ValueError, EOFError, zipfile.BadZipFile):
+            # Torn write, truncated zip, or garbage bytes: unlink so the
+            # bad record is never re-read, then report recovery — the
+            # caller recomputes from the entity text, byte-identically.
+            telemetry.counter("adapter.entity_cache.disk.corrupt").inc()
+            try:
+                os.unlink(path)
+            except OSError:
+                pass  # Already replaced by a healthy writer.
+            faults.mark_recovered("adapter.entity.read", path=str(path))
+            return None
+        telemetry.counter("adapter.entity_cache.disk.hits").inc()
+        self._memory.put(key, arrays, _bundle_nbytes(arrays))
+        return arrays
+
+    def save(self, key: int, arrays: dict[str, np.ndarray]) -> None:
+        """Persist a record bundle to both tiers.
+
+        The disk write mirrors the pair-matrix cache: save into an open
+        mkstemp descriptor (so ``np.savez`` cannot append a suffix and
+        strand the temp file), atomically rename, retry transient
+        failures with a fresh temp file (:func:`repro.faults.io_retry`).
+        Concurrent writers racing on one key replace the file with
+        byte-identical content, so the race is benign.
+        """
+        self._memory.put(key, arrays, _bundle_nbytes(arrays))
+        path = self._path(key)
+        if path is None:
+            return
+        import tempfile
+
+        path.parent.mkdir(parents=True, exist_ok=True)
+
+        def _write() -> None:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, suffix=".tmp", prefix=path.stem
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    faults.checkpoint(
+                        "adapter.entity.store.write", path=str(path)
+                    )
+                    np.savez(handle, **arrays)
+                faults.checkpoint(
+                    "adapter.entity.store.replace", path=str(path)
+                )
+                os.replace(tmp_name, path)
+            finally:
+                if os.path.exists(tmp_name):
+                    os.unlink(tmp_name)
+
+        faults.io_retry(_write, "adapter.entity.store")
+
+
+_STORE = EntityStore()
+
+
+def entity_store() -> EntityStore:
+    """The process-wide store instance."""
+    return _STORE
+
+
+def clear_entity_store() -> None:
+    """Rebind a fresh store (fresh workers, tests; FORK001-visible)."""
+    global _STORE
+    _STORE = EntityStore()

@@ -20,12 +20,24 @@ from pathlib import Path
 from repro import faults, telemetry
 from repro.adapter.combiner import Combiner, MeanCombiner, make_combiner
 from repro.adapter.embedder import TransformerEmbedder
+from repro.adapter.entity_store import ByteBudgetLRU, entity_store
 from repro.adapter.tokenizer import PairTokenizer, make_tokenizer
 from repro.data.schema import EMDataset
 
 __all__ = ["EMAdapter", "clear_adapter_cache"]
 
-_CACHE: dict[tuple, np.ndarray] = {}
+
+def _new_cache() -> ByteBudgetLRU:
+    from repro.config import adapter_cache_budget_bytes
+
+    return ByteBudgetLRU(adapter_cache_budget_bytes, "adapter.cache")
+
+
+#: Process-level matrix memo, LRU-bounded by ``REPRO_ADAPTER_CACHE_MB``
+#: so a full experiment grid cannot pin every transformed matrix at
+#: once. Eviction only changes residency: every entry is recomputable
+#: (or re-readable from disk) byte-identically.
+_CACHE: ByteBudgetLRU = _new_cache()
 
 
 def clear_adapter_cache() -> None:
@@ -35,7 +47,7 @@ def clear_adapter_cache() -> None:
     (FORK001) can see the re-initialization as a ``global`` assignment.
     """
     global _CACHE
-    _CACHE = {}
+    _CACHE = _new_cache()
 
 
 def _disk_cache_dir() -> Path | None:
@@ -70,6 +82,12 @@ class EMAdapter:
         The paper's standard is the mean.
     cache:
         Memoize transformed matrices per (dataset, adapter config).
+    entity_cache:
+        Serve per-entity and per-couple embeddings from the
+        content-addressed :class:`~repro.adapter.entity_store.EntityStore`
+        (only effective for embedders that declare
+        ``supports_entity_store``). Defaults to following ``cache``, so
+        ``cache=False`` still measures a fully cold transform.
     """
 
     def __init__(
@@ -78,6 +96,7 @@ class EMAdapter:
         embedder: TransformerEmbedder | str = "albert",
         combiner: Combiner | str = "mean",
         cache: bool = True,
+        entity_cache: bool | None = None,
     ) -> None:
         self.tokenizer = (
             make_tokenizer(tokenizer) if isinstance(tokenizer, str) else tokenizer
@@ -89,6 +108,7 @@ class EMAdapter:
             make_combiner(combiner) if isinstance(combiner, str) else combiner
         )
         self.cache = cache
+        self.entity_cache = cache if entity_cache is None else entity_cache
 
     @property
     def name(self) -> str:
@@ -111,7 +131,7 @@ class EMAdapter:
         so there is no ``fit``: train/valid/test splits are transformed
         independently with identical results.
         """
-        from repro.config import stable_digest
+        from repro.config import DATA_VERSION, ENCODE_VERSION, stable_digest
 
         with telemetry.span(
             "adapter.transform",
@@ -122,30 +142,36 @@ class EMAdapter:
             # The pair-id fingerprint keeps two different same-length
             # subsets of one dataset (e.g. active-learning rounds) from
             # colliding; 64-bit so the disk cache stays collision-free
-            # across many thousands of distinct subsets.
+            # across many thousands of distinct subsets. Both calibration
+            # versions are part of the key (memory *and* disk), so a
+            # process that upgrades data generation or the encode
+            # discipline mid-run can never serve stale matrices.
             fingerprint = stable_digest(tuple(p.pair_id for p in dataset))
             key = (
+                DATA_VERSION,
+                ENCODE_VERSION,
                 dataset.name,
                 len(dataset),
                 dataset.dataset_type,
                 fingerprint,
                 self.name,
             )
-            if self.cache and key in _CACHE:
-                telemetry.counter("adapter.cache.memory.hits").inc()
-                root.set(cache="memory")
-                return _CACHE[key]
             if self.cache:
-                telemetry.counter("adapter.cache.memory.misses").inc()
+                features = _CACHE.get(key)
+                if features is not None:
+                    root.set(cache="memory")
+                    return features
             disk_dir = _disk_cache_dir() if self.cache else None
             disk_path = None
             if disk_dir is not None:
-                from repro.config import DATA_VERSION
-
-                file_name = (
-                    f"v{DATA_VERSION}_" + "_".join(str(p) for p in key)
-                ).replace("/", "-") + ".npy"
-                disk_path = disk_dir / file_name
+                # Digest-named files: raw key parts joined with "_" could
+                # collide once separators are substituted (dataset names
+                # "a/b" and "a-b" both became "a-b") and could smuggle
+                # filesystem-hostile characters. Legacy "v<N>_*"-named
+                # files from older releases are simply never referenced —
+                # they encode pre-ENCODE_VERSION bits, so ignoring them
+                # *is* the migration.
+                disk_path = disk_dir / f"{stable_digest(*key):016x}.npy"
                 if disk_path.exists():
                     faults.checkpoint("adapter.cache.read", path=str(disk_path))
                     try:
@@ -169,7 +195,7 @@ class EMAdapter:
                     if features is not None:
                         telemetry.counter("adapter.cache.disk.hits").inc()
                         root.set(cache="disk")
-                        _CACHE[key] = features
+                        _CACHE.put(key, features, features.nbytes)
                         return features
                 else:
                     telemetry.counter("adapter.cache.disk.misses").inc()
@@ -193,6 +219,12 @@ class EMAdapter:
                     [sequences[position] for sequences in per_pair]
                     for position in range(n_sequences)
                 ]
+            store = (
+                entity_store()
+                if self.entity_cache
+                and getattr(self.embedder, "supports_entity_store", False)
+                else None
+            )
             per_position: list[np.ndarray] = []
             for position, couples in enumerate(couples_by_position):
                 with telemetry.span(
@@ -201,7 +233,11 @@ class EMAdapter:
                     position=position,
                     sequences=len(couples),
                 ):
-                    per_position.append(self.embedder.embed_pairs(couples))
+                    if store is not None:
+                        vectors = self.embedder.embed_pairs(couples, store)
+                    else:
+                        vectors = self.embedder.embed_pairs(couples)
+                    per_position.append(vectors)
             with telemetry.span("adapter.combine", combiner=self.combiner.name):
                 features = self.combiner.combine_dataset(per_position)
             return self._store_cache(key, disk_path, features)
@@ -219,7 +255,7 @@ class EMAdapter:
         file per attempt (:func:`repro.faults.io_retry`).
         """
         if self.cache:
-            _CACHE[key] = features
+            _CACHE.put(key, features, features.nbytes)
             if disk_path is not None:
                 import tempfile
 

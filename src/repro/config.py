@@ -111,3 +111,50 @@ def rng_for(*scope: object, seed: int | None = None) -> np.random.Generator:
 #: generators or difficulty knobs change, so cached experiment results
 #: from an older calibration are never mixed with new ones.
 DATA_VERSION = 3
+
+#: Version of the *encode discipline* — how the frozen transformers
+#: batch sequences into forward passes. Version 2 is the canonical
+#: exact-length-bucketed forward (DESIGN.md): sequences are grouped by
+#: token count and encoded unpadded, so each sequence's bits depend only
+#: on its own content (BLAS GEMM bits vary with matrix shape, so the v1
+#: mixed-length padded batches were not batch-composition invariant).
+#: Folded into every embedding-derived cache key (adapter matrices,
+#: entity store, experiment results) so artifacts encoded under an
+#: older discipline are never mixed with new ones.
+ENCODE_VERSION = 2
+
+
+def _budget_bytes(name: str, default_mb: float) -> int | None:
+    """Parse a ``*_MB`` byte-budget env knob (None = unbounded).
+
+    ``off``/``none``/``unlimited`` and non-positive values disable the
+    bound; unparsable values fall back to ``default_mb``.
+    """
+    raw = os.environ.get(name, "")
+    if raw.lower() in ("off", "none", "unlimited"):
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        value = default_mb
+    if value <= 0:
+        return None
+    return int(value * 1024 * 1024)
+
+
+def adapter_cache_budget_bytes() -> int | None:
+    """Byte budget of the in-memory adapter matrix cache.
+
+    Reads ``REPRO_ADAPTER_CACHE_MB`` (default 512 MiB). Like
+    :func:`cache_root`, this is the sanctioned reader of the knob so the
+    deterministic core never touches the environment (DET003).
+    """
+    return _budget_bytes("REPRO_ADAPTER_CACHE_MB", 512.0)
+
+
+def entity_cache_budget_bytes() -> int | None:
+    """Byte budget of the in-memory entity-embedding store tier.
+
+    Reads ``REPRO_ENTITY_CACHE_MB`` (default 256 MiB).
+    """
+    return _budget_bytes("REPRO_ENTITY_CACHE_MB", 256.0)

@@ -67,8 +67,19 @@ class ExperimentConfig:
         return cache_root()
 
     def cache_key(self, *parts: object) -> str:
-        """Stable cache key including every accuracy-relevant knob."""
-        from repro.config import DATA_VERSION
+        """Stable cache key including every accuracy-relevant knob.
 
-        core = (f"v{DATA_VERSION}", self.scale, self.max_models, self.seed)
+        ``ENCODE_VERSION`` is part of the key because cached results
+        derive from embeddings: a result computed under an older encode
+        discipline must never replay as a current one.
+        """
+        from repro.config import DATA_VERSION, ENCODE_VERSION
+
+        core = (
+            f"v{DATA_VERSION}",
+            f"e{ENCODE_VERSION}",
+            self.scale,
+            self.max_models,
+            self.seed,
+        )
         return "_".join(str(p) for p in core + parts).replace("/", "-")

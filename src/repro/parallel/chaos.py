@@ -35,7 +35,7 @@ from pathlib import Path
 from typing import Iterator
 
 from repro import faults, telemetry
-from repro.adapter import clear_adapter_cache
+from repro.adapter import clear_adapter_cache, clear_entity_store
 from repro.config import rng_for
 from repro.experiments.config import ExperimentConfig
 from repro.faults import FaultPlan, FaultSpec
@@ -172,12 +172,14 @@ def _run_leg(
 ) -> str:
     """Render the table once against ``cache_dir``, memory caches cold.
 
-    Clearing the adapter's process-level cache (fresh worker pools and
-    a fresh :class:`~repro.experiments.runner.ExperimentRunner` cover
-    the rest) is what turns a second leg over the same directory into a
+    Clearing the adapter's process-level caches — the matrix memo *and*
+    the entity store's memory tier (fresh worker pools and a fresh
+    :class:`~repro.experiments.runner.ExperimentRunner` cover the rest)
+    — is what turns a second leg over the same directory into a
     disk-replay — the seam the read-corruption faults need.
     """
     clear_adapter_cache()
+    clear_entity_store()
     with _cache_env(cache_dir):
         runner = ParallelRunner(config, jobs=jobs)
         return runner.run_table(table, datasets=datasets)

@@ -86,13 +86,15 @@ def _init_worker(
 ) -> None:
     global _WORKER_RUNNER
     _WORKER_RUNNER = ExperimentRunner(config)
-    # With fork the worker inherits whatever adapter matrices the parent
-    # already memoized; dropping them (FORK001) keeps worker memory flat
-    # and every cache fill attributable to the worker's own cells. The
-    # entries are content-addressed, so this costs recomputation only.
-    from repro.adapter import clear_adapter_cache
+    # With fork the worker inherits whatever adapter matrices and entity
+    # embeddings the parent already memoized; dropping them (FORK001)
+    # keeps worker memory flat and every cache fill attributable to the
+    # worker's own cells. The entries are content-addressed, so this
+    # costs recomputation only.
+    from repro.adapter import clear_adapter_cache, clear_entity_store
 
     clear_adapter_cache()
+    clear_entity_store()
     # Chaos runs ship the parent's fault plan into every worker (with
     # fork the module state is inherited anyway; with spawn this is the
     # only channel). Re-shipped on pool rebuilds with fired kill specs

@@ -148,12 +148,13 @@ def _table4_cells(
     embedders: tuple[str, ...],
 ) -> list[Cell]:
     budgets = dict(SYSTEM_BUDGETS)
+    budget_of = {system: budgets.get(system, 1.0) for system in systems}
     cells = []
     for name in datasets:
         for system in systems:
             cells.append(
                 Cell("raw", name, system=system,
-                     budget_hours=budgets.get(system, 1.0))
+                     budget_hours=budget_of[system])
             )
             for mode in TOKENIZER_MODES:
                 for embedder in embedders:

@@ -12,6 +12,12 @@ from repro.transformers.pretrained import (
     EMBEDDER_NAMES,
     PretrainedEncoder,
     load_pretrained,
+    pad_length_buckets,
 )
 
-__all__ = ["EMBEDDER_NAMES", "PretrainedEncoder", "load_pretrained"]
+__all__ = [
+    "EMBEDDER_NAMES",
+    "PretrainedEncoder",
+    "load_pretrained",
+    "pad_length_buckets",
+]

@@ -31,9 +31,49 @@ from repro.nn.transformer import EncoderConfig, TransformerEncoder
 from repro.text.similarity import ngrams
 from repro.text.tokenization import BasicTokenizer
 
-__all__ = ["PretrainedEncoder", "load_pretrained", "EMBEDDER_NAMES"]
+__all__ = [
+    "PretrainedEncoder",
+    "load_pretrained",
+    "pad_length_buckets",
+    "EMBEDDER_NAMES",
+]
 
 _HASH_BUCKETS = 8192
+
+
+def pad_length_buckets(
+    prepared: list[tuple[np.ndarray, np.ndarray]],
+    batch_size: int,
+):
+    """Group prepared sequences into exact-length forward batches.
+
+    This is the *canonical batched forward* discipline
+    (``repro.config.ENCODE_VERSION``): sequences are bucketed by exact
+    token count and stacked **unpadded** — every row in a batch has the
+    same shape, and the attention mask is all-True. BLAS GEMM bit
+    patterns depend on matrix shapes, so mixed-length padded batches
+    (the v1 discipline) gave the *same sequence* different float bits
+    depending on which other sequences shared its batch. Under exact
+    buckets the encode of a sequence is a pure function of its own
+    content — invariant to batch size and batch composition — which is
+    what makes the entity-embedding store coherent across datasets,
+    processes, and workers. It is also faster cold: no padded rows are
+    multiplied just to be masked away.
+
+    Yields ``(indices, stacked, mask, segments)`` per chunk of at most
+    ``batch_size`` sequences, in (length, first-occurrence) order.
+    """
+    by_length: dict[int, list[int]] = {}
+    for index, (matrix, _segments) in enumerate(prepared):
+        by_length.setdefault(len(matrix), []).append(index)
+    for length in sorted(by_length):
+        ids = by_length[length]
+        for start in range(0, len(ids), batch_size):
+            chunk = ids[start : start + batch_size]
+            stacked = np.stack([prepared[i][0] for i in chunk])
+            segments = np.stack([prepared[i][1] for i in chunk])
+            mask = np.ones((len(chunk), length), dtype=bool)
+            yield chunk, stacked, mask, segments
 
 
 @dataclass(frozen=True)
@@ -187,6 +227,53 @@ class PretrainedEncoder:
             segments[boundary + 1 :] = 1
         return matrix, segments
 
+    def entity_half(self, text: str) -> tuple[np.ndarray, np.ndarray]:
+        """Token embedding matrix and ``[sep]`` positions for one entity.
+
+        The per-*entity* unit the entity-embedding store caches: half of
+        a pair sequence, before the two halves are joined by
+        :meth:`assemble_pair`. ``sep_positions`` records where literal
+        ``[sep]`` markers occur *inside the entity text itself* (data can
+        contain them), because the joint segment boundary is defined by
+        the first marker in the assembled token list.
+        """
+        tokens = self.tokenize(text)
+        if tokens:
+            matrix = np.stack([self._token_vector(t) for t in tokens])
+        else:
+            matrix = np.zeros((0, self.dim))
+        sep_positions = np.array(
+            [i for i, t in enumerate(tokens) if t == self.SEP], dtype=np.int64
+        )
+        return matrix, sep_positions
+
+    def assemble_pair(
+        self,
+        left: tuple[np.ndarray, np.ndarray],
+        right: tuple[np.ndarray, np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Join two :meth:`entity_half` records into one pair sequence.
+
+        Reproduces ``_sequence_matrix(pair_text(l, r))`` bit-for-bit
+        without re-tokenizing: the tokenizer is context-free across the
+        space-padded ``[sep]`` marker, so the joint token list is exactly
+        ``left_tokens + [sep] + right_tokens`` truncated to ``max_len``,
+        and the segment boundary is the first marker in that list —
+        either a literal ``[sep]`` inside the left text or the injected
+        one (whichever comes first).
+        """
+        left_matrix, left_seps = left
+        right_matrix, _right_seps = right
+        matrix = np.concatenate(
+            [left_matrix, self._sep_vector[None, :], right_matrix]
+        )[: self.spec.encoder.max_len]
+        n = len(matrix)
+        segments = np.zeros(n, dtype=np.int64)
+        boundary = int(left_seps[0]) if len(left_seps) else len(left_matrix)
+        if boundary < n:
+            segments[boundary + 1 :] = 1
+        return matrix, segments
+
     def embed_sequences(
         self,
         texts: list[str],
@@ -195,26 +282,20 @@ class PretrainedEncoder:
     ) -> np.ndarray:
         """Encode raw strings into fixed-size vectors.
 
-        Sequences are sorted by length into padded batches, encoded, and
-        mean-pooled over real tokens. Empty strings embed to zeros.
+        Sequences run through the canonical exact-length-bucketed
+        forward (:func:`pad_length_buckets`): one stacked matmul per
+        layer per bucket, no per-record padding loop, and each text's
+        vector is a pure function of its own content. Empty strings
+        embed as a single zero token.
         """
         if pooling not in ("mean", "last4"):
             raise UnknownModelError(f"unknown pooling {pooling!r}")
         prepared = [self._sequence_matrix(text) for text in texts]
         out = np.zeros((len(texts), self.output_dim(pooling)))
-        order = np.argsort([len(m) for m, _s in prepared], kind="stable")
-        for start in range(0, len(order), batch_size):
-            batch_ids = order[start : start + batch_size]
-            batch = [prepared[i] for i in batch_ids]
-            max_len = max(len(m) for m, _s in batch)
-            padded = np.zeros((len(batch), max_len, self.dim))
-            mask = np.zeros((len(batch), max_len), dtype=bool)
-            segments = np.zeros((len(batch), max_len), dtype=np.int64)
-            for row, (matrix, seg) in enumerate(batch):
-                padded[row, : len(matrix)] = matrix
-                mask[row, : len(matrix)] = True
-                segments[row, : len(seg)] = seg
-            out[batch_ids] = self._pool(padded, mask, segments, pooling)
+        for chunk, stacked, mask, segments in pad_length_buckets(
+            prepared, batch_size
+        ):
+            out[chunk] = self._pool(stacked, mask, segments, pooling)
         return out
 
     def _pool(

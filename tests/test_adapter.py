@@ -10,6 +10,7 @@ from repro.adapter import (
     AttributeTokenizer,
     ConcatCombiner,
     EMAdapter,
+    EntityStore,
     HybridTokenizer,
     MeanCombiner,
     NativeTabularFeaturizer,
@@ -17,6 +18,8 @@ from repro.adapter import (
     UnstructuredTokenizer,
     Word2VecFeaturizer,
     clear_adapter_cache,
+    clear_entity_store,
+    entity_store,
     make_combiner,
     make_tokenizer,
 )
@@ -359,3 +362,299 @@ class TestAdapterDiskCache:
         assert "adapter.cache.disk.misses" not in rec.metrics.counters
         np.testing.assert_array_equal(again, features)
         np.testing.assert_array_equal(np.load(cached), features)
+
+
+class TestAdapterCacheBugfixes:
+    """The three cache bugfixes: digest filenames, versioned memory
+    keys, and bounded (byte-identical) eviction."""
+
+    def test_slash_and_dash_dataset_names_do_not_collide_on_disk(
+        self, tmp_path, monkeypatch
+    ):
+        """Legacy filenames joined raw key parts and substituted "/",
+        so "a/b" and "a-b" mapped to one file; digest names keep them
+        apart."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_adapter_cache()
+        pairs = list(make_dataset())
+        adapter = EMAdapter("attr", "dbert", "mean")
+        adapter.transform(EMDataset("a/b", SCHEMA, pairs))
+        adapter.transform(EMDataset("a-b", SCHEMA, pairs))
+        clear_adapter_cache()
+        assert len(list((tmp_path / "adapter").glob("*.npy"))) == 2
+
+    def test_memory_key_includes_data_version(self, monkeypatch):
+        """A mid-run DATA_VERSION upgrade must miss the memory tier
+        (it used to serve the stale matrix: only the disk name was
+        versioned)."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        clear_adapter_cache()
+        dataset = make_dataset()
+        adapter = EMAdapter("attr", "dbert", "mean")
+        first = adapter.transform(dataset)
+        assert adapter.transform(dataset) is first
+        monkeypatch.setattr("repro.config.DATA_VERSION", 99)
+        second = adapter.transform(dataset)
+        assert second is not first
+        np.testing.assert_array_equal(second, first)
+        clear_adapter_cache()
+
+    def test_legacy_underscore_files_are_ignored(self, tmp_path, monkeypatch):
+        """Old-format "v<N>_*"-named spills hold pre-ENCODE_VERSION
+        bits; they must be left untouched and never read."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_adapter_cache()
+        legacy_dir = tmp_path / "adapter"
+        legacy_dir.mkdir(parents=True)
+        legacy = legacy_dir / "v3_toy_6_synthetic_42_attr+dbert-first_last+mean.npy"
+        legacy.write_bytes(b"stale bits from an old release")
+        out = EMAdapter("attr", "dbert", "mean").transform(make_dataset())
+        clear_adapter_cache()
+        assert legacy.read_bytes() == b"stale bits from an old release"
+        fresh = [f for f in legacy_dir.glob("*.npy") if f != legacy]
+        assert len(fresh) == 1
+        np.testing.assert_array_equal(np.load(fresh[0]), out)
+
+    def test_eviction_is_byte_identical_and_gauged(self, monkeypatch):
+        from repro import telemetry
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        # ~10-byte budget: every insert evicts its predecessor (the
+        # newest entry is always kept).
+        monkeypatch.setenv("REPRO_ADAPTER_CACHE_MB", "0.00001")
+        clear_adapter_cache()
+        dataset = make_dataset()
+        other = EMDataset("other", SCHEMA, list(make_dataset(4)))
+        adapter = EMAdapter("attr", "dbert", "mean")
+        with telemetry.recording() as rec:
+            first = adapter.transform(dataset)
+            evictor = adapter.transform(other)
+            again = adapter.transform(dataset)
+        clear_adapter_cache()
+        assert again is not first  # evicted, so recomputed...
+        np.testing.assert_array_equal(again, first)  # ...byte-identically
+        counters = rec.metrics.counters
+        assert counters["adapter.cache.memory.evictions"].value >= 2
+        gauge = rec.metrics.gauges["adapter.cache.memory.resident_bytes"]
+        assert gauge.value == again.nbytes
+        assert evictor.nbytes != again.nbytes or True  # shapes may differ
+
+    def test_cache_false_disables_entity_store_by_default(self):
+        from repro import telemetry
+
+        adapter = EMAdapter("attr", "dbert", "mean", cache=False)
+        assert adapter.entity_cache is False
+        with telemetry.recording() as rec:
+            adapter.transform(make_dataset())
+        assert not any(
+            name.startswith("adapter.entity_cache")
+            for name in rec.metrics.counters
+        )
+
+    def test_local_embedder_bypasses_entity_store(self, tiny_sda, monkeypatch):
+        from repro import telemetry
+        from repro.adapter import LocalWord2VecEmbedder
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        clear_adapter_cache()
+        local = LocalWord2VecEmbedder.from_dataset(tiny_sda, dim=8, epochs=1)
+        adapter = EMAdapter("attr", local, "mean")
+        with telemetry.recording() as rec:
+            out = adapter.transform(tiny_sda)
+        clear_adapter_cache()
+        assert out.shape[0] == len(tiny_sda)
+        assert not any(
+            name.startswith("adapter.entity_cache")
+            for name in rec.metrics.counters
+        )
+
+
+class TestEntityStore:
+    """The content-addressed entity-embedding store: tiers, recovery
+    parity with the pair cache, and bounded memory."""
+
+    def test_memory_round_trip(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        clear_entity_store()
+        store = entity_store()
+        arrays = {
+            "matrix": np.arange(6.0).reshape(2, 3),
+            "sep_positions": np.array([1], dtype=np.int64),
+        }
+        store.save(123, arrays)
+        loaded = store.load(123)
+        assert np.array_equal(loaded["matrix"], arrays["matrix"])
+        assert np.array_equal(loaded["sep_positions"], arrays["sep_positions"])
+
+    def test_disk_round_trip_survives_rebind(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_entity_store()
+        entity_store().save(7, {"vector": np.ones(4)})
+        clear_entity_store()  # a fresh process / worker
+        loaded = entity_store().load(7)
+        assert loaded is not None and np.array_equal(loaded["vector"], np.ones(4))
+        names = [p.name for p in (tmp_path / "entity").iterdir()]
+        assert names == ["0000000000000007.npz"]
+        clear_entity_store()
+
+    @pytest.mark.parametrize(
+        "payload", [b"repro-chaos-garbage\x00\xff", b""], ids=["garbage", "zero-byte"]
+    )
+    def test_corrupt_record_recovered(self, tmp_path, monkeypatch, payload):
+        """Parity with the pair-cache corruption tests: a garbled or
+        zero-byte record counts as corrupt (not a miss), is unlinked,
+        and the caller recomputes."""
+        from repro import telemetry
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_entity_store()
+        entity_store().save(7, {"vector": np.ones(4)})
+        path = tmp_path / "entity" / "0000000000000007.npz"
+        path.write_bytes(payload)
+        clear_entity_store()
+        with telemetry.recording() as rec:
+            assert entity_store().load(7) is None
+        counters = rec.metrics.counters
+        assert counters["adapter.entity_cache.disk.corrupt"].value == 1
+        assert "adapter.entity_cache.disk.misses" not in counters
+        assert not path.exists()
+        clear_entity_store()
+
+    def test_warm_transform_survives_corrupted_entity_files(
+        self, tmp_path, monkeypatch
+    ):
+        from repro import telemetry
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_entity_store()
+        clear_adapter_cache()
+        dataset = make_dataset()
+        adapter = EMAdapter("attr", "dbert", "mean", cache=False, entity_cache=True)
+        first = adapter.transform(dataset)
+        for record in (tmp_path / "entity").glob("*.npz"):
+            record.write_bytes(b"repro-chaos-garbage\x00\xff")
+        clear_entity_store()
+        with telemetry.recording() as rec:
+            again = adapter.transform(dataset)
+        clear_entity_store()
+        np.testing.assert_array_equal(again, first)
+        assert rec.metrics.counters["adapter.entity_cache.disk.corrupt"].value >= 1
+
+    def test_eviction_bounded_and_gauged(self, monkeypatch):
+        from repro import telemetry
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        monkeypatch.setenv("REPRO_ENTITY_CACHE_MB", "0.0001")  # ~104 bytes
+        clear_entity_store()
+        store = entity_store()
+        with telemetry.recording() as rec:
+            for key in range(10):
+                store.save(key, {"vector": np.ones(8)})  # 64 bytes each
+        assert store.resident_bytes <= 104
+        counters = rec.metrics.counters
+        assert counters["adapter.entity_cache.memory.evictions"].value >= 1
+        gauge = rec.metrics.gauges["adapter.entity_cache.memory.resident_bytes"]
+        assert gauge.value == store.resident_bytes
+        assert store.load(9) is not None  # newest entry survives
+        assert store.load(0) is None  # evicted, and the disk tier is off
+        clear_entity_store()
+
+    def test_clear_rebinds_the_singleton(self):
+        store = entity_store()
+        clear_entity_store()
+        assert entity_store() is not store
+
+
+class TestCanonicalEncode:
+    """The exact-length-bucketed forward (ENCODE_VERSION 2): each
+    couple's vector is a pure function of its own content, so cached
+    halves compose and batch composition cannot change any bit."""
+
+    NASTY = [
+        "",
+        "a",
+        "[sep]",
+        "foo [sep] bar",
+        "ends with [",
+        "sep ] starts",
+        "[ sep",
+        "literal [sep] inside text",
+        "café №5 — naïve",
+        "a-b/c_d (e) [f]",
+        " ".join(f"tok{i}" for i in range(200)),  # joint > max_len
+    ]
+
+    def test_assembled_halves_match_direct_pair_matrix(self):
+        """assemble_pair(entity_half, entity_half) must reproduce
+        _sequence_matrix(pair_text(...)) exactly — including literal
+        [sep] markers in the data, empty sides, marker fragments at the
+        join, and truncation past max_len."""
+        from repro.transformers import load_pretrained
+
+        for arch in ("albert", "roberta"):
+            encoder = load_pretrained(arch)
+            for left in self.NASTY:
+                for right in self.NASTY:
+                    direct = encoder._sequence_matrix(
+                        encoder.pair_text(left, right)
+                    )
+                    joined = encoder.assemble_pair(
+                        encoder.entity_half(left), encoder.entity_half(right)
+                    )
+                    assert np.array_equal(direct[0], joined[0]), (left, right)
+                    assert np.array_equal(direct[1], joined[1]), (left, right)
+
+    def test_batch_size_invariance(self):
+        couples = [(a, b) for a in self.NASTY[:6] for b in self.NASTY[:6]]
+        reference = TransformerEmbedder("dbert", batch_size=256).embed_pairs(
+            couples
+        )
+        for batch_size in (1, 2, 7):
+            out = TransformerEmbedder("dbert", batch_size=batch_size).embed_pairs(
+                couples
+            )
+            assert np.array_equal(out, reference)
+
+    def test_duplicate_couples_embed_identically(self):
+        couples = [
+            ("sony camera", "sony cam"),
+            ("a b c", "a b"),
+            ("sony camera", "sony cam"),
+        ]
+        out = TransformerEmbedder("albert").embed_pairs(couples)
+        assert np.array_equal(out[0], out[2])
+
+    def test_store_on_off_warm_identical_all_combos(self, tmp_path, monkeypatch):
+        """Acceptance: adapter.transform bits must not depend on the
+        entity store, its temperature, or the adapter configuration —
+        every tokenizer x embedder x combiner combination agrees."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        dataset = make_dataset()
+        for tokenizer in ("unstructured", "attr", "hybrid"):
+            for arch in ("bert", "dbert", "albert", "roberta", "xlnet"):
+                for combiner in ("mean", "concat"):
+                    off = EMAdapter(
+                        tokenizer, arch, combiner, cache=False
+                    ).transform(dataset)
+                    clear_entity_store()
+                    warmable = EMAdapter(
+                        tokenizer, arch, combiner, cache=False, entity_cache=True
+                    )
+                    cold = warmable.transform(dataset)
+                    warm = warmable.transform(dataset)
+                    assert np.array_equal(off, cold), (tokenizer, arch, combiner)
+                    assert np.array_equal(cold, warm), (tokenizer, arch, combiner)
+        clear_entity_store()
+
+    def test_store_identity_across_layers_modes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        couples = [("sony x1", "sony x2"), ("a", "b")]
+        for layers in ("last", "last4"):
+            embedder = TransformerEmbedder("dbert", layers=layers)
+            clear_entity_store()
+            off = embedder.embed_pairs(couples)
+            cold = embedder.embed_pairs(couples, entity_store())
+            warm = embedder.embed_pairs(couples, entity_store())
+            assert np.array_equal(off, cold)
+            assert np.array_equal(cold, warm)
+        clear_entity_store()

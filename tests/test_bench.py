@@ -143,7 +143,11 @@ class TestRegistry:
 class TestRunner:
     def test_run_records_auto_metrics_and_detail(self):
         def body(ctx):
-            ctx.metric("answer", 42)
+            # Large enough to bypass pymalloc's pools: small allocations
+            # can be served from warm arenas without a traceable malloc,
+            # leaving the tracemalloc peak at exactly zero.
+            ballast = bytearray(256 * 1024)
+            ctx.metric("answer", 42 + 0 * len(ballast))
             return {"kind": "demo"}
 
         result = run_spec(_spec(run=body))

@@ -549,3 +549,78 @@ class TestChaosHarness:
 
         with pytest.raises(ValueError):
             run_chaos(plans=0)
+
+
+# ------------------------------------------------ entity-store seams
+
+
+class TestEntityStoreSeams:
+    """Chaos coverage for the entity-embedding store's three seams
+    (``adapter.entity.store.write``/``.replace``/``adapter.entity.read``),
+    mirroring the pair-cache drills above."""
+
+    def test_transient_write_fault_recovers(self, tmp_path, monkeypatch):
+        from repro.adapter import clear_entity_store, entity_store
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_entity_store()
+        plan = FaultPlan(
+            specs=[FaultSpec("adapter.entity.store.replace", "io", times=1)]
+        )
+        with faults.injecting(plan):
+            with telemetry.recording() as rec:
+                entity_store().save(7, {"vector": np.ones(4)})
+        clear_entity_store()
+        seen = counters(rec)
+        assert seen["faults.injected.io"] == 1
+        assert seen["faults.recovered.io"] == 1
+        assert plan.unresolved == []
+        assert list(tmp_path.rglob("*.tmp")) == []
+        loaded = entity_store().load(7)  # replayed from the disk tier
+        assert loaded is not None and np.array_equal(loaded["vector"], np.ones(4))
+        clear_entity_store()
+
+    def test_exhausted_write_raises_and_leaks_nothing(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.adapter import clear_entity_store, entity_store
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_entity_store()
+        with faults.injecting(_exhausting("adapter.entity.store.write")):
+            with pytest.raises(InjectedFaultError):
+                entity_store().save(7, {"vector": np.ones(4)})
+        clear_entity_store()
+        assert list(tmp_path.rglob("*.tmp")) == []
+        assert list((tmp_path / "entity").glob("*.npz")) == []
+
+    def test_injected_corruption_settles(self, tmp_path, monkeypatch):
+        from repro.adapter import (
+            EMAdapter,
+            clear_adapter_cache,
+            clear_entity_store,
+        )
+        from tests.test_adapter import make_dataset
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_adapter_cache()
+        clear_entity_store()
+        dataset = make_dataset()
+        adapter = EMAdapter(
+            "attr", "dbert", "mean", cache=False, entity_cache=True
+        )
+        original = adapter.transform(dataset)
+        clear_entity_store()  # the next transform replays the disk tier
+
+        plan = FaultPlan(specs=[FaultSpec("adapter.entity.read", "corrupt")])
+        with faults.injecting(plan):
+            with telemetry.recording() as rec:
+                recovered = adapter.transform(dataset)
+        clear_entity_store()
+
+        np.testing.assert_array_equal(recovered, original)
+        seen = counters(rec)
+        assert seen["adapter.entity_cache.disk.corrupt"] == 1
+        assert seen["faults.injected.corrupt"] == 1
+        assert seen["faults.recovered.corrupt"] == 1
+        assert plan.unresolved == []
