@@ -34,6 +34,7 @@ calls so forked workers never inherit a parent's hot cache (FORK001).
 from __future__ import annotations
 
 import os
+import threading
 import zipfile
 from collections import OrderedDict
 from pathlib import Path
@@ -58,6 +59,13 @@ class ByteBudgetLRU:
     Eviction changes only *what is resident*, never what is computed:
     every entry is content-addressed and deterministic, so a re-miss
     recomputes (or re-reads from disk) byte-identical data.
+
+    All mutations hold one per-instance lock: ``get`` reorders the
+    ``OrderedDict`` and ``put`` rewrites both the dict and the resident
+    byte tally, so unsynchronized callers (the serving daemon's handler
+    threads share one store) could corrupt the LRU chain mid-``move_to_end``
+    or mis-account ``resident_bytes``. Telemetry is reported outside the
+    lock — the instruments carry their own locks.
     """
 
     def __init__(
@@ -71,31 +79,38 @@ class ByteBudgetLRU:
         self._prefix = metric_prefix
         self._entries: OrderedDict[object, tuple[object, int]] = OrderedDict()
         self._resident_bytes = 0
+        self._lock = threading.Lock()
 
     @property
     def budget(self) -> int | None:
-        if not self._resolved:
-            self._budget = self._budget_fn()
-            self._resolved = True
-        return self._budget
+        with self._lock:
+            if not self._resolved:
+                self._budget = self._budget_fn()
+                self._resolved = True
+            return self._budget
 
     @property
     def resident_bytes(self) -> int:
-        return self._resident_bytes
+        with self._lock:
+            return self._resident_bytes
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: object) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: object):
         """Return the cached value (now most-recently-used) or None."""
-        entry = self._entries.get(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
         if entry is None:
             telemetry.counter(f"{self._prefix}.memory.misses").inc()
             return None
-        self._entries.move_to_end(key)
         telemetry.counter(f"{self._prefix}.memory.hits").inc()
         return entry[0]
 
@@ -106,20 +121,23 @@ class ByteBudgetLRU:
         still gets cached (otherwise back-to-back transforms of one
         large dataset would thrash), it just pushes everything else out.
         """
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self._resident_bytes -= old[1]
-        self._entries[key] = (value, nbytes)
-        self._resident_bytes += nbytes
-        budget = self.budget
-        if budget is not None:
-            while self._resident_bytes > budget and len(self._entries) > 1:
-                _evicted, (_value, size) = self._entries.popitem(last=False)
-                self._resident_bytes -= size
-                telemetry.counter(f"{self._prefix}.memory.evictions").inc()
-        telemetry.gauge(f"{self._prefix}.memory.resident_bytes").set(
-            self._resident_bytes
-        )
+        budget = self.budget  # resolve before taking the entries lock
+        evictions = 0
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._resident_bytes -= old[1]
+            self._entries[key] = (value, nbytes)
+            self._resident_bytes += nbytes
+            if budget is not None:
+                while self._resident_bytes > budget and len(self._entries) > 1:
+                    _evicted, (_value, size) = self._entries.popitem(last=False)
+                    self._resident_bytes -= size
+                    evictions += 1
+            resident = self._resident_bytes
+        if evictions:
+            telemetry.counter(f"{self._prefix}.memory.evictions").inc(evictions)
+        telemetry.gauge(f"{self._prefix}.memory.resident_bytes").set(resident)
 
 
 def _bundle_nbytes(arrays: dict[str, np.ndarray]) -> int:

@@ -16,8 +16,14 @@ __all__ = ["load_suites"]
 def load_suites() -> None:
     """Import every built-in suite and register its specs."""
     from repro.bench.spec import register
-    from repro.bench.suites import ablations, analysis, components, tables
+    from repro.bench.suites import (
+        ablations,
+        analysis,
+        components,
+        serving,
+        tables,
+    )
 
-    for module in (ablations, analysis, components, tables):
+    for module in (ablations, analysis, components, serving, tables):
         for spec in module.SPECS:
             register(spec)

@@ -331,6 +331,30 @@ def _run_telemetry_overhead(ctx) -> dict:
     if total != calls * (calls - 1) // 2:
         raise AssertionError("instrumented loop computed the wrong total")
     ctx.metric("ns_per_disabled_call", best / calls * 1e9)
+
+    # Enabled leg: the per-instrument lock added for the threaded
+    # serving daemon must stay negligible on the single-threaded path —
+    # an uncontended lock acquire is tens of nanoseconds, and a counter
+    # increment must stay within the low-microsecond regime.
+    from repro.telemetry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    instrument = registry.counter("bench.enabled")
+    best_enabled = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(calls):
+            instrument.inc()
+        best_enabled = min(best_enabled, time.perf_counter() - start)
+    if instrument.value != 3 * calls:
+        raise AssertionError("enabled counter lost increments")
+    ns_per_inc = best_enabled / calls * 1e9
+    if ns_per_inc > 5_000:
+        raise AssertionError(
+            f"locked counter increment costs {ns_per_inc:.0f}ns; the "
+            "thread-safety lock is no longer negligible"
+        )
+    ctx.metric("ns_per_enabled_inc", ns_per_inc)
     return {"calls": calls, "rounds": 3}
 
 
@@ -345,6 +369,9 @@ SPECS.append(
             # The no-op-when-off guarantee: nanosecond regime, wide band
             # for scheduler noise, but a 5x blowup is a real regression.
             MetricPolicy("ns_per_disabled_call", unit="ns", tolerance=4.0),
+            # Enabled, locked counter increment: same wide band; the
+            # in-run 5µs assertion is the hard acceptance floor.
+            MetricPolicy("ns_per_enabled_inc", unit="ns", tolerance=4.0),
         ),
     )
 )

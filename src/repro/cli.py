@@ -264,6 +264,86 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return run_bench(args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro import telemetry
+    from repro.serving import MatchDaemon, MatchEngine
+
+    model_path = Path(args.model)
+    config = _config(args)
+    if args.fit and not model_path.exists():
+        from repro.data import load_dataset, split_dataset
+        from repro.matching import EMPipeline
+        from repro.persistence import save_model
+
+        print(f"fitting a pipeline for {args.dataset} -> {model_path}")
+        splits = split_dataset(
+            load_dataset(args.dataset, scale=config.scale)
+        )
+        pipeline = EMPipeline(
+            automl=args.automl,
+            seed=config.seed,
+            max_models=config.max_models,
+        )
+        pipeline.fit(splits.train, splits.valid)
+        save_model(pipeline, model_path)
+
+    # The daemon reports through telemetry for its whole lifetime; the
+    # hot path records metrics only (no spans), so the recorder stays
+    # bounded however long the process serves.
+    telemetry.enable()
+    try:
+        engine = MatchEngine(model_path, args.dataset)
+        with MatchDaemon(
+            engine,
+            (args.host, args.port),
+            max_batch_pairs=args.max_batch_pairs,
+            max_delay_seconds=args.max_delay_ms / 1000.0,
+            queue_depth=args.queue_depth,
+        ) as daemon:
+            if args.port_file:
+                Path(args.port_file).write_text(f"{daemon.port}\n")
+            print(
+                f"serving {args.dataset} model {model_path} on "
+                f"http://{args.host}:{daemon.port}"
+            )
+            try:
+                daemon.serve_forever()
+            except KeyboardInterrupt:
+                pass
+        print("daemon stopped")
+        return 0
+    finally:
+        telemetry.disable()
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.config import GLOBAL_SEED
+    from repro.serving import run_loadtest
+
+    report = run_loadtest(
+        args.host,
+        args.port,
+        args.dataset,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        pairs_per_request=args.pairs_per_request,
+        seed=GLOBAL_SEED if args.seed is None else args.seed,
+        scale=args.scale,
+    )
+    rendered = json_module.dumps(report, indent=2, sort_keys=True)
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(rendered + "\n")
+        print(f"report written to {args.json}")
+    print(rendered)
+    return 1 if report["errors"] else 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.parallel import run_chaos
 
@@ -381,6 +461,90 @@ def main(argv: list[str] | None = None) -> int:
 
     add_bench_arguments(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the online matching daemon: load a saved model once "
+        "and answer POST /match over HTTP with micro-batched predictions",
+    )
+    p_serve.add_argument(
+        "--model", required=True,
+        help="model file written by repro.persistence.save_model",
+    )
+    p_serve.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0 = ephemeral; see --port-file)",
+    )
+    p_serve.add_argument(
+        "--port-file", type=str, default=None,
+        help="write the bound port here once listening (for scripts "
+        "that start the daemon with --port 0)",
+    )
+    p_serve.add_argument(
+        "--fit", action="store_true",
+        help="if the model file does not exist, fit a pipeline on the "
+        "dataset and save it there first",
+    )
+    p_serve.add_argument(
+        "--automl", default="autosklearn",
+        choices=("autosklearn", "autogluon", "h2o"),
+        help="AutoML system for --fit (default autosklearn)",
+    )
+    p_serve.add_argument(
+        "--max-batch-pairs", type=int, default=64,
+        help="flush a micro-batch once this many pairs wait (default 64)",
+    )
+    p_serve.add_argument(
+        "--max-delay-ms", type=float, default=5.0,
+        help="longest a request waits for batch co-travellers (default 5)",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=256,
+        help="queued requests beyond which the daemon sheds load "
+        "with 503 (default 256)",
+    )
+    p_serve.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale for --fit (defaults to REPRO_SCALE or 0.08)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_loadtest = sub.add_parser(
+        "loadtest",
+        help="drive a running serve daemon with a deterministic seeded "
+        "request stream and report p50/p99 latency and throughput",
+    )
+    p_loadtest.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    p_loadtest.add_argument("--host", default="127.0.0.1")
+    p_loadtest.add_argument("--port", type=int, required=True)
+    p_loadtest.add_argument(
+        "--requests", type=int, default=100,
+        help="total requests to issue (default 100)",
+    )
+    p_loadtest.add_argument(
+        "--concurrency", type=int, default=4,
+        help="closed-loop worker threads (default 4)",
+    )
+    p_loadtest.add_argument(
+        "--pairs-per-request", type=int, default=2,
+        help="entity pairs per request body (default 2)",
+    )
+    p_loadtest.add_argument(
+        "--seed", type=int, default=None,
+        help="request-stream seed (default: the substrate seed)",
+    )
+    p_loadtest.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale for request sampling (defaults to "
+        "REPRO_SCALE or 0.08)",
+    )
+    p_loadtest.add_argument(
+        "--json", type=str, default=None,
+        help="also write the JSON report to this file",
+    )
+    p_loadtest.set_defaults(func=_cmd_loadtest)
 
     p_chaos = sub.add_parser(
         "chaos",

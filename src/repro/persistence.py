@@ -26,6 +26,23 @@ class PersistenceError(ReproError):
     """A model file is missing, corrupt, or version-incompatible."""
 
 
+#: Everything ``pickle.load`` raises on corrupt or foreign bytes. Beyond
+#: the obvious ``UnpicklingError``/``EOFError``, garbage can surface as
+#: ``ValueError`` (bad protocol byte, and ``UnicodeDecodeError`` for
+#: invalid utf-8 in string opcodes), ``ImportError`` (a GLOBAL opcode
+#: naming a module this process does not have), ``IndexError`` (corrupt
+#: memo references), or ``AttributeError`` (a class that no longer
+#: exists). All of them mean "this is not a model file", never "crash".
+_UNPICKLE_FAILURES = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ValueError,  # includes UnicodeDecodeError
+    IndexError,
+    ImportError,  # includes ModuleNotFoundError
+)
+
+
 def save_model(model: Any, path: str | Path) -> Path:
     """Serialize a fitted matcher (EMPipeline, DeepMatcherHybrid, ...).
 
@@ -76,15 +93,28 @@ def load_model(path: str | Path) -> Any:
     path = Path(path)
     if not path.exists():
         raise PersistenceError(f"no model file at {path}")
-    faults.checkpoint("persistence.load.read", path=str(path))
-    try:
-        with path.open("rb") as handle:
-            envelope = pickle.load(handle)
-    except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
-        # Corruption is *handled* (settled into a typed error the caller
-        # can act on), which is what the seam's accounting records.
-        faults.mark_recovered("persistence.load.read", path=str(path))
-        raise PersistenceError(f"{path} is not a valid model file: {exc}") from exc
+
+    def _read() -> Any:
+        faults.checkpoint("persistence.load.read", path=str(path))
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except _UNPICKLE_FAILURES as exc:
+            # Corruption is *handled* (settled into a typed error the
+            # caller can act on), which is what the seam's accounting
+            # records. PersistenceError is not an OSError, so the retry
+            # wrapper below propagates it immediately — garbage bytes
+            # are permanent, only filesystem hiccups are worth retrying.
+            faults.mark_recovered("persistence.load.read", path=str(path))
+            raise PersistenceError(
+                f"{path} is not a valid model file: {exc}"
+            ) from exc
+
+    # Mirror the save path: transient filesystem failures (a flaky
+    # network mount, an interrupted read) are retried with backoff;
+    # exhausted retries propagate OSError by contract (see 'seam
+    # raises:' in docs/ARCHITECTURE_CONTRACT).
+    envelope = faults.io_retry(_read, "persistence.load.read")
     if not isinstance(envelope, dict) or envelope.get("magic") != _MAGIC:
         raise PersistenceError(f"{path} is not a repro model file")
     saved_major = str(envelope.get("version", "")).split(".")[0]

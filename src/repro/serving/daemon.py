@@ -1,0 +1,250 @@
+"""The HTTP face of the serving layer: a stdlib ThreadingHTTPServer.
+
+Endpoints (all bodies JSON):
+
+* ``POST /match`` — ``{"pairs": [{"left": {...}, "right": {...}}, ...]}``
+  → ``{"probabilities": [...], "labels": [...], "model_generation": N}``.
+  Entities are validated against the engine's schema (400 on mismatch);
+  the prediction goes through the :class:`~repro.serving.batcher.MicroBatcher`,
+  so concurrent requests fuse into one vectorized call.
+* ``GET /healthz`` — liveness plus the installed model generation.
+* ``GET /metrics`` — every counter/gauge of the daemon's telemetry
+  recorder plus histogram summaries with p50/p99 (the loadtest and the
+  CI smoke job read fault accounting and latency from here).
+* ``POST /reload`` — atomically re-read the model file; on failure the
+  old model keeps serving and the response is 500.
+* ``POST /shutdown`` — acknowledge, then stop the server from a side
+  thread (``shutdown()`` deadlocks when called on a handler thread).
+
+Fault seams: the request-body read and response write cross
+``serving.request.read`` / ``serving.response.write`` checkpoints. The
+socket is not retryable the way a file write is — the client is waiting
+— so an injected fault is settled in-handler: counted recovered and
+answered with 503 (when the response socket itself is the faulted seam,
+recovery is the count alone; the client sees a dropped connection).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import faults, telemetry
+from repro.exceptions import SchemaError
+from repro.faults import InjectedFaultError
+from repro.persistence import PersistenceError
+from repro.serving.batcher import LATENCY_BUCKETS, MicroBatcher
+from repro.serving.engine import MatchEngine
+from repro.serving.errors import (
+    ServerClosedError,
+    ServerOverloadedError,
+    ServingError,
+)
+
+__all__ = ["MatchDaemon"]
+
+
+class MatchDaemon(ThreadingHTTPServer):
+    """One engine + one batcher behind a threaded stdlib HTTP server.
+
+    Use as a context manager (or call :meth:`close`) so the batcher's
+    worker thread is always joined::
+
+        engine = MatchEngine("model.pkl", "S-FZ")
+        with MatchDaemon(engine, ("127.0.0.1", 0)) as daemon:
+            threading.Thread(target=daemon.serve_forever).start()
+            ...  # daemon.port is now bound
+            daemon.stop()
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        engine: MatchEngine,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        max_batch_pairs: int = 64,
+        max_delay_seconds: float = 0.005,
+        queue_depth: int = 256,
+    ) -> None:
+        super().__init__(address, _MatchHandler)
+        self.engine = engine
+        self.batcher = MicroBatcher(
+            engine.match_pairs,
+            max_batch_pairs=max_batch_pairs,
+            max_delay_seconds=max_delay_seconds,
+            queue_depth=queue_depth,
+        )
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def stop(self) -> None:
+        """Unblock ``serve_forever`` from any thread (idempotent)."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def close(self) -> None:
+        """Release the socket and drain the batcher."""
+        self.batcher.close()
+        self.server_close()
+
+    def __exit__(self, *exc_info) -> None:
+        self.batcher.close()
+        super().__exit__(*exc_info)
+
+    def metrics_payload(self) -> dict:
+        """Counters, gauges, and histogram summaries of the recorder."""
+        recorder = telemetry.active()
+        if recorder is None:
+            return {"counters": {}, "gauges": {}, "histograms": {}}
+        metrics = recorder.metrics
+        histograms = {}
+        for name, hist in metrics.histograms.items():
+            histograms[name] = {
+                "count": hist.total,
+                "mean": hist.mean,
+                "p50": hist.percentile(50),
+                "p99": hist.percentile(99),
+            }
+        return {
+            "counters": {c.name: c.value for c in metrics.counters.values()},
+            "gauges": {g.name: g.value for g in metrics.gauges.values()},
+            "histograms": histograms,
+        }
+
+
+class _MatchHandler(BaseHTTPRequestHandler):
+    server: MatchDaemon  # narrowed from socketserver.BaseServer
+
+    # The stdlib handler logs every request to stderr; a serving daemon
+    # reports through telemetry instead (OBS001). Callers pass the
+    # format positionally, so the parameter rename is invisible.
+    def log_message(self, fmt: str, *args) -> None:
+        pass
+
+    # ------------------------------------------------------------ routes
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._respond(
+                200,
+                {
+                    "status": "ok",
+                    "dataset": self.server.engine.dataset_name,
+                    "model_generation": self.server.engine.generation,
+                },
+            )
+        elif self.path == "/metrics":
+            self._respond(200, self.server.metrics_payload())
+        else:
+            self._respond(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:
+        if self.path == "/match":
+            self._handle_match()
+        elif self.path == "/reload":
+            self._handle_reload()
+        elif self.path == "/shutdown":
+            self._respond(200, {"status": "shutting down"})
+            self.server.stop()
+        else:
+            self._respond(404, {"error": f"unknown path {self.path}"})
+
+    # ---------------------------------------------------------- handlers
+
+    def _handle_match(self) -> None:
+        start = telemetry.wallclock()
+        telemetry.counter("serving.request.count").inc()
+        body = self._read_body()
+        if body is None:
+            return  # already answered 503; fault settled
+        try:
+            payload = json.loads(body)
+            pairs = payload["pairs"]
+            if not isinstance(pairs, list):
+                raise TypeError("'pairs' must be a list")
+            future = self.server.batcher.submit(pairs)
+            probabilities, labels = future.result()
+        except (
+            json.JSONDecodeError,
+            KeyError,
+            TypeError,
+            SchemaError,
+        ) as exc:
+            telemetry.counter("serving.request.errors").inc()
+            self._respond(400, {"error": str(exc)})
+            return
+        except ServerOverloadedError as exc:
+            telemetry.counter("serving.request.shed").inc()
+            self._respond(503, {"error": str(exc)})
+            return
+        except ServerClosedError as exc:
+            telemetry.counter("serving.request.errors").inc()
+            self._respond(503, {"error": str(exc)})
+            return
+        self._respond(
+            200,
+            {
+                "probabilities": [float(p) for p in probabilities],
+                "labels": [int(label) for label in labels],
+                "model_generation": self.server.engine.generation,
+            },
+        )
+        telemetry.histogram("serving.request.seconds", LATENCY_BUCKETS).observe(
+            telemetry.wallclock() - start
+        )
+
+    def _handle_reload(self) -> None:
+        try:
+            generation = self.server.engine.reload()
+        except (PersistenceError, ServingError) as exc:
+            telemetry.counter("serving.reload.errors").inc()
+            self._respond(500, {"error": str(exc)})
+            return
+        telemetry.counter("serving.reload.count").inc()
+        self._respond(200, {"model_generation": generation})
+
+    # ---------------------------------------------------------------- io
+
+    def _read_body(self) -> bytes | None:
+        """Read the request body through the ``serving.request.read`` seam.
+
+        The socket read is not retryable (the bytes are gone), so an
+        injected fault is settled here: counted recovered, client gets
+        503. Returns None when the request was already answered.
+        """
+        try:
+            faults.checkpoint(
+                "serving.request.read", path=self.path
+            )
+            length = int(self.headers.get("Content-Length", 0))
+            return self.rfile.read(length)
+        except InjectedFaultError as exc:
+            telemetry.counter("faults.recovered.io").inc()
+            telemetry.counter("serving.request.errors").inc()
+            self._respond(503, {"error": f"transient read failure: {exc}"})
+            # The unread body would corrupt keep-alive framing.
+            self.close_connection = True
+            return None
+
+    def _respond(self, status: int, payload: dict) -> None:
+        """Write a JSON response through ``serving.response.write``.
+
+        A fault on the response socket cannot be answered over that
+        same socket; settling is the recovered count plus dropping the
+        connection — the daemon itself stays healthy.
+        """
+        body = json.dumps(payload).encode("utf-8")
+        try:
+            faults.checkpoint("serving.response.write", path=self.path)
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except InjectedFaultError:
+            telemetry.counter("faults.recovered.io").inc()
+            telemetry.counter("serving.response.dropped").inc()
+            self.close_connection = True

@@ -1,0 +1,19 @@
+"""Errors raised by the serving layer."""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+__all__ = ["ServingError", "ServerOverloadedError", "ServerClosedError"]
+
+
+class ServingError(ReproError):
+    """The serving daemon cannot satisfy a request or (re)load a model."""
+
+
+class ServerOverloadedError(ServingError):
+    """The micro-batch queue is full; the caller should shed or retry."""
+
+
+class ServerClosedError(ServingError):
+    """The daemon is shutting down and no longer accepts requests."""

@@ -1,0 +1,204 @@
+"""Closed-loop load generator for a running match daemon.
+
+``repro-em loadtest`` drives ``POST /match`` with a deterministic,
+seeded request stream: pairs are drawn (with replacement) from the
+named benchmark dataset by a :func:`repro.config.rng_for` stream, so
+two loadtests with the same seed issue byte-identical request bodies.
+Concurrency is closed-loop — ``concurrency`` worker threads each keep
+exactly one request in flight — which makes throughput a measurement,
+not a target.
+
+The report combines both vantage points: client-side latency
+percentiles computed from the exact per-request timings, and the
+server's own ``/metrics`` payload (bucketed histograms, batch fusion
+counters, fault accounting) fetched after the run.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import math
+import threading
+from typing import Any
+
+from repro import telemetry
+from repro.config import GLOBAL_SEED, rng_for
+from repro.data import load_dataset
+from repro.serving.errors import ServingError
+
+__all__ = ["build_requests", "run_loadtest"]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Exact percentile of pre-sorted client timings (nearest-rank)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def _entity_payload(entity: dict, schema) -> dict:
+    """A JSON-safe copy of one entity dict (numpy scalars → python)."""
+    payload = {}
+    for attribute in schema.attributes:
+        value = entity[attribute.name]
+        if value is None or isinstance(value, (str, int, float)):
+            payload[attribute.name] = value
+        else:
+            payload[attribute.name] = float(value)
+    return payload
+
+
+def build_requests(
+    dataset_name: str,
+    requests: int,
+    pairs_per_request: int,
+    seed: int = GLOBAL_SEED,
+    scale: float | None = None,
+) -> list[bytes]:
+    """Deterministic request bodies sampled from a benchmark dataset."""
+    kwargs = {} if scale is None else {"scale": scale}
+    dataset = load_dataset(dataset_name, **kwargs)
+    rng = rng_for("serving.loadtest", dataset_name, requests, seed=seed)
+    bodies = []
+    for _ in range(requests):
+        indices = rng.integers(0, len(dataset), size=pairs_per_request)
+        pairs = [
+            {
+                "left": _entity_payload(dataset[int(i)].left, dataset.schema),
+                "right": _entity_payload(dataset[int(i)].right, dataset.schema),
+            }
+            for i in indices
+        ]
+        bodies.append(json.dumps({"pairs": pairs}).encode("utf-8"))
+    return bodies
+
+
+def _fetch_json(host: str, port: int, method: str, path: str,
+                body: bytes | None = None, timeout: float = 30.0) -> dict:
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        payload = json.loads(response.read().decode("utf-8"))
+        if response.status != 200:
+            raise ServingError(
+                f"{method} {path} -> {response.status}: "
+                f"{payload.get('error', payload)}"
+            )
+        return payload
+    finally:
+        connection.close()
+
+
+def run_loadtest(
+    host: str,
+    port: int,
+    dataset_name: str,
+    requests: int = 100,
+    concurrency: int = 4,
+    pairs_per_request: int = 2,
+    seed: int = GLOBAL_SEED,
+    scale: float | None = None,
+    timeout: float = 60.0,
+) -> dict[str, Any]:
+    """Drive the daemon at ``host:port`` and report latency + throughput.
+
+    Returns a JSON-able report::
+
+        {"requests": N, "errors": E, "error_messages": [...],
+         "duration_seconds": ..., "requests_per_second": ...,
+         "client_latency_ms": {"p50": ..., "p99": ..., "mean": ...},
+         "server_metrics": {...}}   # the daemon's /metrics payload
+
+    ``errors`` counts requests that failed or returned non-200; callers
+    (the CLI, the CI smoke job) treat any nonzero value as failure.
+    """
+    bodies = build_requests(
+        dataset_name, requests, pairs_per_request, seed=seed, scale=scale
+    )
+    latencies: list[float] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+    cursor = iter(range(len(bodies)))
+
+    def _worker() -> None:
+        connection = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            while True:
+                with lock:
+                    index = next(cursor, None)
+                if index is None:
+                    return
+                start = telemetry.wallclock()
+                try:
+                    connection.request(
+                        "POST",
+                        "/match",
+                        body=bodies[index],
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    payload = json.loads(response.read().decode("utf-8"))
+                    if response.status != 200:
+                        raise ServingError(
+                            f"request {index} -> {response.status}: "
+                            f"{payload.get('error', payload)}"
+                        )
+                    if len(payload["probabilities"]) != len(
+                        json.loads(bodies[index])["pairs"]
+                    ):
+                        raise ServingError(
+                            f"request {index}: response cardinality mismatch"
+                        )
+                except Exception as exc:  # repro: noqa[GEN003] - socket, JSON, or server failures all tally as one request error
+                    with lock:
+                        errors.append(str(exc))
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        host, port, timeout=timeout
+                    )
+                    continue
+                elapsed = telemetry.wallclock() - start
+                with lock:
+                    latencies.append(elapsed)
+        finally:
+            connection.close()
+
+    workers = [
+        threading.Thread(target=_worker, name=f"repro-loadtest-{i}")
+        for i in range(max(1, concurrency))
+    ]
+    started = telemetry.wallclock()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    duration = telemetry.wallclock() - started
+
+    latencies.sort()
+    completed = len(latencies)
+    report: dict[str, Any] = {
+        "dataset": dataset_name,
+        "requests": requests,
+        "pairs_per_request": pairs_per_request,
+        "concurrency": max(1, concurrency),
+        "seed": seed,
+        "completed": completed,
+        "errors": len(errors),
+        "error_messages": errors[:10],
+        "duration_seconds": duration,
+        "requests_per_second": completed / duration if duration > 0 else 0.0,
+        "client_latency_ms": {
+            "p50": _percentile(latencies, 50) * 1000.0,
+            "p99": _percentile(latencies, 99) * 1000.0,
+            "mean": (sum(latencies) / completed * 1000.0) if completed else 0.0,
+        },
+    }
+    try:
+        report["server_metrics"] = _fetch_json(host, port, "GET", "/metrics")
+    except Exception as exc:  # repro: noqa[GEN003] - metrics fetch is best-effort; the latency report stands alone
+        report["server_metrics"] = {"error": str(exc)}
+    return report

@@ -13,6 +13,7 @@ around the paper's 1h/6h budgets) and wall-clock stage durations.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from math import ceil
 
@@ -67,18 +68,27 @@ def percentile_from_buckets(
 
 
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total.
 
-    __slots__ = ("name", "value")
+    ``inc`` is a read-modify-write, so concurrent callers (the serving
+    daemon handles every connection on its own thread) must serialize on
+    the per-instrument lock or drop increments; the lock is uncontended
+    in single-threaded runs and its cost is asserted negligible in the
+    ``telemetry_overhead`` bench.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_dict(self) -> dict:
         return {
@@ -92,14 +102,20 @@ class Counter:
 class Gauge:
     """A last-value-wins measurement."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        # A float store is atomic in CPython, but the lock keeps the
+        # contract uniform across instruments (and to_dict reads see a
+        # coherent value under free-threaded builds too).
+        coerced = float(value)
+        with self._lock:
+            self.value = coerced
 
     def to_dict(self) -> dict:
         return {
@@ -117,7 +133,7 @@ class Histogram:
     than the previous bound); the final slot is the overflow bucket.
     """
 
-    __slots__ = ("name", "bounds", "counts", "total", "sum")
+    __slots__ = ("name", "bounds", "counts", "total", "sum", "_lock")
 
     def __init__(self, name: str, bounds: tuple[float, ...]) -> None:
         if not bounds or list(bounds) != sorted(bounds):
@@ -129,52 +145,74 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)
         self.total = 0
         self.sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.bounds, value)] += 1
-        self.total += 1
-        self.sum += value
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.total += 1
+            self.sum += value
 
     @property
     def mean(self) -> float:
-        return self.sum / self.total if self.total else 0.0
+        with self._lock:
+            return self.sum / self.total if self.total else 0.0
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile estimated from the bucket counts
         (see :func:`percentile_from_buckets`) — p50/p90/p99 for latency
         reporting without storing individual observations."""
-        return percentile_from_buckets(self.bounds, self.counts, q)
+        with self._lock:
+            counts = list(self.counts)
+        return percentile_from_buckets(self.bounds, counts, q)
 
     def to_dict(self) -> dict:
+        with self._lock:
+            counts = list(self.counts)
+            total = self.total
+            observed_sum = self.sum
         return {
             "kind": "metric",
             "type": "histogram",
             "name": self.name,
             "bounds": list(self.bounds),
-            "counts": list(self.counts),
-            "count": self.total,
-            "sum": self.sum,
+            "counts": counts,
+            "count": total,
+            "sum": observed_sum,
         }
 
 
 class MetricsRegistry:
-    """Get-or-create home of every named instrument of one recorder."""
+    """Get-or-create home of every named instrument of one recorder.
+
+    Get-or-create is locked: two threads racing on a fresh name must
+    receive the *same* instrument, or one of them increments a counter
+    that is silently dropped from the registry.
+    """
 
     def __init__(self) -> None:
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         instrument = self.counters.get(name)
         if instrument is None:
-            instrument = self.counters[name] = Counter(name)
+            with self._lock:
+                instrument = self.counters.get(name)
+                if instrument is None:
+                    instrument = self.counters[name] = Counter(name)
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         instrument = self.gauges.get(name)
         if instrument is None:
-            instrument = self.gauges[name] = Gauge(name)
+            with self._lock:
+                instrument = self.gauges.get(name)
+                if instrument is None:
+                    instrument = self.gauges[name] = Gauge(name)
         return instrument
 
     def histogram(
@@ -182,8 +220,12 @@ class MetricsRegistry:
     ) -> Histogram:
         instrument = self.histograms.get(name)
         if instrument is None:
-            instrument = self.histograms[name] = Histogram(name, bounds)
-        elif instrument.bounds != tuple(float(b) for b in bounds):
+            with self._lock:
+                instrument = self.histograms.get(name)
+                if instrument is None:
+                    instrument = self.histograms[name] = Histogram(name, bounds)
+                    return instrument
+        if instrument.bounds != tuple(float(b) for b in bounds):
             raise ValueError(
                 f"histogram {name!r} already registered with different "
                 f"bucket bounds {instrument.bounds}"

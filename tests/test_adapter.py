@@ -564,6 +564,81 @@ class TestEntityStore:
         clear_entity_store()
         assert entity_store() is not store
 
+    def test_lru_concurrent_put_get_keeps_byte_accounting_exact(self):
+        """Regression: ``ByteBudgetLRU`` mutated its ``OrderedDict`` and
+        ``_resident_bytes`` without a lock, so concurrent ``get``/``put``
+        from server threads could corrupt LRU order (``move_to_end`` on
+        a key another thread was popping) or drift the resident-byte
+        tally away from the entries actually held."""
+        import threading
+
+        from repro.adapter.entity_store import ByteBudgetLRU
+
+        lru = ByteBudgetLRU(lambda: 40 * 64, "test.lru")  # 40 entries of 64B
+        threads_n, rounds = 8, 1_500
+        barrier = threading.Barrier(threads_n)
+        errors: list[Exception] = []
+
+        def hammer(slot: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                for i in range(rounds):
+                    key = (slot * rounds + i) % 100  # overlap across threads
+                    lru.put(key, ("value", slot, i), 64)
+                    lru.get((key * 7) % 100)
+                    lru.get(key)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(slot,))
+            for slot in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+
+        assert errors == []
+        # Every entry is 64 bytes: the tally must equal the entry count
+        # exactly, and the eviction loop must have enforced the budget.
+        assert lru.resident_bytes == len(lru._entries) * 64
+        assert lru.resident_bytes <= 40 * 64
+        assert sum(size for _v, size in lru._entries.values()) == lru.resident_bytes
+
+    def test_store_concurrent_save_load_accounts_bytes(self, monkeypatch):
+        """Two threads hammering one EntityStore (the serving daemon's
+        shared warm store) must never corrupt the memory tier."""
+        import threading
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        monkeypatch.setenv("REPRO_ENTITY_CACHE_MB", "0.001")  # ~1 KiB
+        clear_entity_store()
+        store = entity_store()
+        barrier = threading.Barrier(2)
+        errors: list[Exception] = []
+
+        def work(slot: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                for i in range(400):
+                    key = (slot * 400 + i) % 60
+                    store.save(key, {"vector": np.full(8, float(slot))})
+                    store.load((key + 13) % 60)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(s,)) for s in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert errors == []
+        assert store.resident_bytes <= 1024 + 64  # budget + one newest entry
+        loaded = store.load(59)
+        assert loaded is None or loaded["vector"].shape == (8,)
+        clear_entity_store()
+
 
 class TestCanonicalEncode:
     """The exact-length-bucketed forward (ENCODE_VERSION 2): each

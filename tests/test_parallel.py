@@ -424,6 +424,54 @@ class TestConcurrentCacheAccess:
         loaded = np.load(tmp_path / "adapter" / files[0])
         np.testing.assert_array_equal(loaded, outputs[0])
 
+    def test_two_threads_share_one_entity_store(self, tmp_path, monkeypatch):
+        """Two threads transform the same dataset through the shared
+        entity store concurrently (the serving daemon's shape): both get
+        byte-identical output and the store's byte tally stays coherent
+        (regression for the unlocked ``ByteBudgetLRU``)."""
+        from repro.adapter import EMAdapter, clear_adapter_cache
+        from repro.adapter.entity_store import clear_entity_store, entity_store
+        from tests.test_adapter import make_dataset
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_adapter_cache()
+        clear_entity_store()
+        dataset = make_dataset()
+        barrier = threading.Barrier(2)
+        outputs: dict[int, np.ndarray] = {}
+        errors: list[Exception] = []
+
+        def transform(slot: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                adapter = EMAdapter(
+                    "attr", "dbert", "mean", cache=False, entity_cache=True
+                )
+                outputs[slot] = adapter.transform(dataset)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=transform, args=(slot,)) for slot in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+
+        assert errors == []
+        np.testing.assert_array_equal(outputs[0], outputs[1])
+        store = entity_store()
+        assert store.resident_bytes >= 0
+        # Cold single-threaded replay must agree bit-for-bit.
+        clear_entity_store()
+        cold = EMAdapter(
+            "attr", "dbert", "mean", cache=False, entity_cache=False
+        ).transform(dataset)
+        np.testing.assert_array_equal(cold, outputs[0])
+        clear_entity_store()
+        clear_adapter_cache()
+
     @needs_fork
     def test_two_processes_store_same_runner_key(self, tmp_path, monkeypatch):
         """Two processes storing the same runner key both succeed and

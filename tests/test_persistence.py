@@ -37,6 +37,52 @@ class TestPersistence:
         with pytest.raises(PersistenceError):
             load_model(path)
 
+    @pytest.mark.parametrize(
+        ("label", "payload"),
+        [
+            # pickle.load raises a different exception type for each of
+            # these, and every one must settle into PersistenceError —
+            # the pre-fix handler only caught UnpicklingError/EOFError/
+            # AttributeError, so the last four crashed the caller.
+            ("empty", b""),  # EOFError
+            ("truncated", b"\x80\x04\x95\x10\x00\x00\x00"),  # UnpicklingError
+            ("stop-empty-stack", b"."),  # UnpicklingError
+            ("bad-protocol", b"\x80\x64garbage"),  # ValueError
+            ("invalid-utf8-short-string", b"\x8c\x02\xff\xfe."),  # UnicodeDecodeError
+            ("memo-index", b"\x80\x04j\x99\x00\x00\x00."),  # IndexError/UnpicklingError
+            ("missing-module", b"cnonexistent_module_xyz\nfoo\n."),  # ModuleNotFoundError
+        ],
+    )
+    def test_garbage_bytes_raise_persistence_error(
+        self, tmp_path, label, payload
+    ):
+        path = tmp_path / f"{label}.pkl"
+        path.write_bytes(payload)
+        with pytest.raises(PersistenceError, match="not a valid model file"):
+            load_model(path)
+
+    def test_injected_read_corruption_is_settled(self, tmp_path, fitted_matcher):
+        """Plan-injected corruption on the load seam surfaces as
+        PersistenceError with the fault accounted recovered — the
+        garbled bytes land in whichever ``_UNPICKLE_FAILURES`` member
+        the corruption happens to trigger, and all of them settle."""
+        from repro import faults, telemetry
+        from repro.faults import FaultPlan, FaultSpec
+
+        matcher, _ = fitted_matcher
+        path = save_model(matcher, tmp_path / "m.pkl")
+
+        corrupt = FaultPlan(
+            specs=[FaultSpec("persistence.load.read", "corrupt", times=1)]
+        )
+        with telemetry.recording() as recorder:
+            with faults.injecting(corrupt):
+                with pytest.raises(PersistenceError):
+                    load_model(path)
+        seen = {c.name: c.value for c in recorder.metrics.counters.values()}
+        assert seen["faults.injected.corrupt"] == 1
+        assert seen["faults.recovered.corrupt"] == 1
+
     def test_wrong_envelope(self, tmp_path):
         import pickle
 

@@ -1,0 +1,480 @@
+"""Tests for the online serving layer (repro.serving)."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import faults, telemetry
+from repro.data import load_dataset, split_dataset
+from repro.faults import FaultPlan, FaultSpec
+from repro.matching import EMPipeline
+from repro.persistence import PersistenceError, save_model
+from repro.serving import (
+    MatchDaemon,
+    MatchEngine,
+    MicroBatcher,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServingError,
+    build_requests,
+    run_loadtest,
+)
+
+
+@pytest.fixture(scope="module")
+def served_model(tmp_path_factory):
+    """A fitted tiny pipeline saved to disk, plus its splits."""
+    splits = split_dataset(load_dataset("S-FZ", scale=0.02))
+    pipeline = EMPipeline(automl="autosklearn", seed=7, max_models=3)
+    pipeline.fit(splits.train, splits.valid)
+    path = tmp_path_factory.mktemp("serving") / "model.pkl"
+    save_model(pipeline, path)
+    return path, pipeline, splits
+
+
+@pytest.fixture()
+def engine(served_model):
+    path, _pipeline, _splits = served_model
+    return MatchEngine(path, "S-FZ")
+
+
+def _pairs_of(dataset) -> list[dict]:
+    return [{"left": dict(p.left), "right": dict(p.right)} for p in dataset]
+
+
+class _DaemonHarness:
+    """A daemon on an ephemeral port with its serve thread and a client."""
+
+    def __init__(self, engine, **kwargs):
+        self.daemon = MatchDaemon(engine, ("127.0.0.1", 0), **kwargs)
+        self.thread = threading.Thread(
+            target=self.daemon.serve_forever, daemon=True
+        )
+        self.thread.start()
+        self.port = self.daemon.port
+
+    def request(self, method: str, path: str, body=None):
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", self.port, timeout=30
+        )
+        try:
+            payload = (
+                json.dumps(body).encode("utf-8") if body is not None else None
+            )
+            connection.request(
+                method,
+                path,
+                body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            return response.status, json.loads(response.read().decode("utf-8"))
+        finally:
+            connection.close()
+
+    def stop(self):
+        self.daemon.stop()
+        self.thread.join(timeout=10)
+        self.daemon.close()
+
+
+@pytest.fixture()
+def harness(engine):
+    h = _DaemonHarness(engine, max_delay_seconds=0.002)
+    yield h
+    h.stop()
+
+
+class TestMicroBatcher:
+    def test_empty_submit_resolves_immediately(self, engine):
+        batcher = MicroBatcher(engine.match_pairs)
+        try:
+            probabilities, labels = batcher.submit([]).result(timeout=5)
+            assert probabilities.shape == (0,)
+            assert labels.shape == (0,)
+        finally:
+            batcher.close()
+
+    def test_empty_flush_is_noop(self, engine):
+        batcher = MicroBatcher(engine.match_pairs)
+        try:
+            batcher._flush([])  # must not call predict_fn or raise
+        finally:
+            batcher.close()
+
+    def test_fused_equals_one_at_a_time(self, engine, served_model):
+        """The ISSUE's core guarantee: batch composition never changes
+        any row — fused predictions are bit-identical to serial ones."""
+        _path, _pipeline, splits = served_model
+        pairs = _pairs_of(splits.test)
+        singles = [engine.match_pairs([p]) for p in pairs]
+        single_proba = np.concatenate([s[0] for s in singles])
+        single_labels = np.concatenate([s[1] for s in singles])
+
+        batcher = MicroBatcher(
+            engine.match_pairs, max_batch_pairs=256, max_delay_seconds=0.05
+        )
+        try:
+            futures = [batcher.submit([p]) for p in pairs]
+            fused_proba = np.concatenate(
+                [f.result(timeout=30)[0] for f in futures]
+            )
+            fused_labels = np.concatenate(
+                [f.result(timeout=30)[1] for f in futures]
+            )
+        finally:
+            batcher.close()
+        assert np.array_equal(fused_proba, single_proba)
+        assert np.array_equal(fused_labels, single_labels)
+
+    def test_submit_after_close_raises(self, engine, served_model):
+        _path, _pipeline, splits = served_model
+        batcher = MicroBatcher(engine.match_pairs)
+        batcher.close()
+        with pytest.raises(ServerClosedError):
+            batcher.submit(_pairs_of(splits.test)[:1])
+        batcher.close()  # idempotent
+
+    def test_queued_requests_answered_on_close(self, engine, served_model):
+        """close() flushes what is queued instead of abandoning it."""
+        _path, _pipeline, splits = served_model
+        pair = _pairs_of(splits.test)[:1]
+        batcher = MicroBatcher(
+            engine.match_pairs, max_batch_pairs=64, max_delay_seconds=0.5
+        )
+        futures = [batcher.submit(pair) for _ in range(3)]
+        batcher.close()
+        for future in futures:
+            probabilities, _labels = future.result(timeout=5)
+            assert probabilities.shape == (1,)
+
+    def test_overload_sheds_with_typed_error(self, served_model):
+        """A stalled predict fills the queue; the next submit must fail
+        fast instead of growing latency without bound."""
+        _path, pipeline, splits = served_model
+        release = threading.Event()
+
+        def slow_predict(pairs):
+            release.wait(timeout=30)
+            return (
+                np.zeros(len(pairs), dtype=np.float64),
+                np.zeros(len(pairs), dtype=np.int64),
+            )
+
+        pair = _pairs_of(splits.test)[:1]
+        batcher = MicroBatcher(
+            slow_predict,
+            max_batch_pairs=1,
+            max_delay_seconds=0.0,
+            queue_depth=2,
+        )
+        futures = []
+        overloaded = False
+        try:
+            # Worker holds the first batch; the depth-2 queue then fills
+            # and some submit must shed. Timing decides exactly which.
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline and not overloaded:
+                try:
+                    futures.append(batcher.submit(pair))
+                except ServerOverloadedError:
+                    overloaded = True
+            assert overloaded, "queue never filled"
+            assert futures, "no request was accepted before shedding"
+        finally:
+            release.set()
+            batcher.close()
+        for future in futures:
+            assert future.result(timeout=5)[0].shape == (1,)
+
+
+class TestMatchEngine:
+    def test_matches_offline_pipeline_exactly(self, engine, served_model):
+        _path, pipeline, splits = served_model
+        probabilities, labels = engine.match_pairs(_pairs_of(splits.test))
+        assert np.array_equal(probabilities, pipeline.predict_proba(splits.test))
+        assert np.array_equal(labels, pipeline.predict(splits.test))
+
+    def test_rejects_non_pipeline_file(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        save_model({"not": "a pipeline"}, path)
+        with pytest.raises(ServingError, match="servable"):
+            MatchEngine(path, "S-FZ")
+
+    def test_schema_violation_raises(self, engine):
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError):
+            engine.match_pairs(
+                [{"left": {"bogus": 1}, "right": {"bogus": 2}}]
+            )
+
+    def test_reload_bumps_generation(self, engine):
+        first = engine.generation
+        assert engine.reload() == first + 1
+
+    def test_corrupt_reload_keeps_old_model(self, tmp_path, served_model):
+        """A bad file appearing on disk must not take down the daemon:
+        reload fails loudly, the installed model keeps answering."""
+        path, _pipeline, splits = served_model
+        scratch = tmp_path / "model.pkl"
+        scratch.write_bytes(path.read_bytes())
+        engine = MatchEngine(scratch, "S-FZ")
+        pairs = _pairs_of(splits.test)[:4]
+        before = engine.match_pairs(pairs)
+
+        scratch.write_bytes(b"\x80\x64garbage")
+        with pytest.raises(PersistenceError):
+            engine.reload()
+        assert engine.generation == 1
+        after = engine.match_pairs(pairs)
+        assert np.array_equal(before[0], after[0])
+
+
+class TestMatchDaemon:
+    def test_healthz_and_match(self, harness, served_model):
+        _path, pipeline, splits = served_model
+        status, payload = harness.request("GET", "/healthz")
+        assert status == 200 and payload["status"] == "ok"
+
+        pairs = _pairs_of(splits.test)[:3]
+        status, payload = harness.request("POST", "/match", {"pairs": pairs})
+        assert status == 200
+        expected = pipeline.predict_proba(splits.test.subset(range(3)))
+        assert payload["probabilities"] == [float(p) for p in expected]
+        assert len(payload["labels"]) == 3
+
+    def test_match_empty_pairs(self, harness):
+        status, payload = harness.request("POST", "/match", {"pairs": []})
+        assert status == 200
+        assert payload["probabilities"] == []
+        assert payload["labels"] == []
+
+    def test_bad_requests_get_400(self, harness):
+        status, _ = harness.request(
+            "POST",
+            "/match",
+            {"pairs": [{"left": {"bogus": 1}, "right": {"bogus": 2}}]},
+        )
+        assert status == 400
+        status, _ = harness.request("POST", "/match", {"nope": 1})
+        assert status == 400
+        status, _ = harness.request("POST", "/match", {"pairs": "nope"})
+        assert status == 400
+
+    def test_unknown_path_is_404(self, harness):
+        assert harness.request("GET", "/nope")[0] == 404
+        assert harness.request("POST", "/nope")[0] == 404
+
+    def test_model_replaced_on_disk_then_reload(
+        self, tmp_path, served_model
+    ):
+        """Satellite: swap the model file under a live daemon; /reload
+        picks it up and predictions change accordingly."""
+        path, pipeline, splits = served_model
+        scratch = tmp_path / "model.pkl"
+        scratch.write_bytes(path.read_bytes())
+        engine = MatchEngine(scratch, "S-FZ")
+        harness = _DaemonHarness(engine, max_delay_seconds=0.001)
+        try:
+            pairs = _pairs_of(splits.test)[:4]
+            _, before = harness.request("POST", "/match", {"pairs": pairs})
+            assert before["model_generation"] == 1
+
+            retrained = EMPipeline(automl="autosklearn", seed=11, max_models=2)
+            retrained.fit(splits.train, splits.valid)
+            save_model(retrained, scratch)
+            status, payload = harness.request("POST", "/reload")
+            assert status == 200 and payload["model_generation"] == 2
+
+            _, after = harness.request("POST", "/match", {"pairs": pairs})
+            assert after["model_generation"] == 2
+            expected = retrained.predict_proba(splits.test.subset(range(4)))
+            assert after["probabilities"] == [float(p) for p in expected]
+
+            # Corrupt file: 500, old model keeps serving.
+            scratch.write_bytes(b"not a pickle")
+            status, payload = harness.request("POST", "/reload")
+            assert status == 500 and "error" in payload
+            _, still = harness.request("POST", "/match", {"pairs": pairs})
+            assert still["probabilities"] == after["probabilities"]
+        finally:
+            harness.stop()
+
+    def test_shutdown_endpoint_stops_server(self, engine):
+        harness = _DaemonHarness(engine, max_delay_seconds=0.001)
+        status, payload = harness.request("POST", "/shutdown")
+        assert status == 200 and payload["status"] == "shutting down"
+        harness.thread.join(timeout=10)
+        assert not harness.thread.is_alive()
+        harness.daemon.close()
+
+    def test_request_mid_shutdown_fails_typed(self, engine, served_model):
+        """A request arriving while the batcher is closing gets a clean
+        503/ServerClosedError, never a hang."""
+        _path, _pipeline, splits = served_model
+        harness = _DaemonHarness(engine, max_delay_seconds=0.001)
+        try:
+            harness.daemon.batcher.close()
+            status, payload = harness.request(
+                "POST",
+                "/match",
+                {"pairs": _pairs_of(splits.test)[:1]},
+            )
+            assert status == 503
+            assert "closed" in payload["error"]
+        finally:
+            harness.stop()
+
+    def test_metrics_endpoint_reports_latency_percentiles(
+        self, harness, served_model
+    ):
+        _path, _pipeline, splits = served_model
+        pairs = _pairs_of(splits.test)[:2]
+        with telemetry.recording():
+            for _ in range(3):
+                status, _ = harness.request(
+                    "POST", "/match", {"pairs": pairs}
+                )
+                assert status == 200
+            _, payload = harness.request("GET", "/metrics")
+        latency = payload["histograms"]["serving.request.seconds"]
+        assert latency["count"] == 3
+        assert 0 < latency["p50"] <= latency["p99"]
+        assert payload["counters"]["serving.request.count"] >= 3
+        assert payload["counters"]["serving.batch.fused_pairs"] >= 6
+
+
+class TestServingFaultSeams:
+    def test_request_read_fault_settles(self, engine, served_model):
+        """An injected fault on the request-read seam answers 503 and
+        keeps the accounting invariant injected == recovered + fatal."""
+        _path, _pipeline, splits = served_model
+        harness = _DaemonHarness(engine, max_delay_seconds=0.001)
+        plan = FaultPlan(
+            specs=[FaultSpec("serving.request.read", "io", times=1)]
+        )
+        try:
+            with telemetry.recording() as recorder:
+                with faults.injecting(plan):
+                    status, payload = harness.request(
+                        "POST",
+                        "/match",
+                        {"pairs": _pairs_of(splits.test)[:1]},
+                    )
+                    assert status == 503
+                    assert "transient" in payload["error"]
+                    # The daemon is healthy again immediately.
+                    status, _ = harness.request(
+                        "POST",
+                        "/match",
+                        {"pairs": _pairs_of(splits.test)[:1]},
+                    )
+                    assert status == 200
+        finally:
+            harness.stop()
+        seen = {c.name: c.value for c in recorder.metrics.counters.values()}
+        assert seen["faults.injected.io"] == 1
+        assert seen["faults.recovered.io"] == 1
+        assert "faults.fatal.io" not in seen
+
+    def test_response_write_fault_settles(self, engine, served_model):
+        """A fault on the response socket drops that connection but the
+        daemon survives and the fault is accounted recovered."""
+        _path, _pipeline, splits = served_model
+        harness = _DaemonHarness(engine, max_delay_seconds=0.001)
+        plan = FaultPlan(
+            specs=[FaultSpec("serving.response.write", "io", times=1)]
+        )
+        try:
+            with telemetry.recording() as recorder:
+                with faults.injecting(plan):
+                    with pytest.raises((http.client.HTTPException, OSError)):
+                        harness.request(
+                            "POST",
+                            "/match",
+                            {"pairs": _pairs_of(splits.test)[:1]},
+                        )
+                    status, _ = harness.request("GET", "/healthz")
+                    assert status == 200
+        finally:
+            harness.stop()
+        seen = {c.name: c.value for c in recorder.metrics.counters.values()}
+        assert seen["faults.injected.io"] == 1
+        assert seen["faults.recovered.io"] == 1
+
+    def test_model_load_fault_retries(self, served_model):
+        """Transient io faults on the model-load seam are retried by
+        io_retry and settle recovered; the engine still comes up."""
+        path, _pipeline, _splits = served_model
+        plan = FaultPlan(
+            specs=[FaultSpec("serving.model.load", "io", times=1)]
+        )
+        with telemetry.recording() as recorder:
+            with faults.injecting(plan):
+                engine = MatchEngine(path, "S-FZ")
+        assert engine.generation == 1
+        seen = {c.name: c.value for c in recorder.metrics.counters.values()}
+        assert seen["faults.injected.io"] == 1
+        assert seen["faults.recovered.io"] == 1
+
+    def test_model_load_fault_exhaustion_is_typed(self, served_model):
+        from repro.faults import DEFAULT_ATTEMPTS
+
+        path, _pipeline, _splits = served_model
+        plan = FaultPlan(
+            specs=[
+                FaultSpec(
+                    "serving.model.load", "io", times=DEFAULT_ATTEMPTS
+                )
+            ]
+        )
+        with telemetry.recording() as recorder:
+            with faults.injecting(plan):
+                with pytest.raises(ServingError, match="cannot read"):
+                    MatchEngine(path, "S-FZ")
+        seen = {c.name: c.value for c in recorder.metrics.counters.values()}
+        assert seen["faults.injected.io"] == DEFAULT_ATTEMPTS
+        assert seen["faults.fatal.io"] == DEFAULT_ATTEMPTS
+
+
+class TestLoadtest:
+    def test_request_stream_is_deterministic(self):
+        first = build_requests("S-FZ", 5, 2, seed=3, scale=0.02)
+        second = build_requests("S-FZ", 5, 2, seed=3, scale=0.02)
+        assert first == second
+        assert build_requests("S-FZ", 5, 2, seed=4, scale=0.02) != first
+
+    def test_loadtest_reports_latency_and_throughput(
+        self, engine, served_model
+    ):
+        harness = _DaemonHarness(engine, max_delay_seconds=0.002)
+        try:
+            with telemetry.recording():
+                report = run_loadtest(
+                    "127.0.0.1",
+                    harness.port,
+                    "S-FZ",
+                    requests=12,
+                    concurrency=3,
+                    pairs_per_request=2,
+                    scale=0.02,
+                )
+        finally:
+            harness.stop()
+        assert report["errors"] == 0
+        assert report["completed"] == 12
+        assert report["requests_per_second"] > 0
+        latency = report["client_latency_ms"]
+        assert 0 < latency["p50"] <= latency["p99"]
+        server = report["server_metrics"]
+        assert server["counters"]["serving.request.count"] >= 12
+        assert (
+            server["histograms"]["serving.request.seconds"]["count"] >= 12
+        )

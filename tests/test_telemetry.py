@@ -231,6 +231,54 @@ class TestMetrics:
         with pytest.raises(ValueError):
             registry.histogram("h", (1.0, 3.0))
 
+    def test_concurrent_instrument_updates_lose_nothing(self):
+        """Regression: unsynchronized read-modify-write in ``Counter.inc``
+        / ``Histogram.observe`` dropped updates under the threaded
+        serving daemon. Hammering one registry from many threads must
+        account every single update."""
+        import threading
+
+        registry = MetricsRegistry()
+        threads_n, rounds = 8, 1_998  # divisible by 3 for exact buckets
+        barrier = threading.Barrier(threads_n)
+
+        def hammer(slot: int) -> None:
+            barrier.wait(timeout=30)
+            for i in range(rounds):
+                # Get-or-create raced too: every thread resolves the
+                # instruments by name on every iteration.
+                registry.counter("hammer.total").inc()
+                registry.counter(f"hammer.slot.{slot}").inc(2.0)
+                registry.histogram("hammer.hist", (0.5, 1.5)).observe(
+                    float(i % 3)
+                )
+                registry.gauge("hammer.gauge").set(slot)
+
+        threads = [
+            threading.Thread(target=hammer, args=(slot,))
+            for slot in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        assert registry.counter("hammer.total").value == threads_n * rounds
+        for slot in range(threads_n):
+            assert registry.counter(f"hammer.slot.{slot}").value == 2.0 * rounds
+        hist = registry.histogram("hammer.hist", (0.5, 1.5))
+        assert hist.total == threads_n * rounds
+        assert sum(hist.counts) == threads_n * rounds
+        # i % 3 in {0, 1, 2}: one third in each of the three buckets.
+        assert hist.counts == [
+            threads_n * rounds // 3,
+            threads_n * rounds // 3,
+            threads_n * rounds // 3,
+        ]
+        assert registry.gauge("hammer.gauge").value in set(
+            float(s) for s in range(threads_n)
+        )
+
     def test_to_dicts_deterministic_order(self):
         registry = MetricsRegistry()
         registry.counter("z").inc()
